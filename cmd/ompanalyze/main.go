@@ -1,0 +1,231 @@
+// Command ompanalyze runs individual analyses from §IV-D/§V over a
+// collected dataset: the Wilcoxon consistency test, influence heatmaps,
+// recommendation mining, the upshot summary and the worst-trend analysis.
+//
+// Usage:
+//
+//	ompanalyze -data dataset.csv [-upshot] [-worst]
+//	           [-wilcoxon APP,SETTING] [-heatmap app|arch|apparch]
+//	           [-recommend APP] [-tune APP@ARCH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omptune"
+	"omptune/internal/core"
+	"omptune/internal/ml"
+	"omptune/internal/report"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset CSV produced by ompsweep (default: collect now)")
+		upshot    = flag.Bool("upshot", false, "print the Q1 upshot summary")
+		worst     = flag.Bool("worst", false, "print the Q4 worst-trend analysis")
+		wilcoxon  = flag.String("wilcoxon", "", "APP,SETTING: print the Table III consistency test")
+		heatmap   = flag.String("heatmap", "", "grouping for the influence heatmap: app, arch or apparch")
+		recommend = flag.String("recommend", "", "application to mine Table VII recommendations for")
+		tune      = flag.String("tune", "", "APP@ARCH: run the guided coordinate-descent tuner")
+		budget    = flag.Int("budget", 200, "evaluation budget for -tune and -random")
+		random    = flag.String("random", "", "APP@ARCH: run the random-search baseline")
+		compare   = flag.Bool("compare-models", false, "contrast linear vs random-forest surrogates (per arch)")
+		transfer  = flag.String("transfer", "", "application for leave-one-architecture-out transfer analysis")
+		numa      = flag.String("numa", "", "APP@ARCH: evaluate the deferred numa_domains placements")
+		drill     = flag.String("drill", "", "APP@ARCH: hierarchical Fig3->Fig2->Fig4 drill-down with tuning advice")
+	)
+	flag.Parse()
+
+	var ds *omptune.Dataset
+	load := func() *omptune.Dataset {
+		if ds != nil {
+			return ds
+		}
+		if *dataPath != "" {
+			f, err := os.Open(*dataPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			var e error
+			ds, e = omptune.ReadDatasetCSV(f)
+			if e != nil {
+				fatal(e)
+			}
+			return ds
+		}
+		fmt.Fprintln(os.Stderr, "ompanalyze: collecting the Table II dataset (pass -data to reuse one)...")
+		var err error
+		ds, err = omptune.Collect(omptune.CollectOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		return ds
+	}
+
+	ran := false
+	if *upshot {
+		ran = true
+		fmt.Println("== Q1: upshot potential ==")
+		for _, u := range omptune.Upshot(load()) {
+			fmt.Printf("%-8s best speedup %.3f-%.3f, median %.3f over %d settings\n",
+				u.Arch, u.MinBest, u.MaxBest, u.MedianBest, u.Settings)
+		}
+	}
+	if *worst {
+		ran = true
+		fmt.Println("== Q4: worst-performance trends ==")
+		for i, t := range omptune.WorstTrends(load()) {
+			if i >= 8 {
+				break
+			}
+			fmt.Printf("%-20s = %-10s lift %.2fx among the slowest 5%%\n", t.Variable, t.Value, t.Lift)
+		}
+	}
+	if *wilcoxon != "" {
+		ran = true
+		app, setting, ok := strings.Cut(*wilcoxon, ",")
+		if !ok {
+			fatal(fmt.Errorf("-wilcoxon wants APP,SETTING"))
+		}
+		for _, r := range omptune.WilcoxonTable(load(), strings.TrimSpace(app), strings.TrimSpace(setting)) {
+			fmt.Printf("%-28s %-7s stat=%12.1f p=%.3g\n", r.Group, r.Pair, r.Statistic, r.PValue)
+		}
+	}
+	if *heatmap != "" {
+		ran = true
+		var g = map[string]func() error{
+			"app":     func() error { return report.Fig2(os.Stdout, load(), defaultML()) },
+			"arch":    func() error { return report.Fig3(os.Stdout, load(), defaultML()) },
+			"apparch": func() error { return report.Fig4(os.Stdout, load(), defaultML()) },
+		}
+		fn, ok := g[*heatmap]
+		if !ok {
+			fatal(fmt.Errorf("-heatmap wants app, arch or apparch"))
+		}
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+	}
+	if *recommend != "" {
+		ran = true
+		if _, err := omptune.ApplicationByName(*recommend); err != nil {
+			fatal(err)
+		}
+		for _, r := range omptune.Recommend(load(), *recommend) {
+			arch := "All"
+			if r.Arch != "" {
+				arch = string(r.Arch)
+			}
+			fmt.Printf("%-8s %-8s %-20s %s (lift %.2f)\n",
+				*recommend, arch, r.Variable, strings.Join(r.Values, "/"), r.Lift)
+		}
+	}
+	if *tune != "" {
+		ran = true
+		appName, archName, ok := strings.Cut(*tune, "@")
+		if !ok {
+			fatal(fmt.Errorf("-tune wants APP@ARCH"))
+		}
+		app, err := omptune.ApplicationByName(appName)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := omptune.MachineByName(archName)
+		if err != nil {
+			fatal(err)
+		}
+		set := app.Settings(m)[1] // the middle (default-size) setting
+		res := omptune.Tune(m, app, set, nil, *budget)
+		fmt.Printf("tuned %s on %s (%s): %.3fs -> %.3fs (%.3fx) in %d evaluations\n",
+			appName, archName, set.Label, res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.Evaluations)
+		for _, s := range res.Trace {
+			fmt.Printf("  %-20s = %-12s -> %.3fs\n", s.Variable, s.Value, s.Seconds)
+		}
+		fmt.Printf("  best: %s\n", res.Best)
+	}
+	if *random != "" {
+		ran = true
+		app, m := appArch(*random)
+		set := app.Settings(m)[1]
+		res := omptune.RandomSearch(m, app, set, *budget, 1)
+		fmt.Printf("random search %s on %s: %.3fx in %d evaluations (best: %s)\n",
+			app.Name, m.Arch, res.Speedup(), res.Evaluations, res.Best)
+	}
+	if *compare {
+		ran = true
+		rows, err := omptune.CompareModels(load(), omptune.PerArch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== linear vs non-linear surrogate (per architecture) ==")
+		for _, r := range rows {
+			fmt.Printf("%-8s n=%-7d majority=%.3f logistic=%.3f forest=%.3f\n",
+				r.Group, r.Samples, r.MajorityAcc, r.LogisticAcc, r.ForestAcc)
+		}
+	}
+	if *transfer != "" {
+		ran = true
+		rows, err := omptune.Transfer(load(), *transfer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== transfer analysis for %s (leave one architecture out) ==\n", *transfer)
+		for _, r := range rows {
+			verdict := "does NOT transfer"
+			if r.Transfers {
+				verdict = "transfers"
+			}
+			fmt.Printf("held out %-8s accuracy=%.3f majority=%.3f -> %s\n",
+				r.HeldOut, r.Accuracy, r.Majority, verdict)
+		}
+	}
+	if *numa != "" {
+		ran = true
+		app, m := appArch(*numa)
+		set := app.Settings(m)[1]
+		cfg, speedup := omptune.BestNUMAPlacement(m, app, set)
+		fmt.Printf("best numa_domains placement for %s on %s (%s): %.3fx with %s\n",
+			app.Name, m.Arch, set.Label, speedup, cfg)
+	}
+	if *drill != "" {
+		ran = true
+		app, m := appArch(*drill)
+		d, err := core.Drill(load(), app.Name, m.Arch, ml.LogisticOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d.String())
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// appArch parses an "APP@ARCH" selector.
+func appArch(sel string) (*omptune.App, *omptune.Machine) {
+	appName, archName, ok := strings.Cut(sel, "@")
+	if !ok {
+		fatal(fmt.Errorf("selector %q wants APP@ARCH", sel))
+	}
+	app, err := omptune.ApplicationByName(appName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := omptune.MachineByName(archName)
+	if err != nil {
+		fatal(err)
+	}
+	return app, m
+}
+
+func defaultML() ml.LogisticOptions { return ml.LogisticOptions{} }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompanalyze:", err)
+	os.Exit(1)
+}

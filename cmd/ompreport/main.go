@@ -1,0 +1,136 @@
+// Command ompreport regenerates every table and figure of the paper. It
+// either reads a previously collected dataset (-data) or collects one on
+// the fly, then renders Tables I–VII, the Q1/Q4 summaries, and Figs. 1–7.
+//
+// Usage:
+//
+//	ompreport [-data dataset.csv] [-violin-csv APP]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"omptune"
+	"omptune/internal/core"
+	"omptune/internal/report"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset CSV produced by ompsweep (default: collect now)")
+		violinCSV = flag.String("violin-csv", "", "emit the violin densities of this application as CSV and exit")
+		svgDir    = flag.String("svg-dir", "", "also write figs 1-7 as SVG files into this directory")
+		compare   = flag.Bool("compare", false, "print measured-vs-paper comparison instead of the full report")
+	)
+	flag.Parse()
+
+	var ds *omptune.Dataset
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err = omptune.ReadDatasetCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "ompreport: collecting the Table II dataset (pass -data to reuse one)...")
+		var err error
+		ds, err = omptune.Collect(omptune.CollectOptions{})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *violinCSV != "" {
+		if _, err := omptune.ApplicationByName(*violinCSV); err != nil {
+			fatal(err)
+		}
+		if err := report.ViolinCSV(os.Stdout, ds, *violinCSV, 128); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *compare {
+		if err := report.CompareWithPaper(os.Stdout, ds); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, ds); err != nil {
+			fatal(err)
+		}
+	}
+	if err := omptune.WriteReport(os.Stdout, ds); err != nil {
+		fatal(err)
+	}
+}
+
+// writeSVGs renders the violin figures (1, 5-7) and the influence heatmaps
+// (2-4) as standalone SVG documents.
+func writeSVGs(dir string, ds *omptune.Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	violins := map[string]string{
+		"fig1_alignment.svg": "Alignment",
+		"fig5_bt.svg":        "BT",
+		"fig6_health.svg":    "Health",
+		"fig7_rsbench.svg":   "RSBench",
+	}
+	for file, app := range violins {
+		if ds.ByApp(app).Len() == 0 {
+			continue
+		}
+		if err := writeFile(filepath.Join(dir, file), func(w *os.File) error {
+			return omptune.WriteViolinSVG(w, ds, app)
+		}); err != nil {
+			return err
+		}
+	}
+	heatmaps := []struct {
+		file  string
+		g     core.Grouping
+		title string
+	}{
+		{"fig2_by_app.svg", omptune.PerApp, "Fig 2: feature influence per application"},
+		{"fig3_by_arch.svg", omptune.PerArch, "Fig 3: feature influence per architecture"},
+		{"fig4_by_app_arch.svg", omptune.PerArchApp, "Fig 4: feature influence per application-architecture"},
+	}
+	for _, h := range heatmaps {
+		hm, err := omptune.Influence(ds, h.g)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(filepath.Join(dir, h.file), func(w *os.File) error {
+			return omptune.WriteHeatmapSVG(w, hm, h.title)
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ompreport: wrote SVG figures to %s\n", dir)
+	return nil
+}
+
+func writeFile(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompreport:", err)
+	os.Exit(1)
+}

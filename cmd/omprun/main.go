@@ -1,0 +1,87 @@
+// Command omprun executes one benchmark application's functional kernel on
+// the goroutine-based OpenMP-style runtime, configured exactly as a user
+// would configure libomp: through OMP_*/KMP_* environment entries. It
+// reports the kernel checksum, wall time, and the runtime activity counters
+// (sleeps, wakeups, steals), which make the effect of KMP_LIBRARY and
+// KMP_BLOCKTIME directly observable.
+//
+// Usage:
+//
+//	omprun -app Nqueens [-scale 1.0] [-set "OMP_NUM_THREADS=4,KMP_LIBRARY=turnaround"]
+//	omprun -list
+//
+// Real environment variables are honoured too; -set entries override them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"omptune"
+	"omptune/openmp"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application to run (see -list)")
+		scale   = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
+		setFlag = flag.String("set", "", "comma-separated KEY=VALUE overrides")
+		list    = flag.Bool("list", false, "list the available applications")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range omptune.Applications() {
+			style := "thread-count sweep"
+			if a.VariesInput {
+				style = "input-size sweep"
+			}
+			fmt.Printf("%-10s %-6s %s\n", a.Name, a.Suite, style)
+		}
+		return
+	}
+	if *appName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	app, err := omptune.ApplicationByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+
+	environ := os.Environ()
+	if *setFlag != "" {
+		for _, kv := range strings.Split(*setFlag, ",") {
+			environ = append(environ, strings.TrimSpace(kv))
+		}
+	}
+	opts, err := openmp.OptionsFromEnviron(environ)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := openmp.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	fmt.Printf("running %s (scale %.2f) on %s\n", app.Name, *scale, rt)
+	start := time.Now()
+	sum := app.Kernel(rt, *scale)
+	elapsed := time.Since(start)
+	st := rt.Stats()
+	fmt.Printf("checksum   %.10g\n", sum)
+	fmt.Printf("wall time  %s\n", elapsed)
+	fmt.Printf("regions    %d\n", st.Regions)
+	fmt.Printf("chunks     %d\n", st.Chunks)
+	fmt.Printf("tasks      %d (stolen %d)\n", st.TasksRun, st.TasksStolen)
+	fmt.Printf("sleeps     %d, wakeups %d\n", st.Sleeps, st.Wakeups)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "omprun:", err)
+	os.Exit(1)
+}

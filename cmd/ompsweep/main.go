@@ -1,0 +1,114 @@
+// Command ompsweep runs the data-collection campaign of §IV and writes the
+// resulting tabular dataset as CSV — the reproduction of the study's
+// 240,000-sample open dataset.
+//
+// Usage:
+//
+//	ompsweep [-arch a64fx,skylake,milan] [-apps CG,Nqueens] [-frac 0.26]
+//	         [-o dataset.csv] [-progress]
+//
+// Without flags it reproduces the full Table II dataset (~244k samples) on
+// stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"omptune"
+)
+
+func main() {
+	var (
+		archList = flag.String("arch", "", "comma-separated architectures (default: all)")
+		appList  = flag.String("apps", "", "comma-separated applications (default: all per arch)")
+		frac     = flag.Float64("frac", 0, "fraction of the config space to sample (0 = Table II defaults, 1 = exhaustive)")
+		out      = flag.String("o", "-", "output CSV path ('-' = stdout)")
+		progress = flag.Bool("progress", false, "print one line per completed setting to stderr")
+		extended = flag.Bool("extended", false, "include numa_domains places and six thread counts (future-work coverage)")
+		shard    = flag.String("shard", "", "K/N: collect only the K-th of N application shards (merge CSVs afterwards)")
+	)
+	flag.Parse()
+
+	opt := omptune.CollectOptions{}
+	if *archList != "" {
+		for _, a := range strings.Split(*archList, ",") {
+			if _, err := omptune.MachineByName(strings.TrimSpace(a)); err != nil {
+				fatal(err)
+			}
+			opt.Arches = append(opt.Arches, omptune.Arch(strings.TrimSpace(a)))
+		}
+	}
+	if *appList != "" {
+		for _, a := range strings.Split(*appList, ",") {
+			name := strings.TrimSpace(a)
+			if _, err := omptune.ApplicationByName(name); err != nil {
+				fatal(err)
+			}
+			opt.Apps = append(opt.Apps, name)
+		}
+	}
+	if *shard != "" {
+		kStr, nStr, ok := strings.Cut(*shard, "/")
+		k, err1 := strconv.Atoi(kStr)
+		n, err2 := strconv.Atoi(nStr)
+		if !ok || err1 != nil || err2 != nil || n < 1 || k < 0 || k >= n {
+			fatal(fmt.Errorf("-shard wants K/N with 0 <= K < N, got %q", *shard))
+		}
+		// Shard by application: stable, disjoint, and merge-safe.
+		pool := opt.Apps
+		if pool == nil {
+			for _, a := range omptune.Applications() {
+				pool = append(pool, a.Name)
+			}
+		}
+		var mine []string
+		for i, name := range pool {
+			if i%n == k {
+				mine = append(mine, name)
+			}
+		}
+		if len(mine) == 0 {
+			fatal(fmt.Errorf("shard %s selects no applications", *shard))
+		}
+		opt.Apps = mine
+	}
+	if *frac > 0 {
+		opt.Fraction = map[omptune.Arch]float64{}
+		for _, m := range omptune.Machines() {
+			opt.Fraction[m.Arch] = *frac
+		}
+	}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+	opt.Extended = *extended
+
+	ds, err := omptune.Collect(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ompsweep: collected %d samples\n", ds.Len())
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := omptune.WriteDatasetCSV(w, ds); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompsweep:", err)
+	os.Exit(1)
+}

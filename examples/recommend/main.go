@@ -1,0 +1,46 @@
+// Recommend reproduces the paper's advisory workflow end to end: collect
+// data for applications of interest, mine Table VII-style recommendations
+// (which variable/value pairs are consistently over-represented among the
+// fastest configurations), and print the worst-trend warning of §V-Q4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"omptune"
+)
+
+func main() {
+	apps := []string{"Nqueens", "CG"}
+	ds, err := omptune.Collect(omptune.CollectOptions{
+		Apps:     apps,
+		Fraction: map[omptune.Arch]float64{omptune.A64FX: 0.2, omptune.Skylake: 0.15, omptune.Milan: 0.15},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d samples for %v\n\n", ds.Len(), apps)
+
+	fmt.Println("Best performing environment variables and values (cf. Table VII):")
+	fmt.Printf("%-8s %-8s %-20s %s\n", "App", "Arch", "Variable", "Value")
+	for _, app := range apps {
+		for _, r := range omptune.Recommend(ds, app) {
+			arch := "All"
+			if r.Arch != "" {
+				arch = string(r.Arch)
+			}
+			fmt.Printf("%-8s %-8s %-20s %s\n", app, arch, r.Variable, strings.Join(r.Values, "/"))
+		}
+	}
+
+	fmt.Println("\nSettings to avoid (cf. §V-Q4):")
+	for i, t := range omptune.WorstTrends(ds) {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("  %s=%s appears %.1fx more often among the slowest 5%% of runs\n",
+			t.Variable, t.Value, t.Lift)
+	}
+}

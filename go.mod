@@ -1,0 +1,3 @@
+module omptune
+
+go 1.22

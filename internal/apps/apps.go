@@ -1,0 +1,112 @@
+// Package apps models the fifteen benchmark applications of the study. Each
+// application exists in two coupled forms:
+//
+//   - a functional kernel written against the openmp runtime, which computes
+//     a verifiable numeric result at a test-friendly problem size, and
+//   - a sim.Profile that characterizes the application for the performance
+//     model (parallelism style, work, memory behaviour, task granularity),
+//     calibrated against the observations in the paper's Section V.
+//
+// The suites mirror §IV-A: NAS Parallel Benchmarks (BT, CG, EP, FT, LU, MG),
+// the BSC OpenMP Tasking Suite (Alignment, Health, NQueens, Sort, Strassen)
+// and the proxy applications (RSBench, XSBench, SU3Bench, LULESH).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+	"omptune/openmp"
+)
+
+// Suite names an application's benchmark suite.
+type Suite string
+
+// The three suites of §IV-A.
+const (
+	NPB   Suite = "NPB"
+	BOTS  Suite = "BOTS"
+	Proxy Suite = "proxy"
+)
+
+// App couples a functional kernel with its performance-model profile.
+type App struct {
+	Name    string
+	Suite   Suite
+	Profile *sim.Profile
+	// VariesInput selects the sweep style of §IV-B: input-size variation at
+	// a fixed thread count (NPB, BOTS) vs. thread-count variation at the
+	// default input (proxies).
+	VariesInput bool
+	// Kernel runs the functional implementation on rt at the given scale
+	// (1.0 = the self-test size) and returns a checksum.
+	Kernel func(rt *openmp.Runtime, scale float64) float64
+}
+
+// Settings returns the experimental settings for the app on machine m,
+// following §IV-B.
+func (a *App) Settings(m *topology.Machine) []sim.Setting {
+	if a.VariesInput {
+		return sim.InputSettings(m)
+	}
+	return sim.ThreadSettings(m)
+}
+
+var registry []*App
+
+func register(a *App) *App {
+	registry = append(registry, a)
+	return a
+}
+
+// All returns every application in suite order (NPB, BOTS, proxies) as used
+// throughout the paper's tables.
+func All() []*App {
+	out := make([]*App, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		rank := map[Suite]int{NPB: 0, BOTS: 1, Proxy: 2}
+		if rank[out[i].Suite] != rank[out[j].Suite] {
+			return rank[out[i].Suite] < rank[out[j].Suite]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the named application.
+func ByName(name string) (*App, error) {
+	for _, a := range registry {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// excluded lists the app×arch combinations that were not executed in the
+// study: Sort and Strassen were skipped on both x86 machines and EP
+// additionally on Skylake due to cluster traffic (§V, Fig. 2 note).
+var excluded = map[topology.Arch]map[string]bool{
+	topology.Skylake: {"Sort": true, "Strassen": true, "EP": true},
+	topology.Milan:   {"Sort": true, "Strassen": true},
+}
+
+// RunsOn reports whether the app was part of the study's dataset on arch.
+func (a *App) RunsOn(arch topology.Arch) bool {
+	return !excluded[arch][a.Name]
+}
+
+// OnArch returns the applications measured on arch: 15 on A64FX, 13 on
+// Milan and 12 on Skylake, matching Table II.
+func OnArch(arch topology.Arch) []*App {
+	var out []*App
+	for _, a := range All() {
+		if a.RunsOn(arch) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package apps
+
+import "math"
+
+// lcg is a small deterministic generator for building reproducible kernel
+// inputs (sequences, matrices, lookup grids) without math/rand.
+type lcg struct{ state uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *lcg) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// float64 returns a uniform deviate in [0, 1).
+func (r *lcg) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *lcg) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// scaleDim scales a base problem dimension by the cube-ish root of the
+// input scale so that total work grows roughly linearly with scale.
+func scaleDim(base int, scale, exponent float64) int {
+	n := int(math.Round(float64(base) * math.Pow(scale, exponent)))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// checksum folds a slice into a stable scalar for verification.
+func checksum(xs []float64) float64 {
+	s, c := 0.0, 0.0
+	for i, x := range xs {
+		v := x * math.Sin(float64(i%97)+1)
+		y := v - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"math"
+	"sort"
+
+	"omptune/openmp"
+)
+
+// kernelXSBench performs continuous-energy macroscopic cross-section
+// lookups: binary search into a unionized energy grid followed by gathers
+// from per-nuclide tables — XSBench's random-access, cache-hostile pattern.
+func kernelXSBench(rt *openmp.Runtime, scale float64) float64 {
+	nGrid := scaleDim(6000, scale, 1.0)
+	const nNuclides, lookups = 12, 20000
+	grid := make([]float64, nGrid)
+	rng := newLCG(31)
+	for i := range grid {
+		grid[i] = rng.float64()
+	}
+	sort.Float64s(grid)
+	xs := make([][]float64, nNuclides)
+	for n := range xs {
+		xs[n] = make([]float64, nGrid)
+		for i := range xs[n] {
+			xs[n][i] = rng.float64()
+		}
+	}
+	total := rt.ParallelReduceSum(lookups, func(l int) float64 {
+		r := newLCG(uint64(l) * 1099511628211)
+		e := r.float64()
+		lo, hi := 0, nGrid-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if grid[mid] < e {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		macro := 0.0
+		for n := 0; n < nNuclides; n++ {
+			macro += xs[n][lo] * (1 + float64(n)*0.01)
+		}
+		return macro
+	})
+	return total
+}
+
+// kernelRSBench performs multipole resonance cross-section reconstruction:
+// for each lookup, evaluate a window of complex poles (heavier arithmetic
+// per lookup than XSBench, lighter memory pressure).
+func kernelRSBench(rt *openmp.Runtime, scale float64) float64 {
+	nPoles := scaleDim(800, scale, 1.0)
+	const lookups, window = 8000, 16
+	polesRe := make([]float64, nPoles)
+	polesIm := make([]float64, nPoles)
+	rng := newLCG(37)
+	for i := range polesRe {
+		polesRe[i] = rng.float64()
+		polesIm[i] = 0.01 + rng.float64()*0.1
+	}
+	total := rt.ParallelReduceSum(lookups, func(l int) float64 {
+		r := newLCG(uint64(l)*48271 + 1)
+		e := r.float64()
+		start := r.intn(nPoles - window)
+		sigRe, sigIm := 0.0, 0.0
+		for p := start; p < start+window; p++ {
+			// sigma += 1 / (E - pole) in complex arithmetic.
+			dr := e - polesRe[p]
+			di := -polesIm[p]
+			den := dr*dr + di*di
+			sigRe += dr / den
+			sigIm += -di / den
+		}
+		return math.Sqrt(sigRe*sigRe + sigIm*sigIm)
+	})
+	return total
+}
+
+// kernelSU3 is the mult_su3_nn kernel: C = A*B over a lattice of 3x3
+// complex SU(3) matrices, a perfectly balanced streaming workload.
+func kernelSU3(rt *openmp.Runtime, scale float64) float64 {
+	sites := scaleDim(4000, scale, 1.0)
+	const elems = 9 // 3x3 complex
+	aRe := make([]float64, sites*elems)
+	aIm := make([]float64, sites*elems)
+	bRe := make([]float64, sites*elems)
+	bIm := make([]float64, sites*elems)
+	cRe := make([]float64, sites*elems)
+	cIm := make([]float64, sites*elems)
+	rng := newLCG(41)
+	for i := range aRe {
+		aRe[i], aIm[i] = rng.float64()-0.5, rng.float64()-0.5
+		bRe[i], bIm[i] = rng.float64()-0.5, rng.float64()-0.5
+	}
+	rt.ParallelFor(sites, func(s int) {
+		base := s * elems
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				sumRe, sumIm := 0.0, 0.0
+				for k := 0; k < 3; k++ {
+					ar, ai := aRe[base+i*3+k], aIm[base+i*3+k]
+					br, bi := bRe[base+k*3+j], bIm[base+k*3+j]
+					sumRe += ar*br - ai*bi
+					sumIm += ar*bi + ai*br
+				}
+				cRe[base+i*3+j] = sumRe
+				cIm[base+i*3+j] = sumIm
+			}
+		}
+	})
+	return checksum(cRe) + checksum(cIm)
+}
+
+// kernelLULESH approximates one coarse pass of explicit shock
+// hydrodynamics on a 3-D hex mesh: per-timestep element loops for stress
+// and force, a nodal update loop, and a courant-condition minimum
+// reduction — LULESH's many-short-regions pattern.
+func kernelLULESH(rt *openmp.Runtime, scale float64) float64 {
+	n := scaleDim(16, scale, 1.0/3)
+	elems := n * n * n
+	p := make([]float64, elems)   // pressure
+	e := make([]float64, elems)   // energy
+	v := make([]float64, elems)   // relative volume
+	vel := make([]float64, elems) // nodal speed proxy
+	rng := newLCG(43)
+	for i := range p {
+		p[i] = rng.float64()
+		e[i] = 1 + rng.float64()
+		v[i] = 1.0
+	}
+	dt := 1e-3
+	energyTrace := 0.0
+	for step := 0; step < 12; step++ {
+		// Element stress and q (artificial viscosity) update.
+		rt.ParallelFor(elems, func(i int) {
+			q := 0.1 * vel[i] * vel[i]
+			p[i] = 0.6*e[i]/v[i] + q
+		})
+		// Nodal force/acceleration/velocity update (neighbour gather).
+		rt.ParallelFor(elems, func(i int) {
+			left := i - 1
+			if left < 0 {
+				left = 0
+			}
+			f := p[left] - p[i]
+			vel[i] += dt * f
+		})
+		// Element volume and energy update.
+		rt.ParallelFor(elems, func(i int) {
+			v[i] = math.Max(0.2, v[i]-dt*vel[i]*0.1)
+			e[i] = math.Max(1e-9, e[i]-dt*p[i]*vel[i]*0.05)
+		})
+		// Courant timestep reduction.
+		var newDt float64
+		rt.Parallel(func(th *openmp.Thread) {
+			local := math.Inf(1)
+			th.ForNowait(elems, func(i int) {
+				c := math.Sqrt(1.4 * p[i] / math.Max(v[i], 1e-9))
+				if d := 0.1 / math.Max(c, 1e-9); d < local {
+					local = d
+				}
+			})
+			g := th.ReduceMin(local)
+			th.Master(func() { newDt = g })
+		})
+		dt = math.Min(1e-3, math.Max(1e-6, newDt))
+		energyTrace += e[elems/2]
+	}
+	total := rt.ParallelReduceSum(elems, func(i int) float64 { return e[i] })
+	return total + energyTrace
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"omptune/internal/dataset"
+	"omptune/internal/sim"
+	"omptune/internal/stats"
+	"omptune/internal/topology"
+)
+
+// UpshotSummary answers §V-Q1 for one architecture: the range and median of
+// the per-setting best speedups.
+type UpshotSummary struct {
+	Arch             topology.Arch
+	MinBest, MaxBest float64
+	MedianBest       float64
+	Settings         int
+}
+
+// Upshot computes the Q1 summary for every architecture in the dataset.
+func Upshot(ds *dataset.Dataset) []UpshotSummary {
+	var out []UpshotSummary
+	for _, arch := range topology.Arches() {
+		sub := ds.ByArch(arch)
+		if sub.Len() == 0 {
+			continue
+		}
+		lo, hi := sub.SpeedupRange()
+		out = append(out, UpshotSummary{
+			Arch: arch, MinBest: lo, MaxBest: hi,
+			MedianBest: sub.MedianBestSpeedup(),
+			Settings:   len(sub.Settings()),
+		})
+	}
+	return out
+}
+
+// WilcoxonRow is one row of Table III: the consistency test for one
+// consecutive pair of repeated runs over all configurations of a setting.
+type WilcoxonRow struct {
+	Group     string // e.g. "a64fx-alignment-small"
+	Pair      string // e.g. "R0, R1"
+	Statistic float64
+	PValue    float64
+	// Degenerate marks groups whose paired runs are identical after timer
+	// quantization (the A64FX case); the p-value is then reported as 1.
+	Degenerate bool
+}
+
+// WilcoxonTable reproduces Table III for one application and setting label
+// across all architectures: consecutive run pairs (R0,R1), (R1,R2), (R2,R3).
+func WilcoxonTable(ds *dataset.Dataset, app, setting string) []WilcoxonRow {
+	var rows []WilcoxonRow
+	for _, arch := range topology.Arches() {
+		sub := ds.ByArch(arch).ByApp(app).Filter(func(s *dataset.Sample) bool {
+			return s.Setting == setting
+		})
+		if sub.Len() == 0 {
+			continue
+		}
+		group := fmt.Sprintf("%s-%s-%s", arch, app, setting)
+		for rep := 0; rep+1 < sim.Reps; rep++ {
+			a := sub.RuntimeColumn(rep)
+			b := sub.RuntimeColumn(rep + 1)
+			res, err := stats.Wilcoxon(a, b)
+			row := WilcoxonRow{
+				Group:     group,
+				Pair:      fmt.Sprintf("R%d, R%d", rep, rep+1),
+				Statistic: res.Statistic,
+				PValue:    res.PValue,
+			}
+			if err == stats.ErrDegenerate {
+				row.Degenerate = true
+				row.PValue = 1
+			} else if err != nil {
+				row.PValue = 1
+				row.Degenerate = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RuntimeStatRow is one row of Table IV: the mean and standard deviation of
+// one run index over all configurations of a setting.
+type RuntimeStatRow struct {
+	Group string
+	Rep   int
+	Mean  float64
+	Std   float64
+}
+
+// RuntimeStats reproduces Table IV for one application and setting label
+// (the paper tabulates the first three run indices).
+func RuntimeStats(ds *dataset.Dataset, app, setting string, reps int) []RuntimeStatRow {
+	var rows []RuntimeStatRow
+	for _, arch := range topology.Arches() {
+		sub := ds.ByArch(arch).ByApp(app).Filter(func(s *dataset.Sample) bool {
+			return s.Setting == setting
+		})
+		if sub.Len() == 0 {
+			continue
+		}
+		group := fmt.Sprintf("%s-%s-%s", arch, app, setting)
+		for rep := 0; rep < reps && rep < sim.Reps; rep++ {
+			col := sub.RuntimeColumn(rep)
+			rows = append(rows, RuntimeStatRow{
+				Group: group, Rep: rep,
+				Mean: stats.Mean(col), Std: stats.StdDev(col),
+			})
+		}
+	}
+	return rows
+}
+
+// SpeedupRangeRow is one row of Tables V/VI.
+type SpeedupRangeRow struct {
+	App  string
+	Arch topology.Arch // empty for the cross-architecture Table VI rows
+	Lo   float64
+	Hi   float64
+}
+
+// TableV returns per-(app, arch) best-speedup ranges for the given apps.
+func TableV(ds *dataset.Dataset, appNames []string) []SpeedupRangeRow {
+	var rows []SpeedupRangeRow
+	for _, app := range appNames {
+		for _, arch := range topology.Arches() {
+			sub := ds.ByApp(app).ByArch(arch)
+			if sub.Len() == 0 {
+				continue
+			}
+			lo, hi := sub.SpeedupRange()
+			rows = append(rows, SpeedupRangeRow{App: app, Arch: arch, Lo: lo, Hi: hi})
+		}
+	}
+	return rows
+}
+
+// TableVI returns the per-application best-speedup range across all
+// architectures and settings, sorted by application name as in the paper.
+func TableVI(ds *dataset.Dataset) []SpeedupRangeRow {
+	apps := map[string]bool{}
+	for _, s := range ds.Samples {
+		apps[s.App] = true
+	}
+	names := make([]string, 0, len(apps))
+	for n := range apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var rows []SpeedupRangeRow
+	for _, app := range names {
+		lo, hi := ds.ByApp(app).SpeedupRange()
+		rows = append(rows, SpeedupRangeRow{App: app, Lo: lo, Hi: hi})
+	}
+	return rows
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/ml"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+
+	"omptune/internal/apps"
+)
+
+// This file implements the paper's §VI future-work agenda: non-linear
+// models for the classification surrogate, a quantitative check of how
+// (badly) tuning knowledge transfers to unseen architectures, a random-
+// search baseline for the guided tuner, and the sweep extensions the paper
+// deferred (numa_domains places, more thread counts).
+
+// ModelComparison contrasts the linear surrogate of §IV-D with a random
+// forest on the same group of samples.
+type ModelComparison struct {
+	Group       string
+	Samples     int
+	LogisticAcc float64
+	ForestAcc   float64
+	// MajorityAcc is the trivial always-predict-the-majority baseline.
+	MajorityAcc float64
+}
+
+// CompareModels fits both model families per group of the given grouping
+// strategy and reports their training accuracies next to the majority
+// baseline — quantifying how much the linear restriction costs (§VI).
+func CompareModels(ds *dataset.Dataset, g Grouping, logOpt ml.LogisticOptions, treeOpt ml.TreeOptions, nTrees int) ([]ModelComparison, error) {
+	appNames := distinctApps(ds)
+	var cols []string
+	switch g {
+	case PerApp:
+		cols = append(baseFeatures(), FeatArch)
+	case PerArch:
+		cols = append(baseFeatures(), FeatApp)
+	default:
+		cols = baseFeatures()
+	}
+	var out []ModelComparison
+	for _, key := range groupKeys(ds, g) {
+		sub := groupSubset(ds, g, key)
+		x, y := featurize(sub, cols, appNames)
+		mc := ModelComparison{Group: key, Samples: len(x), MajorityAcc: majorityAccuracy(y)}
+		if hasBothClasses(y) {
+			lm, err := ml.FitLogistic(x, y, logOpt)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s logistic: %w", key, err)
+			}
+			mc.LogisticAcc = lm.Accuracy(x, y)
+			fm, err := ml.FitForest(x, y, nTrees, treeOpt)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s forest: %w", key, err)
+			}
+			mc.ForestAcc = fm.Accuracy(x, y)
+		} else {
+			mc.LogisticAcc, mc.ForestAcc = 1, 1
+		}
+		out = append(out, mc)
+	}
+	return out, nil
+}
+
+func majorityAccuracy(y []bool) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, v := range y {
+		if v {
+			pos++
+		}
+	}
+	if pos*2 < len(y) {
+		pos = len(y) - pos
+	}
+	return float64(pos) / float64(len(y))
+}
+
+// TransferRow reports how well a model trained on two architectures
+// predicts optimality on the held-out third, for one application.
+type TransferRow struct {
+	App      string
+	HeldOut  topology.Arch
+	Accuracy float64
+	Majority float64
+	// Transfers is the paper-style verdict: does the cross-architecture
+	// model beat the trivial baseline by a meaningful margin?
+	Transfers bool
+}
+
+// Transfer performs leave-one-architecture-out evaluation for one
+// application, quantifying §VI's caveat that "there is no guarantee this
+// knowledge can be transferred" to unseen architectures. Features exclude
+// the architecture code (the held-out value would be unseen); the forest
+// model is used since it dominates the linear one in-sample.
+func Transfer(ds *dataset.Dataset, app string, treeOpt ml.TreeOptions, nTrees int) ([]TransferRow, error) {
+	sub := ds.ByApp(app)
+	cols := baseFeatures()
+	var rows []TransferRow
+	for _, held := range topology.Arches() {
+		test := sub.ByArch(held)
+		if test.Len() == 0 {
+			continue
+		}
+		train := sub.Filter(func(s *dataset.Sample) bool { return s.Arch != held })
+		if train.Len() == 0 {
+			continue
+		}
+		xTr, yTr := featurize(train, cols, nil)
+		xTe, yTe := featurize(test, cols, nil)
+		row := TransferRow{App: app, HeldOut: held, Majority: majorityAccuracy(yTe)}
+		if hasBothClasses(yTr) {
+			fm, err := ml.FitForest(xTr, yTr, nTrees, treeOpt)
+			if err != nil {
+				return nil, err
+			}
+			row.Accuracy = fm.Accuracy(xTe, yTe)
+		} else {
+			row.Accuracy = majorityAccuracy(yTe)
+		}
+		row.Transfers = row.Accuracy > row.Majority+0.05
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RandomSearch is the baseline the guided tuner is judged against: sample
+// `budget` configurations uniformly (deterministically seeded) and keep the
+// best. Returned in the same TuneResult shape as Tune.
+func RandomSearch(m *topology.Machine, app *apps.App, set sim.Setting, budget int, seedVal uint64) TuneResult {
+	if budget <= 0 {
+		budget = 200
+	}
+	measure := func(cfg env.Config) float64 {
+		total := 0.0
+		for rep := 0; rep < sim.Reps; rep++ {
+			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
+		}
+		return total / sim.Reps
+	}
+	space := env.Space(m)
+	res := TuneResult{Best: env.Default(m)}
+	res.DefaultSeconds = measure(res.Best)
+	res.BestSeconds = res.DefaultSeconds
+	res.Evaluations = 1
+	state := seedVal*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for res.Evaluations < budget {
+		state = state*6364136223846793005 + 1442695040888963407
+		cfg := space[int((state>>33)%uint64(len(space)))]
+		t := measure(cfg)
+		res.Evaluations++
+		if t < res.BestSeconds {
+			res.Best = cfg
+			res.BestSeconds = t
+			res.Trace = append(res.Trace, TuneStep{Variable: "random", Value: cfg.Key(), Seconds: t})
+		}
+	}
+	return res
+}
+
+// ExtendedSpace enumerates the sweep space including the numa_domains
+// place kind the paper deferred for lack of hwloc (§III-1); the topology
+// models make it available here.
+func ExtendedSpace(m *topology.Machine) []env.Config {
+	base := env.Space(m)
+	var out []env.Config
+	out = append(out, base...)
+	for _, c := range base {
+		if c.Places == topology.PlaceUnset {
+			nc := c
+			nc.Places = topology.PlaceNUMA
+			out = append(out, nc)
+		}
+	}
+	return out
+}
+
+// ExtendedThreadSettings widens the thread-count exploration the paper
+// lists as a limitation (§VI): an eighth, quarter, three-eighths, half,
+// three-quarters and all of the machine.
+func ExtendedThreadSettings(m *topology.Machine) []sim.Setting {
+	fracs := []int{8, 4} // denominators for the small counts
+	var out []sim.Setting
+	for _, d := range fracs {
+		t := m.Cores / d
+		out = append(out, sim.Setting{Label: fmt.Sprintf("t%d", t), Threads: t, Scale: 1})
+	}
+	for _, t := range []int{3 * m.Cores / 8, m.Cores / 2, 3 * m.Cores / 4, m.Cores} {
+		out = append(out, sim.Setting{Label: fmt.Sprintf("t%d", t), Threads: t, Scale: 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Threads < out[j].Threads })
+	return out
+}
+
+// BestNUMAPlacement evaluates the extended numa_domains configurations for
+// one app/arch/setting and reports the best speedup over the default —
+// the experiment the paper left for future work.
+func BestNUMAPlacement(m *topology.Machine, app *apps.App, set sim.Setting) (env.Config, float64) {
+	measure := func(cfg env.Config) float64 {
+		total := 0.0
+		for rep := 0; rep < sim.Reps; rep++ {
+			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
+		}
+		return total / sim.Reps
+	}
+	def := measure(env.Default(m))
+	best := env.Default(m)
+	bestT := def
+	for _, c := range ExtendedSpace(m) {
+		if c.Places != topology.PlaceNUMA {
+			continue
+		}
+		if t := measure(c); t < bestT {
+			best, bestT = c, t
+		}
+	}
+	return best, def / bestT
+}

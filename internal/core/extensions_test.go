@@ -1,0 +1,310 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/ml"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+func TestCompareModelsForestDominatesLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	rows, err := CompareModels(ds.ByApp("XSbench"), PerArch,
+		ml.LogisticOptions{Epochs: 80}, ml.TreeOptions{MaxDepth: 8, MinLeaf: 30, Seed: 1}, 8)
+	if err != nil {
+		t.Fatalf("CompareModels: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.ForestAcc < r.LogisticAcc-0.02 {
+			t.Errorf("%s: forest %v should not lose to logistic %v", r.Group, r.ForestAcc, r.LogisticAcc)
+		}
+		if r.ForestAcc < r.MajorityAcc-0.02 {
+			t.Errorf("%s: forest %v below majority baseline %v", r.Group, r.ForestAcc, r.MajorityAcc)
+		}
+		if r.Samples == 0 {
+			t.Errorf("%s: no samples", r.Group)
+		}
+	}
+}
+
+func TestTransferReflectsArchitectureDependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	opt := ml.TreeOptions{MaxDepth: 8, MinLeaf: 30, Seed: 5}
+	// NQueens' winning configuration is architecture-independent
+	// (turnaround everywhere): knowledge should transfer.
+	nq, err := Transfer(ds, "Nqueens", opt, 8)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if len(nq) != 3 {
+		t.Fatalf("Nqueens transfer rows = %d", len(nq))
+	}
+	transfers := 0
+	for _, r := range nq {
+		if r.Transfers {
+			transfers++
+		}
+	}
+	if transfers < 2 {
+		t.Errorf("Nqueens should transfer across most architectures, got %d/3: %+v", transfers, nq)
+	}
+	// XSbench's optimum is Milan-specific: the model trained on the two
+	// quiet machines should NOT beat the baseline meaningfully on Milan.
+	xs, err := Transfer(ds, "XSbench", opt, 8)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	for _, r := range xs {
+		if r.HeldOut == topology.Milan && r.Accuracy > r.Majority+0.15 {
+			t.Errorf("XSbench held-out Milan: accuracy %v vs majority %v — should not transfer well", r.Accuracy, r.Majority)
+		}
+	}
+}
+
+func TestRandomSearchNeedsMoreEvalsThanGuided(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("Nqueens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sim.Setting{Label: "medium", Threads: m.Cores, Scale: 1}
+	guided := Tune(m, app, set, nil, 60)
+	random := RandomSearch(m, app, set, 60, 99)
+	if guided.Speedup() < 4 {
+		t.Errorf("guided speedup %v, want > 4", guided.Speedup())
+	}
+	if random.Speedup() > guided.Speedup()+0.3 {
+		t.Errorf("random search %v should not clearly beat guided %v at equal budget",
+			random.Speedup(), guided.Speedup())
+	}
+	if random.Evaluations != 60 {
+		t.Errorf("random search used %d evaluations, want 60", random.Evaluations)
+	}
+	// Random search still finds turnaround eventually: about half the space
+	// has an infinite effective blocktime, so 60 draws all but guarantee it.
+	if random.Speedup() < 2 {
+		t.Errorf("random search speedup %v, want > 2", random.Speedup())
+	}
+}
+
+func TestExtendedSpaceAddsNUMAPlaces(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	base := len(ExtendedSpace(m))
+	// numa_domains variants exist only for configs whose places were unset:
+	// a quarter of the base space.
+	if want := 9216 + 9216/4; base != want {
+		t.Errorf("extended space = %d, want %d", base, want)
+	}
+	seenNUMA := false
+	for _, c := range ExtendedSpace(m) {
+		if c.Places == topology.PlaceNUMA {
+			seenNUMA = true
+			break
+		}
+	}
+	if !seenNUMA {
+		t.Error("extended space missing numa_domains configurations")
+	}
+}
+
+func TestBestNUMAPlacementHelpsMemoryBoundOnMilan(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	app, err := apps.ByName("XSbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sim.Setting{Label: "t24", Threads: 24, Scale: 1}
+	cfg, speedup := BestNUMAPlacement(m, app, set)
+	if cfg.Places != topology.PlaceNUMA {
+		t.Fatalf("best config places = %s, want numa_domains", cfg.Places)
+	}
+	if speedup < 1.5 {
+		t.Errorf("numa_domains binding speedup %v on Milan XSbench, want > 1.5", speedup)
+	}
+}
+
+func TestExtendedThreadSettings(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	sets := ExtendedThreadSettings(m)
+	if len(sets) != 6 {
+		t.Fatalf("settings = %d, want 6", len(sets))
+	}
+	want := []int{5, 10, 15, 20, 30, 40}
+	for i, s := range sets {
+		if s.Threads != want[i] {
+			t.Errorf("setting %d threads = %d, want %d", i, s.Threads, want[i])
+		}
+		if s.Scale != 1 {
+			t.Errorf("setting %d scale = %v, want 1", i, s.Scale)
+		}
+	}
+}
+
+func TestMajorityAccuracy(t *testing.T) {
+	if got := majorityAccuracy([]bool{true, true, false}); got < 0.66 || got > 0.67 {
+		t.Errorf("majority = %v", got)
+	}
+	if got := majorityAccuracy(nil); got != 0 {
+		t.Errorf("empty majority = %v", got)
+	}
+	if got := majorityAccuracy([]bool{false, false}); got != 1 {
+		t.Errorf("all-false majority = %v", got)
+	}
+}
+
+func TestExtendedSweepIncludesNUMAAndMoreThreads(t *testing.T) {
+	ds, err := RunSweep(SweepConfig{
+		Arches:   []topology.Arch{topology.Milan},
+		AppNames: []string{"XSbench"},
+		Fraction: map[topology.Arch]float64{topology.Milan: 0.05},
+		Extended: true,
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	settings := map[string]bool{}
+	numaSeen := false
+	for _, s := range ds.Samples {
+		settings[s.Setting] = true
+		if s.Config.Places == topology.PlaceNUMA {
+			numaSeen = true
+		}
+	}
+	if len(settings) != 6 {
+		t.Errorf("extended thread settings = %d, want 6", len(settings))
+	}
+	if !numaSeen {
+		t.Error("extended sweep contains no numa_domains configurations")
+	}
+}
+
+func TestDrillDownNQueensOnA64FX(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	d, err := Drill(ds, "Nqueens", topology.A64FX, ml.LogisticOptions{Epochs: 80})
+	if err != nil {
+		t.Fatalf("Drill: %v", err)
+	}
+	if d.BestHi < 4 {
+		t.Errorf("drill best speedup %v, want > 4", d.BestHi)
+	}
+	// NQueens is architecture-independent: Fig 2's arch column is tiny.
+	if d.AppLevelArchInfluence > 0.1 {
+		t.Errorf("NQueens arch influence %v, want < 0.1", d.AppLevelArchInfluence)
+	}
+	// The wait-policy variables must rank first at the finest level.
+	top := d.Variables[0].Variable
+	if top != env.VarLibrary && top != env.VarBlocktime {
+		t.Errorf("top variable = %s, want library or blocktime", top)
+	}
+	order := d.TuningOrder()
+	if len(order) == 0 || len(order) > 7 {
+		t.Fatalf("tuning order = %v", order)
+	}
+	// The pruned order must recover the big win within a small budget.
+	app, _ := apps.ByName("Nqueens")
+	res := Tune(topology.MustGet(topology.A64FX), app,
+		sim.Setting{Label: "medium", Threads: 48, Scale: 1}, order, 40)
+	if res.Speedup() < 4 {
+		t.Errorf("drill-guided tuning speedup %v, want > 4", res.Speedup())
+	}
+	if s := d.String(); !strings.Contains(s, "Nqueens") || !strings.Contains(s, "tune first") {
+		t.Errorf("drill summary malformed:\n%s", s)
+	}
+}
+
+func TestDrillDownMissingGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	if _, err := Drill(ds, "Sort", topology.Milan, ml.LogisticOptions{Epochs: 20}); err == nil {
+		t.Error("Sort on Milan is excluded; Drill should error")
+	}
+}
+
+func TestQ2ConsistencyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	rows := Q2Consistency(ds)
+	if len(rows) != 15 {
+		t.Fatalf("Q2 rows = %d, want 15", len(rows))
+	}
+	byApp := map[string]Q2Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// NQueens' winner is architecture-independent: KMP_LIBRARY must be in
+	// every architecture's top set and hence in the intersection.
+	nq := byApp["Nqueens"]
+	found := false
+	for _, v := range nq.Consistent {
+		if v == env.VarLibrary {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NQueens Q2 consistent set %v missing KMP_LIBRARY", nq.Consistent)
+	}
+	if nq.Jaccard < 0.3 {
+		t.Errorf("NQueens Q2 overlap %v, want substantial", nq.Jaccard)
+	}
+	// Sort ran on one architecture only: trivially consistent.
+	if sortRow := byApp["Sort"]; len(sortRow.PerArchTop) != 1 {
+		t.Errorf("Sort should have one architecture, got %d", len(sortRow.PerArchTop))
+	}
+}
+
+func TestQ3BestVariablesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ds := sweepOnce(t)
+	hm, err := InfluenceHeatmap(ds, PerArch, ml.LogisticOptions{Epochs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Q3BestVariables(hm)
+	if len(rows) != 3 {
+		t.Fatalf("Q3 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Ranking is sorted and covers all seven variables.
+		if len(r.Ranked) != 7 {
+			t.Errorf("%s: ranked %d variables", r.Arch, len(r.Ranked))
+		}
+		for i := 1; i < len(r.Ranked); i++ {
+			if r.Ranked[i].Influence > r.Ranked[i-1].Influence {
+				t.Errorf("%s: ranking not sorted", r.Arch)
+			}
+		}
+		// §V-3: tuning OMP_WAIT_POLICY alone addresses a meaningful share.
+		if r.WaitPolicyShare < 0.1 {
+			t.Errorf("%s: wait-policy share %v, want >= 0.1", r.Arch, r.WaitPolicyShare)
+		}
+		// The paper's strongest Q3 claim: reduction/align are last.
+		last := r.Ranked[len(r.Ranked)-1].Variable
+		second := r.Ranked[len(r.Ranked)-2].Variable
+		lastTwo := map[env.VarName]bool{last: true, second: true}
+		if !lastTwo[env.VarForceReduction] && !lastTwo[env.VarAlignAlloc] {
+			t.Errorf("%s: least influential = %v/%v, expected reduction/align among them", r.Arch, second, last)
+		}
+	}
+}

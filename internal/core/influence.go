@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/ml"
+	"omptune/internal/topology"
+)
+
+// Grouping selects one of the three grouping strategies of §IV-D.
+type Grouping int
+
+// The grouping strategies. Context features are added per strategy:
+// per-application groups get an Architecture feature, per-architecture
+// groups get an Application feature, per-architecture-application groups
+// get neither.
+const (
+	PerArchApp Grouping = iota
+	PerApp
+	PerArch
+)
+
+// Feature column labels used in the heatmaps.
+const (
+	FeatInput = "Input Size"
+	FeatNT    = "OMP_NUM_THREADS"
+	FeatApp   = "Application"
+	FeatArch  = "Architecture"
+)
+
+// baseFeatures is the default feature list of §IV-D: input size, thread
+// count and the seven studied environment variables.
+func baseFeatures() []string {
+	names := []string{FeatInput, FeatNT}
+	for _, v := range env.Names() {
+		names = append(names, string(v))
+	}
+	return names
+}
+
+// appCode and archCode implement the paper's "naive numeric scheme" for
+// encoding applications and architectures as features.
+func archCode(a topology.Arch) float64 {
+	for i, arch := range topology.Arches() {
+		if arch == a {
+			return float64(i)
+		}
+	}
+	return -1
+}
+
+func appCode(name string, names []string) float64 {
+	for i, n := range names {
+		if n == name {
+			return float64(i)
+		}
+	}
+	return -1
+}
+
+// featurize builds the design matrix and labels for a dataset subset.
+func featurize(ds *dataset.Dataset, cols []string, appNames []string) ([][]float64, []bool) {
+	x := make([][]float64, 0, ds.Len())
+	y := make([]bool, 0, ds.Len())
+	for _, s := range ds.Samples {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			switch c {
+			case FeatInput:
+				row[j] = s.Scale
+			case FeatNT:
+				row[j] = float64(s.Threads)
+			case FeatApp:
+				row[j] = appCode(s.App, appNames)
+			case FeatArch:
+				row[j] = archCode(s.Arch)
+			default:
+				row[j] = s.Config.Feature(env.VarName(c))
+			}
+		}
+		x = append(x, row)
+		y = append(y, s.Optimal())
+	}
+	return x, y
+}
+
+// Heatmap is a rows x features influence matrix; each row sums to 1.
+// It carries the model quality per row so readers can judge the fit, as
+// §IV-D does via "high model prediction scores".
+type Heatmap struct {
+	RowLabels []string
+	Features  []string
+	Cells     [][]float64
+	Accuracy  []float64
+}
+
+// InfluenceHeatmap trains one logistic-regression classifier per group and
+// assembles the weight-normalized coefficient magnitudes into the heatmap
+// of the requested grouping: Fig. 2 (PerApp), Fig. 3 (PerArch) or
+// Fig. 4 (PerArchApp).
+func InfluenceHeatmap(ds *dataset.Dataset, g Grouping, opt ml.LogisticOptions) (*Heatmap, error) {
+	appNames := distinctApps(ds)
+	var cols []string
+	switch g {
+	case PerApp:
+		cols = append(baseFeatures(), FeatArch)
+	case PerArch:
+		cols = append(baseFeatures(), FeatApp)
+	default:
+		cols = baseFeatures()
+	}
+	groups := groupKeys(ds, g)
+	hm := &Heatmap{Features: cols}
+	for _, key := range groups {
+		sub := groupSubset(ds, g, key)
+		if sub.Len() == 0 {
+			continue
+		}
+		x, y := featurize(sub, cols, appNames)
+		if !hasBothClasses(y) {
+			// A group where nothing (or everything) beats the default has no
+			// decision boundary; report zero influence, as the paper's
+			// missing Sort/Strassen cells do.
+			hm.RowLabels = append(hm.RowLabels, key)
+			hm.Cells = append(hm.Cells, make([]float64, len(cols)))
+			hm.Accuracy = append(hm.Accuracy, 1)
+			continue
+		}
+		model, err := ml.FitLogistic(x, y, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %s: %w", key, err)
+		}
+		hm.RowLabels = append(hm.RowLabels, key)
+		hm.Cells = append(hm.Cells, model.Influence())
+		hm.Accuracy = append(hm.Accuracy, model.Accuracy(x, y))
+	}
+	return hm, nil
+}
+
+// FeatureRank returns the features of a heatmap ordered by mean influence
+// across rows, most influential first — the reading the paper gives of
+// Fig. 3 (threads, then proc_bind, then places, ...).
+func (h *Heatmap) FeatureRank() []string {
+	means := make([]float64, len(h.Features))
+	for _, row := range h.Cells {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	idx := make([]int, len(h.Features))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return means[idx[a]] > means[idx[b]] })
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = h.Features[j]
+	}
+	return out
+}
+
+// MeanInfluence returns the across-rows mean influence of the named
+// feature, or 0 if absent.
+func (h *Heatmap) MeanInfluence(feature string) float64 {
+	for j, f := range h.Features {
+		if f != feature {
+			continue
+		}
+		total := 0.0
+		for _, row := range h.Cells {
+			total += row[j]
+		}
+		if len(h.Cells) == 0 {
+			return 0
+		}
+		return total / float64(len(h.Cells))
+	}
+	return 0
+}
+
+// RowInfluence returns the influence of feature in the named row, or 0.
+func (h *Heatmap) RowInfluence(row, feature string) float64 {
+	for i, r := range h.RowLabels {
+		if r != row {
+			continue
+		}
+		for j, f := range h.Features {
+			if f == feature {
+				return h.Cells[i][j]
+			}
+		}
+	}
+	return 0
+}
+
+func distinctApps(ds *dataset.Dataset) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range ds.Samples {
+		if !seen[s.App] {
+			seen[s.App] = true
+			out = append(out, s.App)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func groupKeys(ds *dataset.Dataset, g Grouping) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range ds.Samples {
+		var k string
+		switch g {
+		case PerApp:
+			k = s.App
+		case PerArch:
+			k = string(s.Arch)
+		default:
+			k = s.App + "@" + string(s.Arch)
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func groupSubset(ds *dataset.Dataset, g Grouping, key string) *dataset.Dataset {
+	return ds.Filter(func(s *dataset.Sample) bool {
+		switch g {
+		case PerApp:
+			return s.App == key
+		case PerArch:
+			return string(s.Arch) == key
+		default:
+			return s.App+"@"+string(s.Arch) == key
+		}
+	})
+}
+
+func hasBothClasses(y []bool) bool {
+	var t, f bool
+	for _, v := range y {
+		if v {
+			t = true
+		} else {
+			f = true
+		}
+		if t && f {
+			return true
+		}
+	}
+	return false
+}

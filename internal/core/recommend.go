@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/topology"
+)
+
+// Recommendation names the values of one variable that are over-represented
+// among a group's fastest configurations — the Table VII content.
+type Recommendation struct {
+	App      string
+	Arch     topology.Arch // empty = consistent across architectures
+	Variable env.VarName
+	Values   []string
+	// Lift is how much more frequent the values are among the top
+	// configurations than in the overall sweep (1 = no enrichment).
+	Lift float64
+}
+
+// valueLift computes, for each variable, the enrichment of each value among
+// the `frac` fastest samples of ds.
+func valueLift(ds *dataset.Dataset, frac float64) map[env.VarName]map[string]float64 {
+	samples := append([]*dataset.Sample(nil), ds.Samples...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Speedup() > samples[j].Speedup() })
+	nTop := int(float64(len(samples)) * frac)
+	if nTop < 10 {
+		nTop = min(10, len(samples))
+	}
+	top := samples[:nTop]
+
+	out := make(map[env.VarName]map[string]float64)
+	for _, v := range env.Names() {
+		all := map[string]int{}
+		topCount := map[string]int{}
+		for _, s := range samples {
+			all[s.Config.Value(v)]++
+		}
+		for _, s := range top {
+			topCount[s.Config.Value(v)]++
+		}
+		lifts := map[string]float64{}
+		for val, cAll := range all {
+			pAll := float64(cAll) / float64(len(samples))
+			pTop := float64(topCount[val]) / float64(len(top))
+			if pAll > 0 {
+				lifts[val] = pTop / pAll
+			}
+		}
+		out[v] = lifts
+	}
+	return out
+}
+
+// RecommendOptions tunes the mining of Table VII.
+type RecommendOptions struct {
+	TopFrac float64 // fraction of fastest samples examined (default 0.05)
+	MinLift float64 // enrichment needed to report a value (default 1.35)
+	MaxVars int     // at most this many variables per group (default 3)
+}
+
+func (o *RecommendOptions) defaults() {
+	if o.TopFrac <= 0 {
+		o.TopFrac = 0.05
+	}
+	if o.MinLift <= 0 {
+		o.MinLift = 1.35
+	}
+	if o.MaxVars <= 0 {
+		o.MaxVars = 3
+	}
+}
+
+// Recommend mines the best-performing variable/value pairs for one
+// application: first values that are enriched among the fastest
+// configurations on every architecture (the "All" rows of Table VII, like
+// NQueens' KMP_LIBRARY=turnaround), then per-architecture additions.
+func Recommend(ds *dataset.Dataset, app string, opt RecommendOptions) []Recommendation {
+	opt.defaults()
+	sub := ds.ByApp(app)
+	var out []Recommendation
+
+	// Which (variable, value) pairs clear the lift bar on every arch?
+	perArch := map[topology.Arch]map[env.VarName]map[string]float64{}
+	var archs []topology.Arch
+	for _, arch := range topology.Arches() {
+		a := sub.ByArch(arch)
+		if a.Len() == 0 {
+			continue
+		}
+		archs = append(archs, arch)
+		perArch[arch] = valueLift(a, opt.TopFrac)
+	}
+	if len(archs) == 0 {
+		return nil
+	}
+	consistent := map[env.VarName][]string{}
+	consistentLift := map[env.VarName]float64{}
+	for _, v := range env.Names() {
+		for val := range perArch[archs[0]][v] {
+			minLift := 1e18
+			for _, arch := range archs {
+				l := perArch[arch][v][val]
+				if l < minLift {
+					minLift = l
+				}
+			}
+			if minLift >= opt.MinLift {
+				consistent[v] = append(consistent[v], val)
+				if minLift > consistentLift[v] {
+					consistentLift[v] = minLift
+				}
+			}
+		}
+	}
+	for v, vals := range consistent {
+		sort.Strings(vals)
+		out = append(out, Recommendation{App: app, Variable: v, Values: vals, Lift: consistentLift[v]})
+	}
+
+	// Per-architecture additions beyond the consistent set.
+	for _, arch := range archs {
+		type cand struct {
+			v    env.VarName
+			vals []string
+			lift float64
+		}
+		var cands []cand
+		for _, v := range env.Names() {
+			if len(consistent[v]) > 0 {
+				continue
+			}
+			var vals []string
+			best := 0.0
+			for val, l := range perArch[arch][v] {
+				if l >= opt.MinLift {
+					vals = append(vals, val)
+					if l > best {
+						best = l
+					}
+				}
+			}
+			if len(vals) > 0 {
+				sort.Strings(vals)
+				cands = append(cands, cand{v, vals, best})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].lift > cands[j].lift })
+		if len(cands) > opt.MaxVars {
+			cands = cands[:opt.MaxVars]
+		}
+		for _, c := range cands {
+			out = append(out, Recommendation{App: app, Arch: arch, Variable: c.v, Values: c.vals, Lift: c.lift})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Arch != out[j].Arch {
+			return out[i].Arch < out[j].Arch
+		}
+		return out[i].Lift > out[j].Lift
+	})
+	return out
+}
+
+// WorstTrend is one over-represented variable/value pair among the slowest
+// configurations (§V-Q4).
+type WorstTrend struct {
+	Variable env.VarName
+	Value    string
+	Lift     float64
+}
+
+// WorstTrends mines the bottom `frac` of samples (by speedup) across the
+// dataset for enriched variable/value pairs. The paper's finding — master
+// binding onto small places with large thread counts — appears as high
+// lifts for OMP_PROC_BIND=master and fine-grained OMP_PLACES values.
+func WorstTrends(ds *dataset.Dataset, frac float64) []WorstTrend {
+	if frac <= 0 {
+		frac = 0.05
+	}
+	samples := append([]*dataset.Sample(nil), ds.Samples...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Speedup() < samples[j].Speedup() })
+	nBot := int(float64(len(samples)) * frac)
+	if nBot < 10 {
+		nBot = min(10, len(samples))
+	}
+	bottom := samples[:nBot]
+	var out []WorstTrend
+	for _, v := range env.Names() {
+		all := map[string]int{}
+		bot := map[string]int{}
+		for _, s := range samples {
+			all[s.Config.Value(v)]++
+		}
+		for _, s := range bottom {
+			bot[s.Config.Value(v)]++
+		}
+		for val, cAll := range all {
+			pAll := float64(cAll) / float64(len(samples))
+			pBot := float64(bot[val]) / float64(len(bottom))
+			if pAll > 0 && pBot/pAll >= 1.5 {
+				out = append(out, WorstTrend{Variable: v, Value: val, Lift: pBot / pAll})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lift > out[j].Lift })
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// TuneStep records one accepted move of the coordinate-descent tuner.
+type TuneStep struct {
+	Variable env.VarName
+	Value    string
+	Seconds  float64
+}
+
+// TuneResult is the outcome of a guided search.
+type TuneResult struct {
+	Best        env.Config
+	BestSeconds float64
+	// DefaultSeconds is the starting point, so Speedup() is comparable to
+	// the study's tables.
+	DefaultSeconds float64
+	Evaluations    int
+	Trace          []TuneStep
+}
+
+// Speedup returns the improvement of the tuned configuration over the
+// default.
+func (r TuneResult) Speedup() float64 {
+	if r.BestSeconds <= 0 {
+		return 0
+	}
+	return r.DefaultSeconds / r.BestSeconds
+}
+
+// Tune performs the search-space-pruned coordinate descent the paper
+// proposes in §VI: vary one variable at a time in the given importance
+// order (most influential first, e.g. from a Fig. 3 heatmap's FeatureRank),
+// keeping the best value before moving on, and stop after a full pass with
+// no improvement or when the evaluation budget is exhausted.
+//
+// The objective is the mean of the repeated simulated measurements — the
+// same quantity the study's speedups use — so Tune behaves like a user
+// re-running the real application under candidate environments.
+func Tune(m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarName, budget int) TuneResult {
+	if budget <= 0 {
+		budget = 200
+	}
+	if len(order) == 0 {
+		for _, v := range env.Names() {
+			order = append(order, v)
+		}
+	}
+	measure := func(cfg env.Config) float64 {
+		total := 0.0
+		for rep := 0; rep < sim.Reps; rep++ {
+			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
+		}
+		return total / sim.Reps
+	}
+	res := TuneResult{Best: env.Default(m)}
+	res.DefaultSeconds = measure(res.Best)
+	res.BestSeconds = res.DefaultSeconds
+	res.Evaluations = 1
+	for pass := 0; pass < 4; pass++ {
+		improvedThisPass := false
+		for _, v := range order {
+			for _, val := range env.Values(m, v) {
+				if res.Best.Value(v) == val {
+					continue
+				}
+				cand, err := res.Best.Set(v, val)
+				if err != nil || cand.Validate(m) != nil {
+					continue
+				}
+				if res.Evaluations >= budget {
+					return res
+				}
+				t := measure(cand)
+				res.Evaluations++
+				if t < res.BestSeconds {
+					res.Best = cand
+					res.BestSeconds = t
+					res.Trace = append(res.Trace, TuneStep{Variable: v, Value: val, Seconds: t})
+					improvedThisPass = true
+				}
+			}
+		}
+		if !improvedThisPass {
+			break
+		}
+	}
+	return res
+}

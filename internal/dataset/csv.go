@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// header is the canonical column order of the open-sourced tabular files.
+var header = []string{
+	"arch", "app", "suite", "setting", "threads", "scale",
+	"omp_places", "omp_proc_bind", "omp_schedule",
+	"kmp_library", "kmp_blocktime", "kmp_force_reduction", "kmp_align_alloc",
+	"runtime_0", "runtime_1", "runtime_2", "runtime_3",
+	"default_runtime", "speedup", "optimal",
+}
+
+// WriteCSV streams the dataset in the study's tabular format.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, s := range d.Samples {
+		row[0] = string(s.Arch)
+		row[1] = s.App
+		row[2] = s.Suite
+		row[3] = s.Setting
+		row[4] = strconv.Itoa(s.Threads)
+		row[5] = fmt1(s.Scale)
+		row[6] = s.Config.Value(env.VarPlaces)
+		row[7] = s.Config.Value(env.VarProcBind)
+		row[8] = s.Config.Value(env.VarSchedule)
+		row[9] = s.Config.Value(env.VarLibrary)
+		row[10] = s.Config.Value(env.VarBlocktime)
+		row[11] = s.Config.Value(env.VarForceReduction)
+		row[12] = s.Config.Value(env.VarAlignAlloc)
+		for r := 0; r < sim.Reps; r++ {
+			row[13+r] = fmt1(s.Runtimes[r])
+		}
+		row[17] = fmt1(s.DefaultRuntime)
+		row[18] = fmt1(s.Speedup())
+		row[19] = strconv.FormatBool(s.Optimal())
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty file")
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != "arch" {
+		return nil, fmt.Errorf("dataset: unrecognized header %v", rows[0])
+	}
+	d := &Dataset{}
+	for ln, row := range rows[1:] {
+		s := &Sample{
+			Arch:    topology.Arch(row[0]),
+			App:     row[1],
+			Suite:   row[2],
+			Setting: row[3],
+		}
+		m, err := topology.Get(s.Arch)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", ln+2, err)
+		}
+		if s.Threads, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("dataset: row %d threads: %w", ln+2, err)
+		}
+		if s.Scale, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("dataset: row %d scale: %w", ln+2, err)
+		}
+		environ := []string{
+			"OMP_SCHEDULE=" + row[8],
+			"KMP_LIBRARY=" + row[9],
+			"KMP_BLOCKTIME=" + row[10],
+			"KMP_ALIGN_ALLOC=" + row[12],
+		}
+		if row[6] != string(topology.PlaceUnset) {
+			environ = append(environ, "OMP_PLACES="+row[6])
+		}
+		if row[7] != string(env.BindUnset) {
+			environ = append(environ, "OMP_PROC_BIND="+row[7])
+		}
+		if row[11] != string(env.ReductionUnset) {
+			environ = append(environ, "KMP_FORCE_REDUCTION="+row[11])
+		}
+		if s.Config, err = env.Parse(m, environ); err != nil {
+			return nil, fmt.Errorf("dataset: row %d config: %w", ln+2, err)
+		}
+		for rIdx := 0; rIdx < sim.Reps; rIdx++ {
+			if s.Runtimes[rIdx], err = strconv.ParseFloat(row[13+rIdx], 64); err != nil {
+				return nil, fmt.Errorf("dataset: row %d runtime_%d: %w", ln+2, rIdx, err)
+			}
+		}
+		if s.DefaultRuntime, err = strconv.ParseFloat(row[17], 64); err != nil {
+			return nil, fmt.Errorf("dataset: row %d default_runtime: %w", ln+2, err)
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}
+
+func fmt1(f float64) string { return strconv.FormatFloat(f, 'g', 10, 64) }

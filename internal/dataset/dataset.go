@@ -1,0 +1,209 @@
+// Package dataset holds the tabular sample data produced by the sweep: one
+// row per (architecture, application, setting, configuration) with the
+// repeated runtime measurements, the enrichment columns of §IV-B (the
+// default configuration's runtime) and the derived speedup and optimality
+// label of §IV-D.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// Sample is one dataset row.
+type Sample struct {
+	Arch    topology.Arch
+	App     string
+	Suite   string
+	Setting string  // setting label: input size or thread-count tag
+	Threads int     // OMP_NUM_THREADS of the setting
+	Scale   float64 // input scale of the setting
+	Config  env.Config
+
+	// Runtimes holds the repeated measurements R0..R3 in seconds.
+	Runtimes [sim.Reps]float64
+	// DefaultRuntime is the mean runtime of the default configuration in
+	// the same setting (the enrichment step of §IV-B).
+	DefaultRuntime float64
+}
+
+// MeanRuntime averages the repeated measurements, the mitigation for
+// run-to-run variation chosen in §IV-C.
+func (s *Sample) MeanRuntime() float64 {
+	t := 0.0
+	for _, r := range s.Runtimes {
+		t += r
+	}
+	return t / float64(len(s.Runtimes))
+}
+
+// Speedup is DefaultRuntime / MeanRuntime; values above 1 beat the default.
+func (s *Sample) Speedup() float64 {
+	m := s.MeanRuntime()
+	if m <= 0 || s.DefaultRuntime <= 0 {
+		return 0
+	}
+	return s.DefaultRuntime / m
+}
+
+// OptimalThreshold is the labeling rule of §IV-D: a sample is "optimal"
+// when it improves on the default by more than 1%.
+const OptimalThreshold = 1.01
+
+// Optimal reports whether the sample is labeled optimal.
+func (s *Sample) Optimal() bool { return s.Speedup() > OptimalThreshold }
+
+// SettingKey identifies a (arch, app, setting) group.
+func (s *Sample) SettingKey() string {
+	return string(s.Arch) + "/" + s.App + "/" + s.Setting
+}
+
+// Dataset is an ordered collection of samples.
+type Dataset struct {
+	Samples []*Sample
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Filter returns the samples for which keep returns true.
+func (d *Dataset) Filter(keep func(*Sample) bool) *Dataset {
+	out := &Dataset{}
+	for _, s := range d.Samples {
+		if keep(s) {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// ByArch returns the subset collected on arch.
+func (d *Dataset) ByArch(arch topology.Arch) *Dataset {
+	return d.Filter(func(s *Sample) bool { return s.Arch == arch })
+}
+
+// ByApp returns the subset for the named application.
+func (d *Dataset) ByApp(app string) *Dataset {
+	return d.Filter(func(s *Sample) bool { return s.App == app })
+}
+
+// Settings returns the distinct setting keys in insertion order.
+func (d *Dataset) Settings() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range d.Samples {
+		k := s.SettingKey()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// BestPerSetting returns, for every (arch, app, setting) group, the sample
+// with the highest speedup.
+func (d *Dataset) BestPerSetting() map[string]*Sample {
+	best := make(map[string]*Sample)
+	for _, s := range d.Samples {
+		k := s.SettingKey()
+		if b, ok := best[k]; !ok || s.Speedup() > b.Speedup() {
+			best[k] = s
+		}
+	}
+	return best
+}
+
+// SpeedupRange returns the minimum and maximum best-speedup across the
+// dataset's settings — the quantity tabulated per application (Table VI)
+// and per application×architecture (Table V).
+func (d *Dataset) SpeedupRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, b := range d.BestPerSetting() {
+		sp := b.Speedup()
+		if sp < lo {
+			lo = sp
+		}
+		if sp > hi {
+			hi = sp
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// MedianBestSpeedup returns the median of the per-setting best speedups,
+// the per-architecture "median improvement" of §V-Q1.
+func (d *Dataset) MedianBestSpeedup() float64 {
+	var sp []float64
+	for _, b := range d.BestPerSetting() {
+		sp = append(sp, b.Speedup())
+	}
+	if len(sp) == 0 {
+		return 0
+	}
+	sort.Float64s(sp)
+	n := len(sp)
+	if n%2 == 1 {
+		return sp[n/2]
+	}
+	return (sp[n/2-1] + sp[n/2]) / 2
+}
+
+// RuntimeColumn extracts repetition rep's runtime for every sample.
+func (d *Dataset) RuntimeColumn(rep int) []float64 {
+	out := make([]float64, 0, len(d.Samples))
+	for _, s := range d.Samples {
+		out = append(out, s.Runtimes[rep])
+	}
+	return out
+}
+
+// Validate performs integrity checks: positive runtimes, enriched default
+// runtimes, and consistent setting metadata.
+func (d *Dataset) Validate() error {
+	for i, s := range d.Samples {
+		for r, t := range s.Runtimes {
+			if t <= 0 || math.IsNaN(t) {
+				return fmt.Errorf("dataset: sample %d rep %d has runtime %v", i, r, t)
+			}
+		}
+		if s.DefaultRuntime <= 0 {
+			return fmt.Errorf("dataset: sample %d (%s) not enriched with default runtime", i, s.SettingKey())
+		}
+		if s.Threads < 1 || s.Scale <= 0 {
+			return fmt.Errorf("dataset: sample %d has invalid setting %d threads scale %v", i, s.Threads, s.Scale)
+		}
+	}
+	return nil
+}
+
+// Merge combines datasets collected separately (e.g. per-architecture
+// shards of a cluster campaign) into one, preserving order and rejecting
+// duplicate rows — the same (arch, app, setting, config) must not appear
+// twice, which would double-count a configuration in the analysis.
+func Merge(parts ...*Dataset) (*Dataset, error) {
+	out := &Dataset{}
+	seen := make(map[string]bool)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, s := range p.Samples {
+			key := s.SettingKey() + "|" + s.Config.Key()
+			if seen[key] {
+				return nil, fmt.Errorf("dataset: duplicate sample %s", key)
+			}
+			seen[key] = true
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out, nil
+}

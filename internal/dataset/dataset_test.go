@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"omptune/internal/env"
+	"omptune/internal/topology"
+)
+
+func mkSample(arch topology.Arch, app, setting string, speedupWant float64) *Sample {
+	m := topology.MustGet(arch)
+	s := &Sample{
+		Arch: arch, App: app, Suite: "NPB", Setting: setting,
+		Threads: m.Cores, Scale: 1.0,
+		Config:         env.Default(m),
+		DefaultRuntime: 1.0,
+	}
+	rt := 1.0 / speedupWant
+	for i := range s.Runtimes {
+		s.Runtimes[i] = rt
+	}
+	return s
+}
+
+func TestSampleDerivedQuantities(t *testing.T) {
+	s := mkSample(topology.A64FX, "CG", "small", 2.0)
+	if got := s.MeanRuntime(); got != 0.5 {
+		t.Errorf("MeanRuntime = %v, want 0.5", got)
+	}
+	if got := s.Speedup(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if !s.Optimal() {
+		t.Error("speedup 2 should be optimal")
+	}
+	slow := mkSample(topology.A64FX, "CG", "small", 1.005)
+	if slow.Optimal() {
+		t.Error("speedup 1.005 should be sub-optimal (threshold 1.01)")
+	}
+	if k := s.SettingKey(); k != "a64fx/CG/small" {
+		t.Errorf("SettingKey = %q", k)
+	}
+}
+
+func TestSpeedupZeroGuard(t *testing.T) {
+	s := mkSample(topology.A64FX, "CG", "small", 1)
+	s.DefaultRuntime = 0
+	if s.Speedup() != 0 {
+		t.Error("unenriched sample should report speedup 0")
+	}
+}
+
+func TestMeanRuntimeAveragesDriftAway(t *testing.T) {
+	// The §IV-C mitigation: averaging reps removes run drift from speedups.
+	a := mkSample(topology.Milan, "CG", "small", 1.0)
+	a.Runtimes = [4]float64{1.24, 1.0, 1.02, 1.01}
+	b := mkSample(topology.Milan, "CG", "small", 1.0)
+	b.Runtimes = [4]float64{1.24 * 0.9, 1.0 * 0.9, 1.02 * 0.9, 1.01 * 0.9}
+	a.DefaultRuntime = a.MeanRuntime()
+	b.DefaultRuntime = a.MeanRuntime()
+	if sp := b.Speedup(); math.Abs(sp-1/0.9) > 1e-9 {
+		t.Errorf("drift should cancel in speedup: %v, want %v", sp, 1/0.9)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ds := &Dataset{Samples: []*Sample{
+		mkSample(topology.A64FX, "CG", "small", 1.2),
+		mkSample(topology.A64FX, "MG", "small", 1.4),
+		mkSample(topology.Milan, "CG", "large", 1.6),
+	}}
+	if got := ds.ByArch(topology.A64FX).Len(); got != 2 {
+		t.Errorf("ByArch = %d, want 2", got)
+	}
+	if got := ds.ByApp("CG").Len(); got != 2 {
+		t.Errorf("ByApp = %d, want 2", got)
+	}
+	if got := len(ds.Settings()); got != 3 {
+		t.Errorf("Settings = %d, want 3", got)
+	}
+}
+
+func TestBestPerSettingAndRange(t *testing.T) {
+	ds := &Dataset{Samples: []*Sample{
+		mkSample(topology.A64FX, "CG", "small", 1.2),
+		mkSample(topology.A64FX, "CG", "small", 1.5),
+		mkSample(topology.A64FX, "CG", "large", 1.1),
+	}}
+	best := ds.BestPerSetting()
+	if len(best) != 2 {
+		t.Fatalf("BestPerSetting has %d groups, want 2", len(best))
+	}
+	if sp := best["a64fx/CG/small"].Speedup(); math.Abs(sp-1.5) > 1e-9 {
+		t.Errorf("best small speedup %v, want 1.5", sp)
+	}
+	lo, hi := ds.SpeedupRange()
+	if math.Abs(lo-1.1) > 1e-9 || math.Abs(hi-1.5) > 1e-9 {
+		t.Errorf("SpeedupRange = %v-%v, want 1.1-1.5", lo, hi)
+	}
+	if med := ds.MedianBestSpeedup(); math.Abs(med-1.3) > 1e-9 {
+		t.Errorf("MedianBestSpeedup = %v, want 1.3", med)
+	}
+}
+
+func TestEmptyDatasetRanges(t *testing.T) {
+	ds := &Dataset{}
+	lo, hi := ds.SpeedupRange()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty range = %v-%v", lo, hi)
+	}
+	if ds.MedianBestSpeedup() != 0 {
+		t.Error("empty median should be 0")
+	}
+}
+
+func TestRuntimeColumn(t *testing.T) {
+	s := mkSample(topology.A64FX, "CG", "small", 1)
+	s.Runtimes = [4]float64{1, 2, 3, 4}
+	ds := &Dataset{Samples: []*Sample{s}}
+	for rep := 0; rep < 4; rep++ {
+		col := ds.RuntimeColumn(rep)
+		if len(col) != 1 || col[0] != float64(rep+1) {
+			t.Errorf("RuntimeColumn(%d) = %v", rep, col)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Dataset{Samples: []*Sample{mkSample(topology.A64FX, "CG", "small", 1.2)}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad := mkSample(topology.A64FX, "CG", "small", 1.2)
+	bad.Runtimes[2] = -1
+	if err := (&Dataset{Samples: []*Sample{bad}}).Validate(); err == nil {
+		t.Error("negative runtime accepted")
+	}
+	unenriched := mkSample(topology.A64FX, "CG", "small", 1.2)
+	unenriched.DefaultRuntime = 0
+	if err := (&Dataset{Samples: []*Sample{unenriched}}).Validate(); err == nil {
+		t.Error("unenriched sample accepted")
+	}
+	badSetting := mkSample(topology.A64FX, "CG", "small", 1.2)
+	badSetting.Threads = 0
+	if err := (&Dataset{Samples: []*Sample{badSetting}}).Validate(); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	ds := &Dataset{}
+	for i, cfg := range env.Space(m) {
+		if i%500 != 0 {
+			continue
+		}
+		s := &Sample{
+			Arch: topology.Milan, App: "XSbench", Suite: "proxy", Setting: "t24",
+			Threads: 24, Scale: 1.0, Config: cfg,
+			Runtimes:       [4]float64{1.1, 1.2, 1.3, 1.4},
+			DefaultRuntime: 1.25,
+		}
+		ds.Samples = append(ds.Samples, s)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost samples: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Samples {
+		a, b := ds.Samples[i], back.Samples[i]
+		if a.Config != b.Config {
+			t.Fatalf("sample %d config mismatch: %s vs %s", i, a.Config, b.Config)
+		}
+		if a.Runtimes != b.Runtimes || a.DefaultRuntime != b.DefaultRuntime {
+			t.Fatalf("sample %d numeric mismatch", i)
+		}
+		if a.Arch != b.Arch || a.App != b.App || a.Setting != b.Setting || a.Threads != b.Threads {
+			t.Fatalf("sample %d metadata mismatch", i)
+		}
+	}
+}
+
+func TestCSVHeaderAndFormat(t *testing.T) {
+	ds := &Dataset{Samples: []*Sample{mkSample(topology.A64FX, "CG", "small", 1.5)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "arch,app,suite,setting,threads,scale,omp_places") {
+		t.Errorf("unexpected header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a64fx,CG,NPB,small") {
+		t.Errorf("unexpected row %q", lines[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,header\n",
+		"arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal\n" +
+			"vax,CG,NPB,small,48,1,unset,unset,static,throughput,200,unset,64,1,1,1,1,1,1,false\n",
+		"arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal\n" +
+			"a64fx,CG,NPB,small,forty,1,unset,unset,static,throughput,200,unset,256,1,1,1,1,1,1,false\n",
+		"arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal\n" +
+			"a64fx,CG,NPB,small,48,1,unset,unset,roundrobin,throughput,200,unset,256,1,1,1,1,1,1,false\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSpeedupRangePropertyBestIsMax(t *testing.T) {
+	f := func(speeds [6]uint8) bool {
+		ds := &Dataset{}
+		maxSp := 0.0
+		for _, raw := range speeds {
+			sp := 1.0 + float64(raw)/255.0
+			if sp > maxSp {
+				maxSp = sp
+			}
+			ds.Samples = append(ds.Samples, mkSample(topology.A64FX, "CG", "small", sp))
+		}
+		_, hi := ds.SpeedupRange()
+		return math.Abs(hi-maxSp) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Dataset{Samples: []*Sample{mkSample(topology.A64FX, "CG", "small", 1.2)}}
+	b := &Dataset{Samples: []*Sample{mkSample(topology.Milan, "CG", "small", 1.4)}}
+	merged, err := Merge(a, b, nil)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if merged.Len() != 2 {
+		t.Errorf("merged %d samples, want 2", merged.Len())
+	}
+	if _, err := Merge(a, a); err == nil {
+		t.Error("duplicate samples should be rejected")
+	}
+	empty, err := Merge()
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty merge: %v, %d", err, empty.Len())
+	}
+}

@@ -1,0 +1,282 @@
+package env
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"omptune/internal/topology"
+)
+
+func TestDefaultMatchesSectionIII(t *testing.T) {
+	for _, m := range topology.All() {
+		d := Default(m)
+		if d.Places != topology.PlaceUnset {
+			t.Errorf("%s: default places = %s, want unset", m.Arch, d.Places)
+		}
+		if d.ProcBind != BindUnset {
+			t.Errorf("%s: default bind = %s, want unset", m.Arch, d.ProcBind)
+		}
+		if d.Schedule != ScheduleStatic {
+			t.Errorf("%s: default schedule = %s, want static", m.Arch, d.Schedule)
+		}
+		if d.Library != LibThroughput {
+			t.Errorf("%s: default library = %s, want throughput", m.Arch, d.Library)
+		}
+		if d.BlocktimeMS != 200 {
+			t.Errorf("%s: default blocktime = %d, want 200", m.Arch, d.BlocktimeMS)
+		}
+		if d.ForceReduction != ReductionUnset {
+			t.Errorf("%s: default reduction = %s, want unset", m.Arch, d.ForceReduction)
+		}
+		if d.AlignAlloc != m.CacheLineBytes {
+			t.Errorf("%s: default align = %d, want cache line %d", m.Arch, d.AlignAlloc, m.CacheLineBytes)
+		}
+		if err := d.Validate(m); err != nil {
+			t.Errorf("%s: default config invalid: %v", m.Arch, err)
+		}
+		if !d.IsDefault(m) {
+			t.Errorf("%s: IsDefault(default) = false", m.Arch)
+		}
+	}
+}
+
+func TestEffectiveBindRules(t *testing.T) {
+	tests := []struct {
+		places topology.PlaceKind
+		bind   ProcBind
+		want   ProcBind
+	}{
+		{topology.PlaceUnset, BindUnset, BindFalse},
+		{topology.PlaceCores, BindUnset, BindSpread}, // places set => spread
+		{topology.PlaceSockets, BindUnset, BindSpread},
+		{topology.PlaceCores, BindMaster, BindMaster},
+		{topology.PlaceUnset, BindClose, BindClose},
+		{topology.PlaceUnset, BindFalse, BindFalse},
+	}
+	for _, tt := range tests {
+		c := Config{Places: tt.places, ProcBind: tt.bind}
+		if got := c.EffectiveBind(); got != tt.want {
+			t.Errorf("places=%s bind=%s: EffectiveBind = %s, want %s", tt.places, tt.bind, got, tt.want)
+		}
+	}
+}
+
+func TestEffectiveReductionHeuristic(t *testing.T) {
+	c := Config{ForceReduction: ReductionUnset}
+	tests := []struct {
+		threads int
+		want    Reduction
+	}{
+		{1, ReductionTree}, {2, ReductionCritical}, {3, ReductionCritical},
+		{4, ReductionCritical}, {5, ReductionTree}, {48, ReductionTree},
+	}
+	for _, tt := range tests {
+		if got := c.EffectiveReduction(tt.threads); got != tt.want {
+			t.Errorf("threads=%d: reduction = %s, want %s", tt.threads, got, tt.want)
+		}
+	}
+	forced := Config{ForceReduction: ReductionAtomic}
+	if got := forced.EffectiveReduction(2); got != ReductionAtomic {
+		t.Errorf("forced atomic with 2 threads: got %s", got)
+	}
+}
+
+func TestEffectiveBlocktime(t *testing.T) {
+	c := Config{Library: LibThroughput, BlocktimeMS: 200}
+	if got := c.EffectiveBlocktimeMS(); got != 200 {
+		t.Errorf("throughput/200: got %d, want 200", got)
+	}
+	c.Library = LibTurnaround
+	if got := c.EffectiveBlocktimeMS(); got != BlocktimeInfinite {
+		t.Errorf("turnaround: got %d, want infinite", got)
+	}
+}
+
+func TestSpaceSizes(t *testing.T) {
+	// §III: A64FX has 2 alignment values, x86 has 4.
+	wants := map[topology.Arch]int{
+		topology.A64FX:   4 * 6 * 4 * 2 * 3 * 4 * 2,
+		topology.Skylake: 4 * 6 * 4 * 2 * 3 * 4 * 4,
+		topology.Milan:   4 * 6 * 4 * 2 * 3 * 4 * 4,
+	}
+	for arch, want := range wants {
+		m := topology.MustGet(arch)
+		space := Space(m)
+		if len(space) != want {
+			t.Errorf("%s: |space| = %d, want %d", arch, len(space), want)
+		}
+		if SpaceSize(m) != want {
+			t.Errorf("%s: SpaceSize = %d, want %d", arch, SpaceSize(m), want)
+		}
+	}
+}
+
+func TestSpaceUniqueAndValid(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	seen := make(map[string]bool)
+	for _, c := range Space(m) {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate configuration %s", k)
+		}
+		seen[k] = true
+		if err := c.Validate(m); err != nil {
+			t.Fatalf("invalid configuration in space: %v", err)
+		}
+	}
+}
+
+func TestSpaceContainsDefault(t *testing.T) {
+	for _, m := range topology.All() {
+		found := false
+		for _, c := range Space(m) {
+			if c.IsDefault(m) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: default configuration not in sweep space", m.Arch)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	f := func(pi, bi, si, li, bti, ri, ai uint8) bool {
+		c := Config{
+			Places:         PlaceKinds()[int(pi)%len(PlaceKinds())],
+			ProcBind:       ProcBinds()[int(bi)%len(ProcBinds())],
+			Schedule:       Schedules()[int(si)%len(Schedules())],
+			Library:        Libraries()[int(li)%len(Libraries())],
+			BlocktimeMS:    Blocktimes()[int(bti)%len(Blocktimes())],
+			ForceReduction: Reductions()[int(ri)%len(Reductions())],
+			AlignAlloc:     m.AlignAllocValues()[int(ai)%len(m.AlignAllocValues())],
+		}
+		got, err := Parse(m, c.Environ())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("Environ/Parse round trip failed: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	bad := [][]string{
+		{"OMP_SCHEDULE"},                // malformed
+		{"KMP_BLOCKTIME=-3"},            // negative
+		{"KMP_BLOCKTIME=forever"},       // not a number
+		{"KMP_ALIGN_ALLOC=striped"},     // not a number
+		{"KMP_ALIGN_ALLOC=96"},          // not in domain
+		{"OMP_SCHEDULE=fair"},           // unknown schedule
+		{"OMP_PROC_BIND=left"},          // unknown bind
+		{"KMP_FORCE_REDUCTION=quantum"}, // unknown method
+		{"KMP_LIBRARY=interpretive"},    // unknown library
+		{"OMP_PLACES=clouds"},           // unknown place kind
+	}
+	for _, environ := range bad {
+		if _, err := Parse(m, environ); err == nil {
+			t.Errorf("Parse(%v): want error, got nil", environ)
+		}
+	}
+}
+
+func TestParseIgnoresForeignAndNormalizesCase(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	c, err := Parse(m, []string{"PATH=/usr/bin", "omp_schedule=GUIDED", "KMP_BLOCKTIME=Infinite"})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Schedule != ScheduleGuided {
+		t.Errorf("schedule = %s, want guided", c.Schedule)
+	}
+	if c.BlocktimeMS != BlocktimeInfinite {
+		t.Errorf("blocktime = %d, want infinite", c.BlocktimeMS)
+	}
+}
+
+func TestEnvironOmitsUnset(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	d := Default(m)
+	joined := strings.Join(d.Environ(), " ")
+	if strings.Contains(joined, "OMP_PLACES") || strings.Contains(joined, "OMP_PROC_BIND") ||
+		strings.Contains(joined, "KMP_FORCE_REDUCTION") {
+		t.Errorf("default Environ should omit unset variables: %v", d.Environ())
+	}
+	if !strings.Contains(joined, "KMP_BLOCKTIME=200") {
+		t.Errorf("default Environ missing blocktime: %v", d.Environ())
+	}
+}
+
+func TestValidateRejectsOutOfDomain(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	c := Default(m)
+	c.AlignAlloc = 64 // x86-only value
+	if err := c.Validate(m); err == nil {
+		t.Error("Validate should reject align 64 on A64FX")
+	}
+	c = Default(m)
+	c.BlocktimeMS = -7
+	if err := c.Validate(m); err == nil {
+		t.Error("Validate should reject blocktime -7")
+	}
+}
+
+func TestFeatureEncoding(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	d := Default(m)
+	for _, v := range Names() {
+		f := d.Feature(v)
+		if f < 0 {
+			t.Errorf("Feature(%s) = %v, want >= 0", v, f)
+		}
+	}
+	if got := d.Feature(VarAlignAlloc); got != 6 { // log2(64)
+		t.Errorf("Feature(align=64) = %v, want 6", got)
+	}
+	c := d
+	c.BlocktimeMS = BlocktimeInfinite
+	if d.Feature(VarBlocktime) == c.Feature(VarBlocktime) {
+		t.Error("blocktime 200 and infinite should encode differently")
+	}
+}
+
+func TestSetAndValue(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	c := Default(m)
+	for _, v := range Names() {
+		for _, val := range Values(m, v) {
+			nc, err := c.Set(v, val)
+			if err != nil {
+				t.Fatalf("Set(%s, %s): %v", v, val, err)
+			}
+			if got := nc.Value(v); got != val {
+				t.Errorf("Set(%s, %s) then Value = %q", v, val, got)
+			}
+			if err := nc.Validate(m); err != nil {
+				t.Errorf("Set(%s, %s) produced invalid config: %v", v, val, err)
+			}
+		}
+	}
+	if _, err := c.Set(VarName("BOGUS"), "x"); err == nil {
+		t.Error("Set(BOGUS): want error")
+	}
+	if _, err := c.Set(VarBlocktime, "never"); err == nil {
+		t.Error("Set(blocktime, never): want error")
+	}
+}
+
+func TestKeyIsStableAndDistinct(t *testing.T) {
+	m := topology.MustGet(topology.Skylake)
+	a := Default(m)
+	b := a
+	b.Schedule = ScheduleDynamic
+	if a.Key() == b.Key() {
+		t.Error("distinct configs share a key")
+	}
+	if a.Key() != Default(m).Key() {
+		t.Error("Key not deterministic")
+	}
+}

@@ -1,0 +1,322 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// The paper closes by proposing "the development of non-linear approaches
+// to model such data" (§VI). This file provides that extension: CART-style
+// decision trees and a bootstrap-aggregated random forest, both with
+// Gini-based feature importances comparable to the logistic influence
+// vector. Everything is deterministic given the options' Seed.
+
+// TreeOptions tunes decision-tree induction.
+type TreeOptions struct {
+	// MaxDepth bounds the tree height (default 8).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 20).
+	MinLeaf int
+	// Thresholds is the number of candidate split thresholds per feature,
+	// taken at quantiles (default 16); keeps induction O(n) per node.
+	Thresholds int
+	// MaxFeatures restricts each split to a random feature subset
+	// (0 = all features; forests default to sqrt(p)).
+	MaxFeatures int
+	// Seed drives the deterministic feature subsampling.
+	Seed uint64
+}
+
+func (o *TreeOptions) defaults() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 20
+	}
+	if o.Thresholds <= 0 {
+		o.Thresholds = 16
+	}
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	prob      float64 // P(true) at a leaf
+	leaf      bool
+}
+
+// DecisionTree is a fitted binary CART classifier.
+type DecisionTree struct {
+	root       *treeNode
+	nFeatures  int
+	importance []float64
+}
+
+// FitTree grows a CART tree on (x, y) by greedy Gini-impurity splits.
+func FitTree(x [][]float64, y []bool, opt TreeOptions) (*DecisionTree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("ml: bad training data")
+	}
+	opt.defaults()
+	t := &DecisionTree{nFeatures: len(x[0]), importance: make([]float64, len(x[0]))}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := opt.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	t.root = t.grow(x, y, idx, opt.MaxDepth, opt, &rng)
+	total := 0.0
+	for _, v := range t.importance {
+		total += v
+	}
+	if total > 0 {
+		for i := range t.importance {
+			t.importance[i] /= total
+		}
+	}
+	return t, nil
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func (t *DecisionTree) grow(x [][]float64, y []bool, idx []int, depth int, opt TreeOptions, rng *uint64) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	leaf := &treeNode{leaf: true, prob: float64(pos) / float64(len(idx))}
+	if depth == 0 || len(idx) < 2*opt.MinLeaf || pos == 0 || pos == len(idx) {
+		return leaf
+	}
+	parentImp := gini(pos, len(idx))
+
+	// Select the feature subset for this split.
+	features := make([]int, 0, t.nFeatures)
+	if opt.MaxFeatures > 0 && opt.MaxFeatures < t.nFeatures {
+		perm := make([]int, t.nFeatures)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			*rng = *rng*6364136223846793005 + 1442695040888963407
+			j := int((*rng >> 33) % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		features = perm[:opt.MaxFeatures]
+	} else {
+		for f := 0; f < t.nFeatures; f++ {
+			features = append(features, f)
+		}
+	}
+
+	bestGain, bestF := 0.0, -1
+	bestThr := 0.0
+	vals := make([]float64, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if sorted[0] == sorted[len(sorted)-1] {
+			continue
+		}
+		for c := 1; c <= opt.Thresholds; c++ {
+			thr := sorted[len(sorted)*c/(opt.Thresholds+1)]
+			if thr == sorted[0] {
+				continue
+			}
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if x[i][f] < thr {
+					ln++
+					if y[i] {
+						lp++
+					}
+				} else {
+					rn++
+					if y[i] {
+						rp++
+					}
+				}
+			}
+			if ln < opt.MinLeaf || rn < opt.MinLeaf {
+				continue
+			}
+			wImp := (float64(ln)*gini(lp, ln) + float64(rn)*gini(rp, rn)) / float64(len(idx))
+			if gain := parentImp - wImp; gain > bestGain+1e-12 {
+				bestGain, bestF, bestThr = gain, f, thr
+			}
+		}
+	}
+	if bestF < 0 {
+		return leaf
+	}
+	t.importance[bestF] += bestGain * float64(len(idx))
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestF] < bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestF,
+		threshold: bestThr,
+		left:      t.grow(x, y, li, depth-1, opt, rng),
+		right:     t.grow(x, y, ri, depth-1, opt, rng),
+	}
+}
+
+// Prob returns P(optimal | row).
+func (t *DecisionTree) Prob(row []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if row[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Accuracy is the 0.5-threshold classification accuracy on (x, y).
+func (t *DecisionTree) Accuracy(x [][]float64, y []bool) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, row := range x {
+		if (t.Prob(row) >= 0.5) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(x))
+}
+
+// Importance returns the normalized Gini importance per feature (sums to 1
+// unless the tree is a single leaf).
+func (t *DecisionTree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	copy(out, t.importance)
+	return out
+}
+
+// Depth returns the height of the fitted tree (0 for a stump leaf).
+func (t *DecisionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Forest is a bootstrap-aggregated ensemble of decision trees.
+type Forest struct {
+	Trees []*DecisionTree
+}
+
+// FitForest trains nTrees CART trees on deterministic bootstrap resamples
+// with sqrt(p) feature subsampling per split — the standard random-forest
+// recipe, stdlib-only and reproducible.
+func FitForest(x [][]float64, y []bool, nTrees int, opt TreeOptions) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("ml: bad training data")
+	}
+	if nTrees <= 0 {
+		nTrees = 20
+	}
+	opt.defaults()
+	if opt.MaxFeatures <= 0 {
+		opt.MaxFeatures = int(math.Sqrt(float64(len(x[0])))) + 1
+	}
+	f := &Forest{}
+	n := len(x)
+	for t := 0; t < nTrees; t++ {
+		bx := make([][]float64, n)
+		by := make([]bool, n)
+		state := opt.Seed + uint64(t)*0x9e3779b97f4a7c15
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int((state >> 33) % uint64(n))
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		topt := opt
+		topt.Seed = opt.Seed + uint64(t)*977
+		tree, err := FitTree(bx, by, topt)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Prob returns the ensemble-averaged P(optimal | row).
+func (f *Forest) Prob(row []float64) float64 {
+	if len(f.Trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.Trees {
+		s += t.Prob(row)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Accuracy is the 0.5-threshold classification accuracy on (x, y).
+func (f *Forest) Accuracy(x [][]float64, y []bool) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, row := range x {
+		if (f.Prob(row) >= 0.5) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(x))
+}
+
+// Importance returns the mean normalized Gini importance across trees.
+func (f *Forest) Importance() []float64 {
+	if len(f.Trees) == 0 {
+		return nil
+	}
+	out := make([]float64, len(f.Trees[0].importance))
+	for _, t := range f.Trees {
+		for i, v := range t.Importance() {
+			out[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

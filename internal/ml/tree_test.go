@@ -1,0 +1,159 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// xorData is the canonical linearly-inseparable problem: logistic
+// regression fails, trees succeed — exactly the motivation the paper gives
+// for moving beyond linear models (§VI).
+func xorData() ([][]float64, []bool) {
+	var x [][]float64
+	var y []bool
+	for a := 0.0; a < 10; a++ {
+		for b := 0.0; b < 10; b++ {
+			x = append(x, []float64{a, b, float64(int(a+b)%3) * 0.1})
+			y = append(y, (a < 5) != (b < 5))
+		}
+	}
+	return x, y
+}
+
+func TestTreeSolvesXORWhereLogisticCannot(t *testing.T) {
+	x, y := xorData()
+	// Note MaxDepth 6: XOR's first split has zero marginal gain, so greedy
+	// CART needs spare depth to recover after an uninformative root.
+	tree, err := FitTree(x, y, TreeOptions{MaxDepth: 6, MinLeaf: 3})
+	if err != nil {
+		t.Fatalf("FitTree: %v", err)
+	}
+	if acc := tree.Accuracy(x, y); acc < 0.9 {
+		t.Errorf("tree accuracy %v on XOR, want >= 0.9", acc)
+	}
+	logit, err := FitLogistic(x, y, LogisticOptions{})
+	if err != nil {
+		t.Fatalf("FitLogistic: %v", err)
+	}
+	if acc := logit.Accuracy(x, y); acc > 0.7 {
+		t.Errorf("logistic accuracy %v on XOR — should fail where the tree succeeds", acc)
+	}
+}
+
+func TestTreeImportanceFindsRealFeatures(t *testing.T) {
+	x, y := xorData()
+	tree, err := FitTree(x, y, TreeOptions{MaxDepth: 5, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.Importance()
+	if imp[0]+imp[1] < 0.9 {
+		t.Errorf("importance %v: the two XOR features should dominate", imp)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v, want 1", sum)
+	}
+}
+
+func TestTreePureLeafStops(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []bool{true, true, true, true}
+	tree, err := FitTree(x, y, TreeOptions{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Errorf("pure-class tree depth %d, want 0", tree.Depth())
+	}
+	if p := tree.Prob([]float64{2.5}); p != 1 {
+		t.Errorf("pure-class prob %v, want 1", p)
+	}
+}
+
+func TestTreeRespectsMaxDepthAndMinLeaf(t *testing.T) {
+	x, y := xorData()
+	tree, err := FitTree(x, y, TreeOptions{MaxDepth: 2, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("depth %d exceeds MaxDepth 2", d)
+	}
+}
+
+func TestTreeBadInput(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitTree([][]float64{{1}}, []bool{true, false}, TreeOptions{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	x, y := xorData()
+	a, _ := FitTree(x, y, TreeOptions{Seed: 7, MaxFeatures: 2, MinLeaf: 5})
+	b, _ := FitTree(x, y, TreeOptions{Seed: 7, MaxFeatures: 2, MinLeaf: 5})
+	for _, row := range x {
+		if a.Prob(row) != b.Prob(row) {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}
+
+func TestForestBeatsOrMatchesSingleTreeOnXOR(t *testing.T) {
+	x, y := xorData()
+	forest, err := FitForest(x, y, 15, TreeOptions{MaxDepth: 5, MinLeaf: 3, Seed: 11})
+	if err != nil {
+		t.Fatalf("FitForest: %v", err)
+	}
+	if acc := forest.Accuracy(x, y); acc < 0.95 {
+		t.Errorf("forest accuracy %v, want >= 0.95", acc)
+	}
+	imp := forest.Importance()
+	if imp[0]+imp[1] < 0.8 {
+		t.Errorf("forest importance %v: XOR features should dominate", imp)
+	}
+}
+
+func TestForestProbIsAverage(t *testing.T) {
+	x, y := xorData()
+	forest, err := FitForest(x, y, 5, TreeOptions{MinLeaf: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := x[0]
+	want := 0.0
+	for _, tr := range forest.Trees {
+		want += tr.Prob(row)
+	}
+	want /= float64(len(forest.Trees))
+	if got := forest.Prob(row); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob = %v, want mean %v", got, want)
+	}
+}
+
+func TestForestEmptyAndErrors(t *testing.T) {
+	var f Forest
+	if f.Prob([]float64{1}) != 0 || f.Importance() != nil {
+		t.Error("empty forest should degrade gracefully")
+	}
+	if _, err := FitForest(nil, nil, 3, TreeOptions{}); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	x, y := xorData()
+	a, _ := FitForest(x, y, 8, TreeOptions{Seed: 42, MinLeaf: 3})
+	b, _ := FitForest(x, y, 8, TreeOptions{Seed: 42, MinLeaf: 3})
+	for _, row := range x[:20] {
+		if a.Prob(row) != b.Prob(row) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"math"
+	"sync"
+
+	"omptune/internal/env"
+	"omptune/internal/topology"
+	"omptune/openmp"
+)
+
+// Model constants: baseline micro-operation costs in seconds at the 2.4 GHz
+// Skylake reference clock (scaled by clockAdj elsewhere).
+const (
+	chunkDispatchSec = 60e-9  // shared-counter grab per dynamic/guided chunk
+	forkBaseSec      = 1.5e-6 // parallel-region fork fixed cost
+	forkPerThreadSec = 0.1e-6 // per-thread fork cost
+	barrierStageSec  = 0.6e-6 // per log2-stage barrier cost
+	taskSpawnSec     = 0.3e-6 // task allocation + enqueue
+	spinEventSec     = 0.05e-6
+	treeStageSec     = 0.8e-6 // reduction tree combine stage
+	critHandoffSec   = 0.35e-6
+	atomicOpSec      = 0.08e-6
+)
+
+// osScatter is the per-architecture probability-like intensity with which
+// the OS scheduler migrates unbound threads away from their data and warm
+// caches. Milan's many small L3 domains and NPS4 layout make migrations
+// expensive and frequent on the shared cluster; the large-L3 Skylake and the
+// single-socket A64FX barely suffer.
+var osScatter = map[topology.Arch]float64{
+	topology.A64FX:   0.015,
+	topology.Skylake: 0.012,
+	topology.Milan:   0.700,
+}
+
+// cacheTerm is how much of the cache working set a migration forfeits,
+// relative to the machine's cache-domain granularity.
+var cacheTerm = map[topology.Arch]float64{
+	topology.A64FX:   0.15,
+	topology.Skylake: 0.25,
+	topology.Milan:   1.00,
+}
+
+// yieldEventCost is the per-architecture cost of one sched_yield round trip,
+// the price a throughput-mode worker pays per idle event while its
+// blocktime budget lasts. The slow in-order cores of the A64FX make the
+// syscall path disproportionately expensive there — which is why
+// KMP_LIBRARY=turnaround helps fine-grained tasking most on A64FX.
+var yieldEventCost = map[topology.Arch]float64{
+	topology.A64FX:   2.1e-6,
+	topology.Skylake: 0.85e-6,
+	topology.Milan:   0.4e-6,
+}
+
+// alignFactor returns the relative cost multiplier that KMP_ALIGN_ALLOC
+// imposes on runtime-internal shared structures (reduction cells, barrier
+// flags). At the cache-line size, adjacent structures land on neighbouring
+// lines and the x86 adjacent-line ("spatial") prefetcher induces false
+// line-pair sharing — Skylake's is the most aggressive. Doubling the
+// alignment removes the effect; quadrupling and beyond pays a small
+// footprint/TLB cost.
+func alignFactor(m *topology.Machine, align int) float64 {
+	ratio := float64(align) / float64(m.CacheLineBytes)
+	switch {
+	case ratio <= 1:
+		if m.Arch == topology.Skylake {
+			return 1.22
+		}
+		if m.Arch == topology.Milan {
+			return 1.10
+		}
+		return 1.06 // A64FX's 256 B lines already separate most structures
+	case ratio <= 2:
+		return 1.0
+	case ratio <= 4:
+		return 1.01
+	default:
+		return 1.03
+	}
+}
+
+// placementInfo describes where a configuration puts the team's threads.
+type placementInfo struct {
+	unbound bool
+	// oversub is max threads-per-core across places (1 = no contention);
+	// master binding onto cores drives this to the full team size.
+	oversub float64
+	// nodesUsed is how many NUMA nodes the team's places span.
+	nodesUsed int
+	// spanFrac is how large each place is relative to the machine
+	// ((coresPerPlace-1)/(cores-1)): 0 for single-core places, ~0.5 for
+	// sockets. Bound threads may still wander within their place, so wide
+	// places retain a fraction of the unbound cache-affinity penalty.
+	spanFrac float64
+}
+
+// placementCache memoizes placement over its small key domain
+// (arch x place kind x bind x threads); the sweep calls Evaluate millions
+// of times.
+var (
+	placementMu    sync.Mutex
+	placementCache = make(map[placementKey]placementInfo)
+)
+
+type placementKey struct {
+	arch    topology.Arch
+	places  topology.PlaceKind
+	bind    env.ProcBind
+	threads int
+}
+
+// placement resolves OMP_PLACES/OMP_PROC_BIND into a placementInfo. As in
+// the LLVM runtime, setting OMP_PROC_BIND without OMP_PLACES implies
+// places=cores, and setting OMP_PLACES without OMP_PROC_BIND implies
+// spread (via env.Config.EffectiveBind).
+func placement(m *topology.Machine, cfg env.Config, threads int) placementInfo {
+	key := placementKey{m.Arch, cfg.Places, cfg.EffectiveBind(), threads}
+	placementMu.Lock()
+	if pi, ok := placementCache[key]; ok {
+		placementMu.Unlock()
+		return pi
+	}
+	placementMu.Unlock()
+	pi := computePlacement(m, cfg, threads)
+	placementMu.Lock()
+	placementCache[key] = pi
+	placementMu.Unlock()
+	return pi
+}
+
+func computePlacement(m *topology.Machine, cfg env.Config, threads int) placementInfo {
+	bind := cfg.EffectiveBind()
+	if bind == env.BindFalse {
+		over := 1.0
+		if threads > m.Cores {
+			over = float64(threads) / float64(m.Cores)
+		}
+		nodes := (threads + m.CoresPerNUMA() - 1) / m.CoresPerNUMA()
+		if nodes > m.NUMANodes {
+			nodes = m.NUMANodes
+		}
+		return placementInfo{unbound: true, oversub: over, nodesUsed: nodes}
+	}
+	kind := cfg.Places
+	if kind == topology.PlaceUnset {
+		kind = topology.PlaceCores
+	}
+	places, err := m.Partition(kind)
+	if err != nil {
+		places, _ = m.Partition(topology.PlaceCores)
+	}
+	asg := openmp.AssignPlaces(len(places), bindPolicy(bind), threads, 0)
+	counts := make(map[int]int)
+	for _, p := range asg {
+		counts[p]++
+	}
+	over := 1.0
+	nodes := make(map[int]bool)
+	for p, c := range counts {
+		cap := len(places[p].Cores)
+		if o := float64(c) / float64(cap); o > over {
+			over = o
+		}
+		for _, core := range places[p].Cores {
+			nodes[m.NUMANodeOf(core)] = true
+		}
+	}
+	span := 0.0
+	if m.Cores > 1 && len(places) > 0 {
+		span = float64(len(places[0].Cores)-1) / float64(m.Cores-1)
+	}
+	return placementInfo{oversub: over, nodesUsed: len(nodes), spanFrac: span}
+}
+
+// bindPolicy converts the study's env.ProcBind to the runtime's BindPolicy.
+func bindPolicy(b env.ProcBind) openmp.BindPolicy {
+	switch b {
+	case env.BindMaster:
+		return openmp.BindMaster
+	case env.BindClose:
+		return openmp.BindClose
+	case env.BindSpread:
+		return openmp.BindSpread
+	case env.BindTrue:
+		return openmp.BindTrue
+	default:
+		return openmp.BindNone
+	}
+}
+
+// lookup reads a per-architecture model parameter, falling back to a
+// moderate default for user-registered machines (topology.Register).
+func lookup(table map[topology.Arch]float64, arch topology.Arch, def float64) float64 {
+	if v, ok := table[arch]; ok {
+		return v
+	}
+	return def
+}
+
+// avgDist is the mean SLIT distance (in units of the local distance) from a
+// node to a uniformly random node of the machine.
+func avgDist(m *topology.Machine) float64 {
+	total := 0.0
+	for j := 0; j < m.NUMANodes; j++ {
+		total += m.NUMADistance(0, j)
+	}
+	return total / (10 * float64(m.NUMANodes))
+}
+
+// Evaluate returns the simulated runtime, in seconds, of application p on
+// machine m under configuration cfg at the given setting, for repetition
+// rep in [0, Reps). The result is deterministic in its arguments.
+func Evaluate(m *topology.Machine, p *Profile, cfg env.Config, set Setting, rep int) float64 {
+	t := EvaluateExact(m, p, cfg, set)
+
+	// Measurement noise: per-run-index drift plus a config-persistent and a
+	// per-repetition random component (see noise.go).
+	drift := 1.0
+	if dv, ok := runDrift[string(m.Arch)]; ok {
+		drift = dv[rep%Reps]
+	}
+	base := seed(hashString(p.Name), hashString(string(m.Arch)), hashString(cfg.Key()), hashString(set.Label))
+	t *= drift *
+		(1 + m.NoiseSigma*gauss(base)) *
+		(1 + repSigma(string(m.Arch))*gauss(seed(base, uint64(rep))))
+	t = quantize(t)
+	if t < 0.001 {
+		t = 0.001
+	}
+	return t
+}
+
+// EvaluateExact is Evaluate without measurement noise, drift or
+// quantization: the model's "true" runtime, used by tests and the
+// autotuning example.
+func EvaluateExact(m *topology.Machine, p *Profile, cfg env.Config, set Setting) float64 {
+	threads := set.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	grow := math.Pow(set.Scale, p.WorkGrowth)
+	clockAdj := 2.4 / m.ClockGHz
+	pl := placement(m, cfg, threads)
+	scatter := lookup(osScatter, m.Arch, 0.10)
+
+	// --- CPU work (Amdahl + oversubscription + affinity). -----------------
+	coreRate := m.ClockGHz * 1e9 * p.ipc(m.Arch)
+	totalCPU := p.CPUWorkGOps * 1e9 * grow / coreRate
+	serialSec := p.SerialFrac * totalCPU
+	effThreads := float64(threads) / pl.oversub
+	cpuSec := (1 - p.SerialFrac) * totalCPU / effThreads
+	// Migrations cost warm cache state. For loop-parallel codes they
+	// mostly happen while idle cores exist, so the penalty scales with the
+	// unused fraction of the machine (a fully loaded machine gives the OS
+	// nowhere to go). Task-parallel codes move work through stealing
+	// regardless, so a flat fraction always applies. Bound teams keep a
+	// residue proportional to their place width: threads still wander
+	// within a socket-sized place, but not within a single-core one.
+	idleFrac := 0.3
+	if p.Class == LoopParallel {
+		util := float64(threads) / float64(m.Cores)
+		idleFrac = math.Max(0.03, 1.03-util)
+	}
+	affinity := scatter * p.CacheSens * lookup(cacheTerm, m.Arch, 0.5) * idleFrac
+	if pl.unbound {
+		cpuSec *= 1 + affinity
+	} else {
+		cpuSec *= 1 + affinity*0.6*pl.spanFrac
+	}
+
+	// --- Worksharing schedule: chunk overhead and residual imbalance. -----
+	itersTotal := p.ItersPerRegion * p.Regions * grow
+	imbalance, schedOver := 0.0, 0.0
+	switch cfg.Schedule {
+	case env.ScheduleStatic, env.ScheduleAuto: // LLVM resolves auto to static
+		imbalance = p.Imbalance * cpuSec
+	case env.ScheduleDynamic:
+		contention := 1 + float64(threads)/64
+		schedOver = itersTotal * chunkDispatchSec * clockAdj * contention / float64(threads)
+		imbalance = 0.08 * p.Imbalance * cpuSec
+	case env.ScheduleGuided:
+		chunks := p.Regions * 2 * float64(threads) * math.Log(p.ItersPerRegion/float64(threads)+2)
+		schedOver = chunks * chunkDispatchSec * clockAdj / float64(threads)
+		imbalance = 0.15 * p.Imbalance * cpuSec
+	}
+
+	// --- Memory (bandwidth share, latency locality). ----------------------
+	traffic := p.MemTrafficGB * grow
+	memSec := 0.0
+	if traffic > 0 {
+		bwShare := 1.0
+		if !pl.unbound {
+			bwShare = float64(pl.nodesUsed) / float64(m.NUMANodes)
+		}
+		perCoreBW := 2.2 * m.MemBWGBs / float64(m.Cores)
+		effBW := math.Min(m.MemBWGBs*bwShare, perCoreBW*effThreads)
+		memSec = traffic / effBW
+		if pl.unbound {
+			// Migrated threads lose first-touch locality: remote latency plus
+			// concentration of traffic away from the data's home nodes. The
+			// effect grows with the input: small problems live in cache, big
+			// ones expose the full page-placement damage.
+			firstTouchLoss := (1 - 1/float64(m.NUMANodes)) * 0.8
+			sizeFactor := 1.0
+			if p.MemSizeExp > 0 {
+				sizeFactor = math.Min(1.2, math.Pow(set.Scale/2.5, p.MemSizeExp))
+			}
+			memSec *= 1 + scatter*sizeFactor*p.MemSens*((avgDist(m)-1)+firstTouchLoss)
+		}
+	}
+
+	// --- Fork/join, barriers, and the wait policy. ------------------------
+	stages := math.Log2(float64(threads) + 1)
+	af := alignFactor(m, cfg.AlignAlloc)
+	barrierAdj := 1 + (af-1)*0.5 // runtime flags share the same allocator
+	forkSec := p.Regions * (forkBaseSec + forkPerThreadSec*float64(threads) +
+		barrierStageSec*stages*barrierAdj) * clockAdj
+
+	wakeSec := 0.0
+	switch bt := cfg.EffectiveBlocktimeMS(); {
+	case bt == 0:
+		// Workers sleep between every region; each fork pays a wake cascade.
+		wakeSec = p.Regions * m.WakeupMicros * 1e-6 * (1 + stages)
+	case bt > 0:
+		// Back-to-back regions rarely exceed the 200 ms budget; a small
+		// fraction of forks still find sleeping workers.
+		wakeSec = 0.02 * p.Regions * m.WakeupMicros * 1e-6 * (1 + stages)
+	}
+
+	// --- Explicit tasking: spawn cost and idle-event cost. ----------------
+	taskSec := 0.0
+	if p.Class == TaskParallel && p.Tasks > 0 {
+		tasks := p.Tasks * grow
+		yield := lookup(yieldEventCost, m.Arch, 1.0e-6)
+		var perEvent float64
+		switch bt := cfg.EffectiveBlocktimeMS(); {
+		case bt == env.BlocktimeInfinite:
+			perEvent = spinEventSec * clockAdj
+		case bt == 0:
+			perEvent = 0.25*m.WakeupMicros*1e-6 + 0.75*yield
+		default:
+			perEvent = yield
+		}
+		// Idle events sit on task critical paths, so they only partially
+		// parallelize away (empirically ~threads^0.7); spawn overhead is
+		// embarrassingly parallel.
+		idle := tasks * p.TaskIdleFactor * perEvent / math.Pow(float64(threads), 0.7)
+		spawn := tasks * taskSpawnSec * clockAdj / float64(threads)
+		taskSec = (idle + spawn) * pl.oversub
+	}
+
+	// --- Reductions. -------------------------------------------------------
+	redSec := 0.0
+	if p.ReductionsPerRun > 0 {
+		var perRed float64
+		sockets := float64(m.Sockets)
+		switch cfg.EffectiveReduction(threads) {
+		case env.ReductionTree:
+			perRed = math.Ceil(math.Log2(float64(threads)+1)) * treeStageSec
+		case env.ReductionCritical:
+			perRed = float64(threads) * critHandoffSec * (1 + 0.4*(sockets-1))
+		case env.ReductionAtomic:
+			perRed = float64(threads) * atomicOpSec * (1 + 0.6*(sockets-1))
+		}
+		redSec = p.ReductionsPerRun * grow * perRed * clockAdj * af
+	}
+
+	return serialSec + cpuSec + imbalance + schedOver + memSec + forkSec + wakeSec + taskSec + redSec
+}

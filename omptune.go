@@ -1,0 +1,294 @@
+// Package omptune reproduces the SC'24 study "Evaluating Tuning
+// Opportunities of the LLVM/OpenMP Runtime" end to end: an OpenMP-style
+// runtime with the full set of studied tuning knobs (see the openmp
+// subpackage), architecture models of the three machines in the study, a
+// deterministic performance model in place of the physical testbed, the
+// fifteen benchmark applications, the 240k-sample sweep, and the
+// statistical and machine-learning analysis that produces every table and
+// figure of the paper.
+//
+// Typical use:
+//
+//	ds, err := omptune.Collect(omptune.CollectOptions{})   // the 240k-sample sweep
+//	omptune.WriteReport(os.Stdout, ds)                     // every table & figure
+//	recs := omptune.Recommend(ds, "Nqueens")               // Table VII-style advice
+//
+// The heavy lifting lives in internal packages; this package is the stable
+// surface for examples, tools and downstream users.
+package omptune
+
+import (
+	"fmt"
+	"io"
+
+	"omptune/internal/apps"
+	"omptune/internal/core"
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/ml"
+	"omptune/internal/report"
+	"omptune/internal/sim"
+	"omptune/internal/stats"
+	"omptune/internal/topology"
+	"omptune/internal/viz"
+)
+
+// Re-exported core types. The aliases keep one importable vocabulary for
+// users while the implementations stay in focused internal packages.
+type (
+	// Arch identifies a CPU architecture of the study.
+	Arch = topology.Arch
+	// Machine is an architecture model (Table I).
+	Machine = topology.Machine
+	// Config is one assignment of the seven studied environment variables.
+	Config = env.Config
+	// VarName names one studied environment variable.
+	VarName = env.VarName
+	// Setting is a thread-count/input-scale experimental setting.
+	Setting = sim.Setting
+	// App is one of the fifteen benchmark applications.
+	App = apps.App
+	// Dataset is the collected tabular sample data.
+	Dataset = dataset.Dataset
+	// Sample is one dataset row.
+	Sample = dataset.Sample
+	// Heatmap is a feature-influence matrix (Figs. 2-4).
+	Heatmap = core.Heatmap
+	// Recommendation is a Table VII-style tuning suggestion.
+	Recommendation = core.Recommendation
+	// TuneResult is the outcome of the guided coordinate-descent tuner.
+	TuneResult = core.TuneResult
+	// UpshotSummary is the per-architecture Q1 summary.
+	UpshotSummary = core.UpshotSummary
+	// WilcoxonRow is one consistency-test row (Table III).
+	WilcoxonRow = core.WilcoxonRow
+	// Violin is a kernel-density summary of a runtime distribution.
+	Violin = stats.Violin
+)
+
+// The studied architectures.
+const (
+	A64FX   = topology.A64FX
+	Skylake = topology.Skylake
+	Milan   = topology.Milan
+)
+
+// Grouping strategies for influence analysis (§IV-D).
+const (
+	PerArchApp = core.PerArchApp
+	PerApp     = core.PerApp
+	PerArch    = core.PerArch
+)
+
+// Machines returns the three architecture models of Table I.
+func Machines() []*Machine { return topology.All() }
+
+// MachineByName returns the model for an architecture name
+// ("a64fx", "skylake", "milan", or anything added via RegisterMachine).
+func MachineByName(name string) (*Machine, error) { return topology.Get(Arch(name)) }
+
+// RegisterMachine adds a user-defined architecture model, enabling sweeps
+// and tuning on machines beyond the study's three (its "latest CPU chips"
+// future-work item). The model's calibration fields (bandwidth, NUMA
+// factors, wakeup cost, noise) are documented on topology.Machine.
+func RegisterMachine(m *Machine) error { return topology.Register(m) }
+
+// Applications returns the fifteen benchmark applications in suite order.
+func Applications() []*App { return apps.All() }
+
+// ApplicationByName looks an application up by its table name
+// (e.g. "Nqueens", "XSbench").
+func ApplicationByName(name string) (*App, error) { return apps.ByName(name) }
+
+// DefaultConfig returns the runtime's default configuration on m (§III).
+func DefaultConfig(m *Machine) Config { return env.Default(m) }
+
+// ConfigSpace enumerates the full sweep space on m: 4608 configurations on
+// A64FX, 9216 on the x86 machines.
+func ConfigSpace(m *Machine) []Config { return env.Space(m) }
+
+// ParseConfig builds a Config from KEY=VALUE environment entries.
+func ParseConfig(m *Machine, environ []string) (Config, error) { return env.Parse(m, environ) }
+
+// Variables returns the canonical order of the studied environment
+// variables.
+func Variables() []VarName { return env.Names() }
+
+// Simulate returns the modeled runtime of app on m under cfg at the given
+// setting for repetition rep (deterministic; includes measurement noise and
+// per-run drift).
+func Simulate(m *Machine, app *App, cfg Config, set Setting, rep int) float64 {
+	return sim.Evaluate(m, app.Profile, cfg, set, rep)
+}
+
+// SimulateExact is Simulate without noise: the model's true runtime.
+func SimulateExact(m *Machine, app *App, cfg Config, set Setting) float64 {
+	return sim.EvaluateExact(m, app.Profile, cfg, set)
+}
+
+// Repetitions is the number of repeated runs per configuration (R0..R3).
+const Repetitions = sim.Reps
+
+// CollectOptions configures a data-collection campaign; the zero value
+// reproduces the paper's full dataset (Table II).
+type CollectOptions struct {
+	// Arches restricts collection; nil = all three.
+	Arches []Arch
+	// Apps restricts the applications by name; nil = all that ran on the
+	// architecture.
+	Apps []string
+	// Fraction overrides the sampled share of the configuration space per
+	// architecture (nil = Table II-matching defaults; set to 1.0 for the
+	// fully exhaustive sweep).
+	Fraction map[Arch]float64
+	// Progress receives a line per completed setting when non-nil.
+	Progress io.Writer
+	// Extended enables the future-work coverage: numa_domains places and
+	// six thread counts for the thread-varied applications.
+	Extended bool
+}
+
+// Collect runs the sweep of §IV and returns the enriched dataset.
+func Collect(opt CollectOptions) (*Dataset, error) {
+	return core.RunSweep(core.SweepConfig{
+		Arches:   opt.Arches,
+		AppNames: opt.Apps,
+		Fraction: opt.Fraction,
+		Progress: opt.Progress,
+		Extended: opt.Extended,
+	})
+}
+
+// Upshot summarizes the per-architecture tuning potential (§V-Q1).
+func Upshot(ds *Dataset) []UpshotSummary { return core.Upshot(ds) }
+
+// WilcoxonTable reproduces Table III for one app and setting.
+func WilcoxonTable(ds *Dataset, app, setting string) []WilcoxonRow {
+	return core.WilcoxonTable(ds, app, setting)
+}
+
+// Influence trains the §IV-D logistic-regression surrogate per group and
+// returns the influence heatmap for the grouping (Fig. 2: PerApp, Fig. 3:
+// PerArch, Fig. 4: PerArchApp).
+func Influence(ds *Dataset, g core.Grouping) (*Heatmap, error) {
+	return core.InfluenceHeatmap(ds, g, ml.LogisticOptions{})
+}
+
+// Recommend mines Table VII-style variable/value suggestions for app.
+func Recommend(ds *Dataset, app string) []Recommendation {
+	return core.Recommend(ds, app, core.RecommendOptions{})
+}
+
+// WorstTrends mines §V-Q4's worst-performance patterns.
+func WorstTrends(ds *Dataset) []core.WorstTrend { return core.WorstTrends(ds, 0.05) }
+
+// Tune runs the §VI guided coordinate-descent search for app on m at the
+// given setting, trying variables in the given order (nil = canonical
+// order; pass a Heatmap's FeatureRank-derived variables for pruning).
+func Tune(m *Machine, app *App, set Setting, order []VarName, budget int) TuneResult {
+	return core.Tune(m, app, set, order, budget)
+}
+
+// MergeDatasets combines separately collected shards, rejecting duplicate
+// rows.
+func MergeDatasets(parts ...*Dataset) (*Dataset, error) { return dataset.Merge(parts...) }
+
+// WriteDatasetCSV writes ds in the open-data tabular format.
+func WriteDatasetCSV(w io.Writer, ds *Dataset) error { return ds.WriteCSV(w) }
+
+// ReadDatasetCSV parses a dataset written by WriteDatasetCSV.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// WriteReport renders every table and figure of the paper from ds.
+func WriteReport(w io.Writer, ds *Dataset) error {
+	sections := []struct {
+		title  string
+		render func() error
+	}{
+		{"Table I: hardware configuration", func() error { return report.TableI(w) }},
+		{"Table II: dataset description", func() error { return report.TableII(w, ds) }},
+		{"Table III: Wilcoxon run-consistency (Alignment, small)", func() error { return report.TableIII(w, ds, "Alignment", "small") }},
+		{"Table IV: runtime statistics per run index (Alignment, small)", func() error { return report.TableIV(w, ds, "Alignment", "small") }},
+		{"Table V: speedup ranges per application and architecture", func() error { return report.TableV(w, ds, []string{"Alignment", "XSbench"}) }},
+		{"Table VI: speedup ranges per application", func() error { return report.TableVI(w, ds) }},
+		{"Table VII: best performing variables and values", func() error { return report.TableVII(w, ds, []string{"Nqueens", "CG"}) }},
+		{"Q1: upshot potential per architecture", func() error { return report.Q1(w, ds) }},
+		{"Q2: variable-set consistency across architectures", func() error { return report.Q2(w, ds) }},
+		{"Q3: best variables per architecture", func() error { return report.Q3(w, ds, ml.LogisticOptions{}) }},
+		{"Q4: worst-performance trends", func() error { return report.Q4(w, ds) }},
+		{"Fig 1: Alignment runtime distributions", func() error { return report.Fig1(w, ds) }},
+		{"Fig 2: influence per application", func() error { return report.Fig2(w, ds, ml.LogisticOptions{}) }},
+		{"Fig 3: influence per architecture", func() error { return report.Fig3(w, ds, ml.LogisticOptions{}) }},
+		{"Fig 4: influence per application-architecture", func() error { return report.Fig4(w, ds, ml.LogisticOptions{}) }},
+		{"Fig 5: BT runtime distributions", func() error { return report.Fig5(w, ds) }},
+		{"Fig 6: Health runtime distributions", func() error { return report.Fig6(w, ds) }},
+		{"Fig 7: RSBench runtime distributions", func() error { return report.Fig7(w, ds) }},
+	}
+	for _, s := range sections {
+		if _, err := fmt.Fprintf(w, "\n======== %s ========\n", s.title); err != nil {
+			return err
+		}
+		if err := s.render(); err != nil {
+			return fmt.Errorf("omptune: rendering %q: %w", s.title, err)
+		}
+	}
+	return nil
+}
+
+// ---- §VI future-work extensions ----------------------------------------
+
+// ModelComparison contrasts the linear classification surrogate with a
+// random forest on one analysis group.
+type ModelComparison = core.ModelComparison
+
+// TransferRow is one leave-one-architecture-out transfer measurement.
+type TransferRow = core.TransferRow
+
+// WorstTrend is one §V-Q4 worst-performance pattern.
+type WorstTrend = core.WorstTrend
+
+// CompareModels fits the §IV-D logistic surrogate and a random forest per
+// group and reports their accuracies — the paper's proposed non-linear
+// follow-up, quantified.
+func CompareModels(ds *Dataset, g core.Grouping) ([]ModelComparison, error) {
+	return core.CompareModels(ds, g, ml.LogisticOptions{},
+		ml.TreeOptions{MaxDepth: 8, MinLeaf: 30, Seed: 1}, 10)
+}
+
+// Transfer quantifies §VI's transfer caveat for one application:
+// leave-one-architecture-out accuracy vs the majority baseline.
+func Transfer(ds *Dataset, app string) ([]TransferRow, error) {
+	return core.Transfer(ds, app, ml.TreeOptions{MaxDepth: 8, MinLeaf: 30, Seed: 5}, 10)
+}
+
+// RandomSearch is the unguided baseline for Tune: best of `budget` uniform
+// configuration draws.
+func RandomSearch(m *Machine, app *App, set Setting, budget int, seedVal uint64) TuneResult {
+	return core.RandomSearch(m, app, set, budget, seedVal)
+}
+
+// ExtendedConfigSpace includes the numa_domains place kind the paper
+// deferred for lack of hwloc.
+func ExtendedConfigSpace(m *Machine) []Config { return core.ExtendedSpace(m) }
+
+// ExtendedThreadSettings widens the thread-count exploration the paper
+// lists as a limitation.
+func ExtendedThreadSettings(m *Machine) []Setting { return core.ExtendedThreadSettings(m) }
+
+// BestNUMAPlacement evaluates the deferred numa_domains configurations and
+// returns the best one with its speedup over the default.
+func BestNUMAPlacement(m *Machine, app *App, set Setting) (Config, float64) {
+	return core.BestNUMAPlacement(m, app, set)
+}
+
+// WriteViolinSVG renders an app's runtime-distribution violins (Fig 1/5-7
+// style) as a standalone SVG document.
+func WriteViolinSVG(w io.Writer, ds *Dataset, app string) error {
+	return viz.ViolinFigureSVG(w, ds, app)
+}
+
+// WriteHeatmapSVG renders an influence heatmap (Fig 2-4 style) as a
+// standalone SVG document.
+func WriteHeatmapSVG(w io.Writer, hm *Heatmap, title string) error {
+	return viz.HeatmapSVG(w, hm, title)
+}

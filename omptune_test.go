@@ -1,0 +1,266 @@
+package omptune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"omptune/internal/env"
+)
+
+// facadeDataset is a reduced sweep shared by the facade tests.
+var facadeDataset *Dataset
+
+func facadeDS(t testing.TB) *Dataset {
+	t.Helper()
+	if facadeDataset == nil {
+		ds, err := Collect(CollectOptions{
+			Apps:     []string{"Nqueens", "XSbench", "CG", "Alignment"},
+			Fraction: map[Arch]float64{A64FX: 0.12, Skylake: 0.08, Milan: 0.08},
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		facadeDataset = ds
+	}
+	return facadeDataset
+}
+
+func TestFacadeBasics(t *testing.T) {
+	if len(Machines()) != 3 {
+		t.Fatalf("Machines() = %d, want 3", len(Machines()))
+	}
+	if len(Applications()) != 15 {
+		t.Fatalf("Applications() = %d, want 15", len(Applications()))
+	}
+	m, err := MachineByName("milan")
+	if err != nil || m.Cores != 96 {
+		t.Fatalf("MachineByName(milan) = %v, %v", m, err)
+	}
+	if _, err := MachineByName("cray-1"); err == nil {
+		t.Error("unknown machine should error")
+	}
+	if got := len(ConfigSpace(m)); got != 9216 {
+		t.Errorf("ConfigSpace(milan) = %d, want 9216", got)
+	}
+	if len(Variables()) != 7 {
+		t.Errorf("Variables() = %d, want 7", len(Variables()))
+	}
+	cfg, err := ParseConfig(m, []string{"KMP_LIBRARY=turnaround"})
+	if err != nil || cfg.Library != env.LibTurnaround {
+		t.Errorf("ParseConfig: %v, %v", cfg, err)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	m, _ := MachineByName("skylake")
+	app, err := ApplicationByName("XSbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Setting{Label: "t20", Threads: 20, Scale: 1}
+	cfg := DefaultConfig(m)
+	exact := SimulateExact(m, app, cfg, set)
+	if exact <= 0 {
+		t.Fatalf("SimulateExact = %v", exact)
+	}
+	noisy := Simulate(m, app, cfg, set, 1)
+	if noisy <= 0 {
+		t.Fatalf("Simulate = %v", noisy)
+	}
+	if Repetitions != 4 {
+		t.Errorf("Repetitions = %d, want 4", Repetitions)
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	ds := facadeDS(t)
+	if ds.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	up := Upshot(ds)
+	if len(up) != 3 {
+		t.Fatalf("Upshot groups = %d", len(up))
+	}
+	recs := Recommend(ds, "Nqueens")
+	if len(recs) == 0 {
+		t.Error("no recommendations for Nqueens")
+	}
+	trends := WorstTrends(ds)
+	if len(trends) == 0 || trends[0].Variable != env.VarProcBind {
+		t.Errorf("worst trends = %v, want master binding on top", trends)
+	}
+	rows := WilcoxonTable(ds, "Alignment", "small")
+	if len(rows) != 9 {
+		t.Errorf("WilcoxonTable rows = %d, want 9", len(rows))
+	}
+	hm, err := Influence(ds, PerArch)
+	if err != nil {
+		t.Fatalf("Influence: %v", err)
+	}
+	if len(hm.RowLabels) != 3 {
+		t.Errorf("per-arch heatmap rows = %d", len(hm.RowLabels))
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	ds := facadeDS(t)
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteDatasetCSV: %v", err)
+	}
+	back, err := ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadDatasetCSV: %v", err)
+	}
+	if back.Len() != ds.Len() {
+		t.Errorf("round trip: %d vs %d samples", back.Len(), ds.Len())
+	}
+}
+
+func TestFacadeWriteReport(t *testing.T) {
+	ds := facadeDS(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ds); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Table IV", "Table V",
+		"Table VI", "Table VII", "Fig 1", "Fig 2", "Fig 3", "Fig 4",
+		"Fujitsu A64FX", "turnaround",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Figs 5-7 cover BT/Health/RSBench, absent from this reduced dataset;
+	// their sections must still render without violins.
+	if !strings.Contains(out, "Fig 5") {
+		t.Error("report missing Fig 5 section")
+	}
+}
+
+func TestFacadeTune(t *testing.T) {
+	m, _ := MachineByName("a64fx")
+	app, err := ApplicationByName("Nqueens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Setting{Label: "medium", Threads: m.Cores, Scale: 1}
+	res := Tune(m, app, set, nil, 150)
+	if res.Speedup() < 2 {
+		t.Errorf("tuned NQueens speedup %v, want > 2 (turnaround effect)", res.Speedup())
+	}
+	if res.Best.EffectiveBlocktimeMS() != env.BlocktimeInfinite {
+		t.Errorf("tuner should find a spinning wait policy, got %s", res.Best)
+	}
+	if res.Evaluations > 150 {
+		t.Errorf("budget exceeded: %d", res.Evaluations)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("no accepted tuning steps recorded")
+	}
+	// Importance-guided ordering (library first) must find the win within a
+	// tiny budget.
+	guided := Tune(m, app, set, []VarName{env.VarLibrary, env.VarBlocktime}, 10)
+	if guided.Speedup() < 2 {
+		t.Errorf("guided tuning speedup %v within 10 evals, want > 2", guided.Speedup())
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	ds := facadeDS(t)
+	cmp, err := CompareModels(ds, PerArch)
+	if err != nil {
+		t.Fatalf("CompareModels: %v", err)
+	}
+	if len(cmp) != 3 {
+		t.Fatalf("CompareModels rows = %d", len(cmp))
+	}
+	for _, r := range cmp {
+		if r.ForestAcc < r.LogisticAcc-0.05 {
+			t.Errorf("%s: forest %v should be at least on par with logistic %v", r.Group, r.ForestAcc, r.LogisticAcc)
+		}
+	}
+	tr, err := Transfer(ds, "Nqueens")
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if len(tr) != 3 {
+		t.Errorf("Transfer rows = %d", len(tr))
+	}
+	m, _ := MachineByName("milan")
+	if got := len(ExtendedConfigSpace(m)); got != 9216+9216/4 {
+		t.Errorf("ExtendedConfigSpace = %d", got)
+	}
+	if got := len(ExtendedThreadSettings(m)); got != 6 {
+		t.Errorf("ExtendedThreadSettings = %d", got)
+	}
+	app, _ := ApplicationByName("XSbench")
+	cfg, speedup := BestNUMAPlacement(m, app, Setting{Label: "t24", Threads: 24, Scale: 1})
+	if speedup < 1.5 || cfg.Places != "numa_domains" {
+		t.Errorf("BestNUMAPlacement = %s / %v", cfg, speedup)
+	}
+	rs := RandomSearch(m, app, Setting{Label: "t24", Threads: 24, Scale: 1}, 40, 7)
+	if rs.Evaluations != 40 || rs.Speedup() < 1 {
+		t.Errorf("RandomSearch = %+v", rs)
+	}
+}
+
+func TestFacadeSVGOutputs(t *testing.T) {
+	ds := facadeDS(t)
+	var violin bytes.Buffer
+	if err := WriteViolinSVG(&violin, ds, "Alignment"); err != nil {
+		t.Fatalf("WriteViolinSVG: %v", err)
+	}
+	if !strings.HasPrefix(violin.String(), "<svg") {
+		t.Error("violin SVG malformed")
+	}
+	hm, err := Influence(ds, PerArch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heat bytes.Buffer
+	if err := WriteHeatmapSVG(&heat, hm, "fig3"); err != nil {
+		t.Fatalf("WriteHeatmapSVG: %v", err)
+	}
+	if !strings.Contains(heat.String(), "</svg>") {
+		t.Error("heatmap SVG malformed")
+	}
+}
+
+func TestFacadeCustomMachineEndToEnd(t *testing.T) {
+	custom := &Machine{
+		Arch: "sapphire-test", Name: "Test Sapphire",
+		Cores: 56, Sockets: 2, NUMANodes: 8,
+		ClockGHz: 2.0, CacheLineBytes: 64, Memory: "DDR5", MemGB: 256,
+		LLCGroups: 2, MemBWGBs: 600,
+		RemoteNUMAFactor: 1.4, CrossSocketFactor: 1.9,
+		WakeupMicros: 9, NoiseSigma: 0.004,
+	}
+	if err := RegisterMachine(custom); err != nil {
+		t.Fatalf("RegisterMachine: %v", err)
+	}
+	// The whole pipeline works on the new architecture.
+	ds, err := Collect(CollectOptions{
+		Arches:   []Arch{"sapphire-test"},
+		Apps:     []string{"Nqueens", "XSbench"},
+		Fraction: map[Arch]float64{"sapphire-test": 0.06},
+	})
+	if err != nil {
+		t.Fatalf("Collect on custom machine: %v", err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("no samples on custom machine")
+	}
+	lo, hi := ds.ByApp("Nqueens").SpeedupRange()
+	if lo < 1 || hi < 1.5 {
+		t.Errorf("NQueens on custom machine: range %v-%v — turnaround should still win", lo, hi)
+	}
+	app, _ := ApplicationByName("Nqueens")
+	res := Tune(custom, app, Setting{Label: "medium", Threads: custom.Cores, Scale: 1}, nil, 80)
+	if res.Speedup() < 1.5 {
+		t.Errorf("tuning on custom machine: %v", res.Speedup())
+	}
+}

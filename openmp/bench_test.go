@@ -1,0 +1,159 @@
+package openmp
+
+// Microbenchmarks of the runtime's tuning-relevant primitives: fork/join,
+// barriers, the four schedules, the three reduction methods, task
+// spawn/steal, and the wait-policy lock. These are the Go analogues of the
+// costs the performance model parameterizes (internal/sim/model.go).
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func benchRuntime(b *testing.B, mutate func(*Options)) *Runtime {
+	b.Helper()
+	o := DefaultOptions()
+	o.NumThreads = 4
+	o.BlocktimeMS = 0
+	if mutate != nil {
+		mutate(&o)
+	}
+	rt, err := New(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	return rt
+}
+
+func BenchmarkForkJoin(b *testing.B) {
+	rt := benchRuntime(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(func(*Thread) {})
+	}
+}
+
+func BenchmarkForkJoinTurnaround(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(func(*Thread) {})
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	rt := benchRuntime(b, nil)
+	b.ResetTimer()
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Barrier()
+		}
+	})
+}
+
+func benchmarkSchedule(b *testing.B, s ScheduleKind, chunk int) {
+	rt := benchRuntime(b, func(o *Options) { o.Schedule = s; o.ChunkSize = chunk })
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.ParallelFor(4096, func(j int) {
+			if j == 0 {
+				sink.Add(1)
+			}
+		})
+	}
+}
+
+func BenchmarkForStatic(b *testing.B)   { benchmarkSchedule(b, ScheduleStatic, 0) }
+func BenchmarkForDynamic1(b *testing.B) { benchmarkSchedule(b, ScheduleDynamic, 1) }
+func BenchmarkForDynamic64(b *testing.B) {
+	benchmarkSchedule(b, ScheduleDynamic, 64)
+}
+func BenchmarkForGuided(b *testing.B) { benchmarkSchedule(b, ScheduleGuided, 0) }
+
+func benchmarkReduce(b *testing.B, m ReductionMethod) {
+	rt := benchRuntime(b, func(o *Options) { o.Reduction = m })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(func(th *Thread) {
+			th.ReduceSum(float64(th.ID()))
+		})
+	}
+}
+
+func BenchmarkReduceTree(b *testing.B)     { benchmarkReduce(b, ReductionTree) }
+func BenchmarkReduceCritical(b *testing.B) { benchmarkReduce(b, ReductionCritical) }
+func BenchmarkReduceAtomic(b *testing.B)   { benchmarkReduce(b, ReductionAtomic) }
+
+func BenchmarkTaskSpawnRun(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	b.ResetTimer()
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			for i := 0; i < b.N; i++ {
+				th.Task(func(*Thread) {})
+			}
+			th.TaskWait()
+		})
+	})
+}
+
+func BenchmarkTaskFibonacci(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	var fib func(th *Thread, n int) int64
+	fib = func(th *Thread, n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		var x int64
+		th.Task(func(inner *Thread) { x = fib(inner, n-1) })
+		y := fib(th, n-2)
+		th.TaskWait()
+		return x + y
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(func(th *Thread) {
+			th.Single(func() { fib(th, 12) })
+		})
+	}
+}
+
+func BenchmarkLockUncontended(b *testing.B) {
+	rt := benchRuntime(b, nil)
+	l := rt.NewLock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkLockContended(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	l := rt.NewLock()
+	n := 0
+	b.ResetTimer()
+	rt.Parallel(func(th *Thread) {
+		per := b.N / th.NumThreads()
+		for i := 0; i < per; i++ {
+			l.Lock()
+			n++
+			l.Unlock()
+		}
+	})
+	_ = n
+}
+
+func BenchmarkAlignedAlloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = AlignedFloat64s(512, 256)
+	}
+}
+
+func BenchmarkAssignPlaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AssignPlaces(12, BindSpread, 96, 0)
+	}
+}

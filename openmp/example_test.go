@@ -1,0 +1,80 @@
+package openmp_test
+
+import (
+	"fmt"
+
+	"omptune/openmp"
+)
+
+func ExampleRuntime_ParallelFor() {
+	opts := openmp.DefaultOptions()
+	opts.NumThreads = 4
+	opts.Schedule = openmp.ScheduleGuided
+	rt := openmp.MustNew(opts)
+	defer rt.Close()
+
+	data := make([]float64, 1000)
+	rt.ParallelFor(len(data), func(i int) { data[i] = float64(i) * 2 })
+	fmt.Println(data[10], data[999])
+	// Output: 20 1998
+}
+
+func ExampleRuntime_ParallelReduceSum() {
+	opts := openmp.DefaultOptions()
+	opts.NumThreads = 4
+	opts.Reduction = openmp.ReductionTree
+	rt := openmp.MustNew(opts)
+	defer rt.Close()
+
+	sum := rt.ParallelReduceSum(101, func(i int) float64 { return float64(i) })
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+func ExampleThread_Task() {
+	opts := openmp.DefaultOptions()
+	opts.NumThreads = 4
+	opts.Library = openmp.LibTurnaround // fine-grained tasks: spin, don't sleep
+	rt := openmp.MustNew(opts)
+	defer rt.Close()
+
+	var fib func(th *openmp.Thread, n int) int
+	fib = func(th *openmp.Thread, n int) int {
+		if n < 2 {
+			return n
+		}
+		var a int
+		th.Task(func(inner *openmp.Thread) { a = fib(inner, n-1) })
+		b := fib(th, n-2)
+		th.TaskWait()
+		return a + b
+	}
+	rt.Parallel(func(th *openmp.Thread) {
+		th.Single(func() { fmt.Println(fib(th, 20)) })
+	})
+	// Output: 6765
+}
+
+func ExampleOptionsFromEnviron() {
+	opts, err := openmp.OptionsFromEnviron([]string{
+		"OMP_NUM_THREADS=8",
+		"OMP_SCHEDULE=dynamic,16",
+		"KMP_LIBRARY=turnaround",
+		"KMP_BLOCKTIME=infinite",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(opts.NumThreads, opts.Schedule, opts.ChunkSize, opts.Library)
+	// Output: 8 dynamic 16 turnaround
+}
+
+func ExampleAssignPlaces() {
+	// 8 threads spread over 4 places (e.g. sockets of a 4-socket node).
+	fmt.Println(openmp.AssignPlaces(4, openmp.BindSpread, 8, 0))
+	// All threads packed onto the primary's place.
+	fmt.Println(openmp.AssignPlaces(4, openmp.BindMaster, 8, 0))
+	// Output:
+	// [0 0 1 1 2 2 3 3]
+	// [0 0 0 0 0 0 0 0]
+}

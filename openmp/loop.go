@@ -1,0 +1,126 @@
+package openmp
+
+import "sync/atomic"
+
+// For executes body for every iteration in [0, n), dividing iterations
+// among the team per the configured schedule, then waits at the implicit
+// barrier that ends an OpenMP worksharing loop. Every team thread must call
+// For (it is a worksharing construct).
+func (th *Thread) For(n int, body func(i int)) {
+	th.ForNowait(n, body)
+	th.Barrier()
+}
+
+// ForNowait is For with the trailing barrier elided, the equivalent of the
+// OpenMP `nowait` clause.
+func (th *Thread) ForNowait(n int, body func(i int)) {
+	if n <= 0 {
+		th.nextSeq() // keep construct sequence aligned across threads
+		return
+	}
+	opts := th.team.rt.opts
+	switch opts.Schedule {
+	case ScheduleStatic, ScheduleAuto:
+		// LLVM/OpenMP resolves auto to static.
+		th.nextSeq()
+		th.forStatic(n, opts.ChunkSize, body)
+	case ScheduleDynamic:
+		th.forDynamic(n, opts.ChunkSize, body)
+	case ScheduleGuided:
+		th.forGuided(n, opts.ChunkSize, body)
+	default:
+		th.nextSeq()
+		th.forStatic(n, opts.ChunkSize, body)
+	}
+}
+
+// forStatic needs no shared state: with no chunk size each thread takes one
+// contiguous block; with a chunk size chunks are dealt round-robin.
+func (th *Thread) forStatic(n, chunk int, body func(i int)) {
+	t, nt := th.id, th.team.n
+	if chunk <= 0 {
+		lo, hi := t*n/nt, (t+1)*n/nt
+		if lo < hi {
+			th.team.rt.stats.chunks.Add(1)
+		}
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	for lo := t * chunk; lo < n; lo += nt * chunk {
+		hi := min(lo+chunk, n)
+		th.team.rt.stats.chunks.Add(1)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+}
+
+type dynLoop struct {
+	next atomic.Int64
+}
+
+// forDynamic hands out fixed-size chunks from a shared counter,
+// first-come-first-served.
+func (th *Thread) forDynamic(n, chunk int, body func(i int)) {
+	seq := th.nextSeq()
+	st := th.team.instance(seq, func() any { return new(dynLoop) }).(*dynLoop)
+	if chunk <= 0 {
+		chunk = 1
+	}
+	for {
+		lo := int(st.next.Add(int64(chunk))) - chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		th.team.rt.stats.chunks.Add(1)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+	th.team.release(seq)
+}
+
+type guidedLoop struct {
+	remaining atomic.Int64
+}
+
+// forGuided hands out exponentially shrinking chunks: each grab takes
+// remaining/(2*nthreads), clamped below by the chunk size (default 1).
+func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
+	seq := th.nextSeq()
+	st := th.team.instance(seq, func() any {
+		g := new(guidedLoop)
+		g.remaining.Store(int64(n))
+		return g
+	}).(*guidedLoop)
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	nt := int64(th.team.n)
+	for {
+		rem := st.remaining.Load()
+		if rem <= 0 {
+			break
+		}
+		c := rem / (2 * nt)
+		if c < int64(minChunk) {
+			c = int64(minChunk)
+		}
+		if c > rem {
+			c = rem
+		}
+		if !st.remaining.CompareAndSwap(rem, rem-c) {
+			continue
+		}
+		lo := n - int(rem)
+		hi := lo + int(c)
+		th.team.rt.stats.chunks.Add(1)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+	th.team.release(seq)
+}

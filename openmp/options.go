@@ -1,0 +1,359 @@
+// Package openmp is a from-scratch, goroutine-based runtime library that
+// mirrors the execution model and tuning surface of the LLVM/OpenMP CPU
+// runtime: fork–join parallel regions, worksharing loops with the four
+// standard schedules, explicit tasking with work stealing, tree / critical /
+// atomic reductions, and the implementation-defined controls KMP_LIBRARY,
+// KMP_BLOCKTIME, KMP_FORCE_REDUCTION and KMP_ALIGN_ALLOC.
+//
+// The package is self-contained so it can be adopted independently of the
+// tuning study built on top of it. Configuration arrives either through an
+// Options struct or by parsing OMP_*/KMP_* environment entries with
+// OptionsFromEnviron.
+package openmp
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ScheduleKind selects how worksharing-loop iterations are divided among
+// threads (OMP_SCHEDULE).
+type ScheduleKind int
+
+// Worksharing schedules. ScheduleAuto delegates the choice to the runtime,
+// which — like LLVM/OpenMP — resolves it to static.
+const (
+	ScheduleStatic ScheduleKind = iota
+	ScheduleDynamic
+	ScheduleGuided
+	ScheduleAuto
+)
+
+// String returns the OMP_SCHEDULE spelling of the kind.
+func (s ScheduleKind) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	case ScheduleAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("ScheduleKind(%d)", int(s))
+}
+
+// ParseSchedule parses an OMP_SCHEDULE kind (an optional ",chunk" suffix is
+// accepted and returned separately; chunk 0 means unspecified).
+func ParseSchedule(s string) (ScheduleKind, int, error) {
+	kind, chunkStr, hasChunk := strings.Cut(strings.ToLower(strings.TrimSpace(s)), ",")
+	chunk := 0
+	if hasChunk {
+		n, err := strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("openmp: invalid schedule chunk %q", chunkStr)
+		}
+		chunk = n
+	}
+	switch strings.TrimSpace(kind) {
+	case "static":
+		return ScheduleStatic, chunk, nil
+	case "dynamic":
+		return ScheduleDynamic, chunk, nil
+	case "guided":
+		return ScheduleGuided, chunk, nil
+	case "auto":
+		return ScheduleAuto, chunk, nil
+	}
+	return 0, 0, fmt.Errorf("openmp: unknown schedule %q", kind)
+}
+
+// BindPolicy is the OMP_PROC_BIND affinity policy applied when a team forks.
+type BindPolicy int
+
+// Binding policies. BindDefault resolves to BindNone unless places are
+// configured, in which case it resolves to BindSpread — the same derivation
+// the LLVM runtime applies.
+const (
+	BindDefault BindPolicy = iota
+	BindNone               // "false": threads float between places
+	BindTrue               // "true": bind without changing the assignment policy
+	BindMaster             // all threads on the primary thread's place
+	BindClose              // pack threads on places near the primary
+	BindSpread             // spread threads across places
+)
+
+// String returns the OMP_PROC_BIND spelling of the policy.
+func (b BindPolicy) String() string {
+	switch b {
+	case BindDefault:
+		return "unset"
+	case BindNone:
+		return "false"
+	case BindTrue:
+		return "true"
+	case BindMaster:
+		return "master"
+	case BindClose:
+		return "close"
+	case BindSpread:
+		return "spread"
+	}
+	return fmt.Sprintf("BindPolicy(%d)", int(b))
+}
+
+// ParseBind parses an OMP_PROC_BIND value. "primary" is accepted as the
+// non-deprecated spelling of "master".
+func ParseBind(s string) (BindPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "unset":
+		return BindDefault, nil
+	case "false":
+		return BindNone, nil
+	case "true":
+		return BindTrue, nil
+	case "master", "primary":
+		return BindMaster, nil
+	case "close":
+		return BindClose, nil
+	case "spread":
+		return BindSpread, nil
+	}
+	return 0, fmt.Errorf("openmp: unknown proc_bind %q", s)
+}
+
+// LibraryMode is the KMP_LIBRARY execution mode.
+type LibraryMode int
+
+// Execution modes. Turnaround assumes a dedicated machine and keeps workers
+// spinning; throughput shares the machine and lets workers sleep after the
+// blocktime; serial disables worker threads entirely.
+const (
+	LibThroughput LibraryMode = iota
+	LibTurnaround
+	LibSerial
+)
+
+// String returns the KMP_LIBRARY spelling of the mode.
+func (l LibraryMode) String() string {
+	switch l {
+	case LibThroughput:
+		return "throughput"
+	case LibTurnaround:
+		return "turnaround"
+	case LibSerial:
+		return "serial"
+	}
+	return fmt.Sprintf("LibraryMode(%d)", int(l))
+}
+
+// ParseLibrary parses a KMP_LIBRARY value.
+func ParseLibrary(s string) (LibraryMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "throughput":
+		return LibThroughput, nil
+	case "turnaround":
+		return LibTurnaround, nil
+	case "serial":
+		return LibSerial, nil
+	}
+	return 0, fmt.Errorf("openmp: unknown library mode %q", s)
+}
+
+// ReductionMethod is the KMP_FORCE_REDUCTION cross-thread reduction method.
+type ReductionMethod int
+
+// Reduction methods. ReductionDefault applies the runtime heuristic: one
+// thread needs no synchronization, 2–4 threads use the critical method, and
+// larger teams use the tree method.
+const (
+	ReductionDefault ReductionMethod = iota
+	ReductionTree
+	ReductionCritical
+	ReductionAtomic
+)
+
+// String returns the KMP_FORCE_REDUCTION spelling of the method.
+func (r ReductionMethod) String() string {
+	switch r {
+	case ReductionDefault:
+		return "unset"
+	case ReductionTree:
+		return "tree"
+	case ReductionCritical:
+		return "critical"
+	case ReductionAtomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("ReductionMethod(%d)", int(r))
+}
+
+// ParseReduction parses a KMP_FORCE_REDUCTION value.
+func ParseReduction(s string) (ReductionMethod, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "unset":
+		return ReductionDefault, nil
+	case "tree":
+		return ReductionTree, nil
+	case "critical":
+		return ReductionCritical, nil
+	case "atomic":
+		return ReductionAtomic, nil
+	}
+	return 0, fmt.Errorf("openmp: unknown reduction method %q", s)
+}
+
+// BlocktimeInfinite keeps worker threads spinning forever between regions
+// (KMP_BLOCKTIME=infinite).
+const BlocktimeInfinite = -1
+
+// Options configures a Runtime. The zero value is NOT ready to use; call
+// DefaultOptions (or fill every field) to obtain the library defaults.
+type Options struct {
+	// NumThreads is the team size of parallel regions. Defaults to
+	// runtime.NumCPU().
+	NumThreads int
+	// Schedule and ChunkSize control worksharing loops; ChunkSize 0 lets the
+	// runtime pick (static: block partition; dynamic/guided: 1).
+	Schedule  ScheduleKind
+	ChunkSize int
+	// Bind and Places control the logical thread placement bookkeeping.
+	// Binding in this runtime is advisory — goroutines cannot be pinned to
+	// cores — but the assignment is computed with the same algorithm the
+	// real runtime uses and is observable through Runtime.Placement.
+	Bind   BindPolicy
+	Places []PlaceSpec
+	// Library selects the execution mode (see LibraryMode).
+	Library LibraryMode
+	// BlocktimeMS is how long, in milliseconds, an idle worker spins before
+	// sleeping. BlocktimeInfinite disables sleeping. Turnaround mode
+	// overrides this to BlocktimeInfinite, mirroring the OMP_WAIT_POLICY
+	// derivation in the LLVM runtime.
+	BlocktimeMS int
+	// Reduction forces a reduction method (ReductionDefault = heuristic).
+	Reduction ReductionMethod
+	// AlignAlloc is the byte alignment of Runtime-allocated buffers
+	// (KMP_ALIGN_ALLOC). Must be a power of two >= 8. Defaults to 64.
+	AlignAlloc int
+}
+
+// DefaultOptions returns the library defaults used when a variable is unset:
+// as many threads as CPUs, static schedule, no binding, throughput mode,
+// a 200 ms blocktime, the heuristic reduction, and 64-byte alignment.
+func DefaultOptions() Options {
+	return Options{
+		NumThreads:  runtime.NumCPU(),
+		Schedule:    ScheduleStatic,
+		Bind:        BindDefault,
+		Library:     LibThroughput,
+		BlocktimeMS: 200,
+		Reduction:   ReductionDefault,
+		AlignAlloc:  64,
+	}
+}
+
+// OptionsFromEnviron builds Options from KEY=VALUE entries, starting from
+// DefaultOptions. Recognized keys: OMP_NUM_THREADS, OMP_SCHEDULE,
+// OMP_PROC_BIND, OMP_PLACES, KMP_LIBRARY, KMP_BLOCKTIME,
+// KMP_FORCE_REDUCTION, KMP_ALIGN_ALLOC. Unknown keys are ignored.
+func OptionsFromEnviron(environ []string) (Options, error) {
+	o := DefaultOptions()
+	for _, kv := range environ {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Options{}, fmt.Errorf("openmp: malformed environment entry %q", kv)
+		}
+		var err error
+		switch strings.ToUpper(strings.TrimSpace(key)) {
+		case "OMP_NUM_THREADS":
+			o.NumThreads, err = strconv.Atoi(strings.TrimSpace(val))
+			if err == nil && o.NumThreads < 1 {
+				err = fmt.Errorf("openmp: OMP_NUM_THREADS must be positive")
+			}
+		case "OMP_SCHEDULE":
+			o.Schedule, o.ChunkSize, err = ParseSchedule(val)
+		case "OMP_PROC_BIND":
+			o.Bind, err = ParseBind(val)
+		case "OMP_PLACES":
+			o.Places, err = ParsePlaces(val)
+		case "KMP_LIBRARY":
+			o.Library, err = ParseLibrary(val)
+		case "KMP_BLOCKTIME":
+			v := strings.ToLower(strings.TrimSpace(val))
+			if v == "infinite" {
+				o.BlocktimeMS = BlocktimeInfinite
+			} else {
+				o.BlocktimeMS, err = strconv.Atoi(v)
+				if err == nil && o.BlocktimeMS < 0 {
+					err = fmt.Errorf("openmp: KMP_BLOCKTIME must be >= 0")
+				}
+			}
+		case "KMP_FORCE_REDUCTION":
+			o.Reduction, err = ParseReduction(val)
+		case "KMP_ALIGN_ALLOC":
+			o.AlignAlloc, err = strconv.Atoi(strings.TrimSpace(val))
+		}
+		if err != nil {
+			return Options{}, err
+		}
+	}
+	if err := o.validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+func (o Options) validate() error {
+	if o.NumThreads < 1 {
+		return fmt.Errorf("openmp: NumThreads %d < 1", o.NumThreads)
+	}
+	if o.AlignAlloc < 8 || o.AlignAlloc&(o.AlignAlloc-1) != 0 {
+		return fmt.Errorf("openmp: AlignAlloc %d is not a power of two >= 8", o.AlignAlloc)
+	}
+	if o.BlocktimeMS < BlocktimeInfinite {
+		return fmt.Errorf("openmp: BlocktimeMS %d invalid", o.BlocktimeMS)
+	}
+	if o.ChunkSize < 0 {
+		return fmt.Errorf("openmp: ChunkSize %d < 0", o.ChunkSize)
+	}
+	return nil
+}
+
+// effectiveBind resolves BindDefault: none unless places were given, in
+// which case spread.
+func (o Options) effectiveBind() BindPolicy {
+	if o.Bind != BindDefault {
+		return o.Bind
+	}
+	if len(o.Places) > 0 {
+		return BindSpread
+	}
+	return BindNone
+}
+
+// effectiveBlocktimeMS resolves the spin budget from the library mode, like
+// the OMP_WAIT_POLICY derivation in the real runtime.
+func (o Options) effectiveBlocktimeMS() int {
+	if o.Library == LibTurnaround {
+		return BlocktimeInfinite
+	}
+	return o.BlocktimeMS
+}
+
+// effectiveReduction resolves ReductionDefault with the runtime heuristic.
+func (o Options) effectiveReduction(threads int) ReductionMethod {
+	if o.Reduction != ReductionDefault {
+		return o.Reduction
+	}
+	switch {
+	case threads <= 1:
+		return ReductionTree
+	case threads <= 4:
+		return ReductionCritical
+	default:
+		return ReductionTree
+	}
+}

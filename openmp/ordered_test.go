@@ -1,0 +1,129 @@
+package openmp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForOrderedExecutesInIterationOrder(t *testing.T) {
+	for _, sched := range []ScheduleKind{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+		o := optsN(4)
+		o.Schedule = sched
+		o.ChunkSize = 3
+		rt := testRuntime(t, o)
+		const n = 100
+		var order []int
+		rt.Parallel(func(th *Thread) {
+			th.ForOrdered(n, func(i int, ord *Ordered) {
+				// Unordered pre-work may run in any order; the ordered
+				// region must serialize in iteration order.
+				ord.Do(i, func() { order = append(order, i) })
+			})
+		})
+		if len(order) != n {
+			t.Fatalf("%s: %d ordered regions ran, want %d", sched, len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%s: ordered region %d ran at position %d", sched, v, i)
+			}
+		}
+	}
+}
+
+func TestForOrderedFollowedByOtherConstructs(t *testing.T) {
+	rt := testRuntime(t, optsN(3))
+	var sum atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.ForOrdered(10, func(i int, ord *Ordered) {
+			ord.Do(i, func() { sum.Add(int64(i)) })
+		})
+		// The construct-sequence counters must still be aligned.
+		th.For(10, func(i int) { sum.Add(1) })
+		v := th.ReduceSum(1)
+		if v != 3 {
+			t.Errorf("post-ordered reduction = %v, want 3", v)
+		}
+	})
+	if got := sum.Load(); got != 45+10 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestParallelNShrinksTeam(t *testing.T) {
+	rt := testRuntime(t, optsN(6))
+	var ids []int32
+	var mu Lock
+	rt.ParallelN(3, func(th *Thread) {
+		if th.NumThreads() != 3 {
+			t.Errorf("NumThreads = %d, want 3", th.NumThreads())
+		}
+		mu.Lock()
+		ids = append(ids, int32(th.ID()))
+		mu.Unlock()
+	})
+	if len(ids) != 3 {
+		t.Fatalf("%d threads participated, want 3", len(ids))
+	}
+	seen := map[int32]bool{}
+	for _, id := range ids {
+		if id < 0 || id > 2 || seen[id] {
+			t.Fatalf("bad participant ids %v", ids)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParallelNCollectivesWork(t *testing.T) {
+	rt := testRuntime(t, optsN(5))
+	var dot float64
+	rt.ParallelN(2, func(th *Thread) {
+		local := 0.0
+		th.ForNowait(100, func(i int) { local += float64(i) })
+		v := th.ReduceSum(local)
+		th.Master(func() { dot = v })
+	})
+	if dot != 4950 {
+		t.Errorf("sub-team reduction = %v, want 4950", dot)
+	}
+}
+
+func TestParallelNTasksDrainInSubTeam(t *testing.T) {
+	rt := testRuntime(t, optsN(4))
+	var ran atomic.Int32
+	rt.ParallelN(2, func(th *Thread) {
+		th.Single(func() {
+			for i := 0; i < 40; i++ {
+				th.Task(func(*Thread) { ran.Add(1) })
+			}
+		})
+	})
+	if got := ran.Load(); got != 40 {
+		t.Errorf("sub-team tasks ran = %d, want 40", got)
+	}
+}
+
+func TestParallelNClamping(t *testing.T) {
+	rt := testRuntime(t, optsN(2))
+	var count atomic.Int32
+	rt.ParallelN(100, func(th *Thread) { count.Add(1) })
+	if count.Load() != 2 {
+		t.Errorf("over-clamped team ran %d threads, want 2", count.Load())
+	}
+	count.Store(0)
+	rt.ParallelN(0, func(th *Thread) { count.Add(1) })
+	if count.Load() != 1 {
+		t.Errorf("under-clamped team ran %d threads, want 1", count.Load())
+	}
+}
+
+func TestParallelNRepeated(t *testing.T) {
+	rt := testRuntime(t, optsN(4))
+	var total atomic.Int32
+	for round := 0; round < 10; round++ {
+		rt.ParallelN(3, func(th *Thread) { total.Add(1) })
+	}
+	if got := total.Load(); got != 30 {
+		t.Errorf("10 x ParallelN(3) = %d executions, want 30", got)
+	}
+}

@@ -1,0 +1,244 @@
+package openmp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runtime owns a pool of worker goroutines and executes fork–join parallel
+// regions over them. Create one with New, use it from a single orchestrating
+// goroutine, and release the workers with Close. Parallel regions may not be
+// nested: calling Parallel from inside a region is a programming error (the
+// inner call would deadlock on the region lock, as OpenMP nested parallelism
+// is disabled in this runtime).
+type Runtime struct {
+	opts      Options
+	bind      BindPolicy
+	placement []int // thread -> place index; nil when unbound
+
+	regionMu sync.Mutex
+	workers  []*worker
+	wg       sync.WaitGroup
+	closed   bool
+
+	critMu    sync.Mutex
+	criticals map[string]*sync.Mutex
+
+	stats rtStats
+}
+
+// Stats is a snapshot of runtime activity counters, useful for verifying
+// that a configuration exercised the intended code paths (e.g. turnaround
+// mode never sleeps) and for calibrating the performance model.
+type Stats struct {
+	Regions     uint64 // parallel regions executed
+	Sleeps      uint64 // times an idle worker exhausted its blocktime and slept
+	Wakeups     uint64 // times a slept worker was woken for new work
+	TasksRun    uint64 // explicit tasks executed
+	TasksStolen uint64 // tasks taken from another thread's deque
+	Chunks      uint64 // worksharing chunks dispatched
+}
+
+type rtStats struct {
+	regions, sleeps, wakeups, tasksRun, tasksStolen, chunks atomic.Uint64
+}
+
+// New validates opts and starts NumThreads-1 worker goroutines (the caller
+// of Parallel acts as thread 0). Serial mode starts no workers.
+func New(opts Options) (*Runtime, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:      opts,
+		bind:      opts.effectiveBind(),
+		criticals: make(map[string]*sync.Mutex),
+	}
+	rt.placement = AssignPlaces(len(opts.Places), rt.bind, opts.NumThreads, 0)
+	nworkers := opts.NumThreads - 1
+	if opts.Library == LibSerial {
+		nworkers = 0
+	}
+	rt.workers = make([]*worker, nworkers)
+	for i := range rt.workers {
+		w := &worker{rt: rt, id: i, work: make(chan *Team, 1)}
+		rt.workers[i] = w
+		rt.wg.Add(1)
+		go w.loop()
+	}
+	return rt, nil
+}
+
+// MustNew is New but panics on error; convenient for examples and tests.
+func MustNew(opts Options) *Runtime {
+	rt, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Options returns the configuration the runtime was built with.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// NumThreads returns the team size of parallel regions (1 in serial mode).
+func (rt *Runtime) NumThreads() int {
+	if rt.opts.Library == LibSerial {
+		return 1
+	}
+	return rt.opts.NumThreads
+}
+
+// Placement returns a copy of the thread→place assignment, or nil when
+// threads are unbound (OMP_PROC_BIND=false).
+func (rt *Runtime) Placement() []int {
+	if rt.placement == nil {
+		return nil
+	}
+	out := make([]int, len(rt.placement))
+	copy(out, rt.placement)
+	return out
+}
+
+// Stats returns a snapshot of the activity counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Regions:     rt.stats.regions.Load(),
+		Sleeps:      rt.stats.sleeps.Load(),
+		Wakeups:     rt.stats.wakeups.Load(),
+		TasksRun:    rt.stats.tasksRun.Load(),
+		TasksStolen: rt.stats.tasksStolen.Load(),
+		Chunks:      rt.stats.chunks.Load(),
+	}
+}
+
+// Close shuts the worker pool down and waits for the goroutines to exit.
+// The runtime must not be used afterwards. Close is idempotent.
+func (rt *Runtime) Close() {
+	rt.regionMu.Lock()
+	defer rt.regionMu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, w := range rt.workers {
+		close(w.work)
+	}
+	rt.wg.Wait()
+}
+
+// Parallel executes body once per team thread, concurrently, and returns
+// after the implicit end-of-region barrier (which first drains any
+// outstanding explicit tasks). The calling goroutine participates as thread
+// 0, exactly like the primary thread of an OpenMP team.
+func (rt *Runtime) Parallel(body func(th *Thread)) {
+	rt.regionMu.Lock()
+	defer rt.regionMu.Unlock()
+	if rt.closed {
+		panic("openmp: Parallel called on closed Runtime")
+	}
+	rt.stats.regions.Add(1)
+	n := rt.NumThreads()
+	tm := newTeam(rt, n, body)
+	for i := 0; i < n-1; i++ {
+		rt.workers[i].work <- tm
+	}
+	tm.run(0)
+	tm.join.Wait()
+}
+
+// ParallelFor is shorthand for a region containing a single worksharing
+// loop over [0, n).
+func (rt *Runtime) ParallelFor(n int, body func(i int)) {
+	rt.Parallel(func(th *Thread) { th.For(n, body) })
+}
+
+// ParallelReduceSum runs body over [0, n) and returns the sum of its return
+// values, combined with the configured reduction method.
+func (rt *Runtime) ParallelReduceSum(n int, body func(i int) float64) float64 {
+	var out float64
+	rt.Parallel(func(th *Thread) {
+		local := 0.0
+		th.ForNowait(n, func(i int) { local += body(i) })
+		v := th.ReduceSum(local)
+		if th.ID() == 0 {
+			out = v
+		}
+	})
+	return out
+}
+
+// criticalFor returns the process-wide lock for the named critical section.
+func (rt *Runtime) criticalFor(name string) *sync.Mutex {
+	rt.critMu.Lock()
+	defer rt.critMu.Unlock()
+	mu, ok := rt.criticals[name]
+	if !ok {
+		mu = new(sync.Mutex)
+		rt.criticals[name] = mu
+	}
+	return mu
+}
+
+// worker is one pooled thread. Between regions it waits for work according
+// to the wait policy: spin while the blocktime budget lasts, then sleep on
+// the channel until woken.
+type worker struct {
+	rt   *Runtime
+	id   int // team thread id is id+1
+	work chan *Team
+}
+
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	for {
+		tm, ok := w.next()
+		if !ok {
+			return
+		}
+		tm.run(w.id + 1)
+	}
+}
+
+// next implements the KMP_BLOCKTIME / KMP_LIBRARY wait policy. With an
+// infinite budget (turnaround mode or KMP_BLOCKTIME=infinite) the worker
+// spins — yielding the processor but never blocking. With a zero budget it
+// sleeps immediately. Otherwise it spins until the budget expires and then
+// sleeps; being woken from sleep is the expensive path the paper's
+// turnaround-mode findings hinge on.
+func (w *worker) next() (*Team, bool) {
+	bt := w.rt.opts.effectiveBlocktimeMS()
+	if bt != 0 {
+		var deadline time.Time
+		if bt > 0 {
+			deadline = time.Now().Add(time.Duration(bt) * time.Millisecond)
+		}
+		for spins := 0; ; spins++ {
+			select {
+			case tm, ok := <-w.work:
+				return tm, ok
+			default:
+			}
+			if bt > 0 && spins&63 == 63 && time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	w.rt.stats.sleeps.Add(1)
+	tm, ok := <-w.work
+	if ok {
+		w.rt.stats.wakeups.Add(1)
+	}
+	return tm, ok
+}
+
+// String summarizes the runtime configuration.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("openmp.Runtime{threads=%d sched=%s bind=%s lib=%s blocktime=%d red=%s align=%d}",
+		rt.opts.NumThreads, rt.opts.Schedule, rt.bind, rt.opts.Library,
+		rt.opts.effectiveBlocktimeMS(), rt.opts.Reduction, rt.opts.AlignAlloc)
+}

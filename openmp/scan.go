@@ -1,0 +1,66 @@
+package openmp
+
+// ScanSum computes the team-wide exclusive prefix sum of each thread's
+// local contribution: thread t receives the sum of the locals of threads
+// 0..t-1 (0 for thread 0). This is the building block OpenMP 5's scan
+// clause reduces to at team scope, and what worksharing implementations use
+// to give each thread its output offset (e.g. parallel pack/filter).
+//
+// Like the reductions, ScanSum is a collective: every team thread must
+// call it. The implementation is the classic two-phase tree (up-sweep into
+// padded slots, serial combine by thread 0, barrier) which costs O(log n)
+// barriers like the tree reduction.
+func (th *Thread) ScanSum(local float64) float64 {
+	n := th.team.n
+	if n == 1 {
+		th.nextSeq()
+		return 0
+	}
+	seq := th.nextSeq()
+	align := th.team.rt.opts.AlignAlloc
+	st := th.team.instance(seq, func() any {
+		stride := padStride(align)
+		return &treeCell{slots: AlignedFloat64s((n+1)*stride, align), stride: stride}
+	}).(*treeCell)
+	st.slots[th.id*st.stride] = local
+	th.Barrier()
+	// Thread 0 turns the slot array into exclusive prefix sums; n is team
+	// size, so this serial pass is O(n) with n <= a few hundred.
+	if th.id == 0 {
+		run := 0.0
+		for t := 0; t < n; t++ {
+			v := st.slots[t*st.stride]
+			st.slots[t*st.stride] = run
+			run += v
+		}
+		st.slots[n*st.stride] = run // total, available to all
+	}
+	th.Barrier()
+	out := st.slots[th.id*st.stride]
+	th.Barrier()
+	th.team.release(seq)
+	return out
+}
+
+// Pack concurrently copies the elements of [0, n) for which keep returns
+// true into dst, preserving index order, and returns the number of kept
+// elements. It demonstrates ScanSum: each thread filters its static block,
+// scans for its output offset, then writes its block. dst must have room
+// for n values. Every team thread must call Pack.
+func Pack(th *Thread, n int, keep func(i int) bool, get func(i int) float64, dst []float64) int {
+	t, nt := th.ID(), th.NumThreads()
+	lo, hi := t*n/nt, (t+1)*n/nt
+	var mine []float64
+	for i := lo; i < hi; i++ {
+		if keep(i) {
+			mine = append(mine, get(i))
+		}
+	}
+	offset := int(th.ScanSum(float64(len(mine))))
+	copy(dst[offset:], mine)
+	// Total kept = this thread's offset plus its own run only for the last
+	// thread; make the total available to all via a max reduction.
+	total := th.ReduceMax(float64(offset + len(mine)))
+	th.Barrier()
+	return int(total)
+}

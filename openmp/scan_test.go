@@ -1,0 +1,104 @@
+package openmp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScanSumExclusivePrefix(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		rt := testRuntime(t, optsN(n))
+		got := make([]float64, n)
+		rt.Parallel(func(th *Thread) {
+			// Thread t contributes t+1; exclusive prefix = t(t+1)/2.
+			got[th.ID()] = th.ScanSum(float64(th.ID() + 1))
+		})
+		for tid := 0; tid < n; tid++ {
+			want := float64(tid*(tid+1)) / 2
+			if got[tid] != want {
+				t.Errorf("n=%d: thread %d scan = %v, want %v", n, tid, got[tid], want)
+			}
+		}
+	}
+}
+
+func TestScanSumRepeated(t *testing.T) {
+	rt := testRuntime(t, optsN(4))
+	rt.Parallel(func(th *Thread) {
+		for round := 0; round < 10; round++ {
+			got := th.ScanSum(1)
+			if got != float64(th.ID()) {
+				t.Errorf("round %d thread %d: scan = %v, want %v", round, th.ID(), got, float64(th.ID()))
+			}
+		}
+	})
+}
+
+func TestScanSumProperty(t *testing.T) {
+	rt := testRuntime(t, optsN(4))
+	f := func(vals [4]int8) bool {
+		var out [4]float64
+		rt.Parallel(func(th *Thread) {
+			out[th.ID()] = th.ScanSum(float64(vals[th.ID()]))
+		})
+		run := 0.0
+		for tid := 0; tid < 4; tid++ {
+			if out[tid] != run {
+				return false
+			}
+			run += float64(vals[tid])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackKeepsOrderAndCount(t *testing.T) {
+	for _, nt := range []int{1, 2, 4} {
+		rt := testRuntime(t, optsN(nt))
+		const n = 1000
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i)
+		}
+		dst := make([]float64, n)
+		var total int
+		rt.Parallel(func(th *Thread) {
+			k := Pack(th, n,
+				func(i int) bool { return i%3 == 0 },
+				func(i int) float64 { return src[i] }, dst)
+			th.Master(func() { total = k })
+		})
+		want := (n + 2) / 3
+		if total != want {
+			t.Fatalf("nt=%d: Pack kept %d, want %d", nt, total, want)
+		}
+		for k := 0; k < total; k++ {
+			if dst[k] != float64(3*k) {
+				t.Fatalf("nt=%d: dst[%d] = %v, want %v", nt, k, dst[k], float64(3*k))
+			}
+		}
+	}
+}
+
+func TestPackNothingAndEverything(t *testing.T) {
+	rt := testRuntime(t, optsN(3))
+	dst := make([]float64, 50)
+	rt.Parallel(func(th *Thread) {
+		none := Pack(th, 50, func(int) bool { return false }, func(i int) float64 { return 1 }, dst)
+		if none != 0 {
+			t.Errorf("Pack(none) = %d", none)
+		}
+		all := Pack(th, 50, func(int) bool { return true }, func(i int) float64 { return float64(i) }, dst)
+		if all != 50 {
+			t.Errorf("Pack(all) = %d", all)
+		}
+	})
+	for i, v := range dst {
+		if v != float64(i) {
+			t.Fatalf("dst[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package openmp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Lock is an OpenMP-style simple lock (omp_init_lock / omp_set_lock /
+// omp_unset_lock). Acquisition follows the runtime's wait policy: the
+// caller spins for the configured blocktime and then parks, exactly like a
+// worker waiting for a region. The zero value is unlocked but not attached
+// to a runtime; use Runtime.NewLock to get wait-policy-aware behaviour.
+type Lock struct {
+	state  atomic.Int32
+	parked chan struct{} // buffered wake token channel
+	// spinForever mirrors KMP_LIBRARY=turnaround / KMP_BLOCKTIME=infinite.
+	spinForever bool
+	blocktime   time.Duration
+}
+
+// NewLock returns a lock honouring the runtime's wait policy.
+func (rt *Runtime) NewLock() *Lock {
+	bt := rt.opts.effectiveBlocktimeMS()
+	l := &Lock{parked: make(chan struct{}, 1)}
+	if bt == BlocktimeInfinite {
+		l.spinForever = true
+	} else {
+		l.blocktime = time.Duration(bt) * time.Millisecond
+	}
+	return l
+}
+
+// Lock acquires the lock, spinning within the blocktime budget and then
+// sleeping until a release wakes it.
+func (l *Lock) Lock() {
+	if l.state.CompareAndSwap(0, 1) {
+		return
+	}
+	var deadline time.Time
+	if !l.spinForever {
+		deadline = time.Now().Add(l.blocktime)
+	}
+	for spins := 0; ; spins++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		if !l.spinForever && spins&63 == 63 && time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Parked path: wait for wake tokens, retrying the acquisition.
+	if l.parked == nil {
+		// Zero-value lock: degrade to a pure spin.
+		for !l.state.CompareAndSwap(0, 1) {
+			runtime.Gosched()
+		}
+		return
+	}
+	for {
+		select {
+		case <-l.parked:
+		default:
+			runtime.Gosched()
+		}
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// TryLock attempts the acquisition without waiting.
+func (l *Lock) TryLock() bool { return l.state.CompareAndSwap(0, 1) }
+
+// Unlock releases the lock and wakes one parked waiter if any.
+func (l *Lock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("openmp: Unlock of unlocked Lock")
+	}
+	if l.parked != nil {
+		select {
+		case l.parked <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// NestLock is an OpenMP nestable lock (omp_init_nest_lock): the owning
+// thread may re-acquire it, tracking a nesting depth. Ownership is per
+// Thread, as in OpenMP, not per goroutine.
+type NestLock struct {
+	inner *Lock
+	owner atomic.Int64 // thread id + 1; 0 = unowned
+	depth int
+}
+
+// NewNestLock returns a nestable lock honouring the runtime's wait policy.
+func (rt *Runtime) NewNestLock() *NestLock {
+	return &NestLock{inner: rt.NewLock()}
+}
+
+// Lock acquires the nest lock for thread th, or deepens the nesting if th
+// already owns it. It returns the resulting nesting depth.
+func (nl *NestLock) Lock(th *Thread) int {
+	id := int64(th.ID()) + 1
+	if nl.owner.Load() == id {
+		nl.depth++
+		return nl.depth
+	}
+	nl.inner.Lock()
+	nl.owner.Store(id)
+	nl.depth = 1
+	return 1
+}
+
+// Unlock releases one nesting level, fully releasing the lock at depth 0.
+// It returns the remaining depth.
+func (nl *NestLock) Unlock(th *Thread) int {
+	id := int64(th.ID()) + 1
+	if nl.owner.Load() != id {
+		panic("openmp: NestLock.Unlock by non-owner thread")
+	}
+	nl.depth--
+	if nl.depth == 0 {
+		nl.owner.Store(0)
+		nl.inner.Unlock()
+		return 0
+	}
+	return nl.depth
+}
+
+// Sections executes each function on exactly one team thread, distributed
+// first-come-first-served like an OpenMP sections construct, and barriers
+// at the end. Every team thread must call Sections (it is a worksharing
+// construct).
+func (th *Thread) Sections(fns ...func()) {
+	seq := th.nextSeq()
+	if len(fns) == 0 {
+		th.Barrier()
+		return
+	}
+	st := th.team.instance(seq, func() any { return new(atomic.Int64) }).(*atomic.Int64)
+	for {
+		i := int(st.Add(1)) - 1
+		if i >= len(fns) {
+			break
+		}
+		fns[i]()
+	}
+	th.Barrier()
+	th.team.release(seq)
+}

@@ -1,0 +1,140 @@
+package openmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one explicit task. children counts direct child tasks that have
+// not yet completed, which is what TaskWait blocks on.
+type task struct {
+	fn       func(*Thread)
+	parent   *task
+	children atomic.Int64
+	// group is the innermost enclosing taskgroup at spawn time, inherited
+	// by descendants so TaskGroup can await the whole subtree.
+	group *taskGroup
+}
+
+// taskPool is the team's work-stealing task scheduler: one deque per
+// thread, LIFO for the owner (depth-first, cache-friendly) and FIFO for
+// thieves (steals the oldest, largest-granularity work).
+type taskPool struct {
+	deques  []taskDeque
+	pending atomic.Int64
+}
+
+func newTaskPool(n int) *taskPool {
+	return &taskPool{deques: make([]taskDeque, n)}
+}
+
+type taskDeque struct {
+	mu    sync.Mutex
+	items []*task
+}
+
+func (d *taskDeque) push(t *task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBack removes the newest task (owner side).
+func (d *taskDeque) popBack() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t
+}
+
+// popFront removes the oldest task (thief side).
+func (d *taskDeque) popFront() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return t
+}
+
+// Task spawns an explicit task executing fn. The task becomes a child of
+// the thread's current task (the implicit region task at the top level), is
+// queued on the spawning thread's deque, and may be executed by any team
+// thread. Tasks run when threads are idle: inside TaskWait, at explicit
+// barriers is not implied — draining happens in TaskWait and at the
+// implicit end-of-region barrier.
+func (th *Thread) Task(fn func(*Thread)) {
+	t := &task{fn: fn, parent: th.curTask, group: th.curGroup}
+	th.curTask.children.Add(1)
+	if t.group != nil {
+		t.group.pending.Add(1)
+	}
+	th.team.pool.pending.Add(1)
+	th.team.pool.deques[th.id].push(t)
+}
+
+// TaskWait blocks until all child tasks of the current task have completed,
+// executing queued tasks (its own or stolen) while it waits.
+func (th *Thread) TaskWait() {
+	for th.curTask.children.Load() > 0 {
+		if !th.runOneTask() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainTasks participates in task execution until the team has no pending
+// tasks; called before the implicit end-of-region barrier.
+func (th *Thread) drainTasks() {
+	for th.team.pool.pending.Load() > 0 {
+		if !th.runOneTask() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runOneTask executes one queued task if any is available: first the
+// thread's own newest task, then a task stolen from another thread's deque
+// (round-robin starting position so thieves don't all hammer deque 0).
+func (th *Thread) runOneTask() bool {
+	pool := th.team.pool
+	t := pool.deques[th.id].popBack()
+	if t == nil {
+		n := th.team.n
+		for k := 1; k < n; k++ {
+			victim := (th.id + th.stealAt + k) % n
+			if victim == th.id {
+				continue
+			}
+			if t = pool.deques[victim].popFront(); t != nil {
+				th.stealAt = (th.stealAt + k) % n
+				th.team.rt.stats.tasksStolen.Add(1)
+				break
+			}
+		}
+	}
+	if t == nil {
+		return false
+	}
+	prevTask, prevGroup := th.curTask, th.curGroup
+	th.curTask, th.curGroup = t, t.group
+	t.fn(th)
+	th.curTask, th.curGroup = prevTask, prevGroup
+	t.parent.children.Add(-1)
+	if t.group != nil {
+		t.group.pending.Add(-1)
+	}
+	pool.pending.Add(-1)
+	th.team.rt.stats.tasksRun.Add(1)
+	return true
+}

@@ -1,0 +1,186 @@
+package openmp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func taskOpts(n int) Options {
+	o := DefaultOptions()
+	o.NumThreads = n
+	o.BlocktimeMS = 0
+	return o
+}
+
+func TestTasksAllExecuteBeforeRegionEnds(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	var ran atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			for i := 0; i < 100; i++ {
+				th.Task(func(*Thread) { ran.Add(1) })
+			}
+		})
+	})
+	if got := ran.Load(); got != 100 {
+		t.Errorf("ran = %d tasks, want 100", got)
+	}
+	if got := rt.Stats().TasksRun; got != 100 {
+		t.Errorf("Stats().TasksRun = %d, want 100", got)
+	}
+}
+
+func TestTaskWaitBlocksOnChildren(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	var before, after atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			for i := 0; i < 20; i++ {
+				th.Task(func(*Thread) { before.Add(1) })
+			}
+			th.TaskWait()
+			if got := before.Load(); got != 20 {
+				t.Errorf("TaskWait returned with %d/20 children done", got)
+			}
+			after.Add(1)
+		})
+	})
+	if after.Load() != 1 {
+		t.Error("single body did not complete")
+	}
+}
+
+func TestTaskWaitOnlyWaitsDirectChildren(t *testing.T) {
+	// A child task spawns a grandchild; TaskWait on the parent must not
+	// require the grandchild to have finished, but region end must.
+	rt := testRuntime(t, taskOpts(2))
+	var grandchildRan atomic.Bool
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			th.Task(func(inner *Thread) {
+				inner.Task(func(*Thread) { grandchildRan.Store(true) })
+			})
+			th.TaskWait()
+		})
+	})
+	if !grandchildRan.Load() {
+		t.Error("grandchild task never ran before region end")
+	}
+}
+
+func TestNestedTaskWait(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	var sum atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			th.Task(func(a *Thread) {
+				a.Task(func(*Thread) { sum.Add(1) })
+				a.Task(func(*Thread) { sum.Add(2) })
+				a.TaskWait()
+				if got := sum.Load(); got != 3 {
+					t.Errorf("inner TaskWait returned with sum=%d, want 3", got)
+				}
+				sum.Add(4)
+			})
+			th.TaskWait()
+			if got := sum.Load(); got != 7 {
+				t.Errorf("outer TaskWait returned with sum=%d, want 7", got)
+			}
+		})
+	})
+}
+
+func TestRecursiveFibonacciTasks(t *testing.T) {
+	// The canonical BOTS-style recursive task pattern.
+	rt := testRuntime(t, taskOpts(4))
+	var fib func(th *Thread, n int) int64
+	fib = func(th *Thread, n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		var a, b int64
+		th.Task(func(inner *Thread) { a = fib(inner, n-1) })
+		b = fib(th, n-2)
+		th.TaskWait()
+		return a + b
+	}
+	var got int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() { got = fib(th, 15) })
+	})
+	if got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestTaskStealingHappensAcrossThreads(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	var ran atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		// Only thread 0 produces; the others must steal to make progress.
+		th.Master(func() {
+			for i := 0; i < 64; i++ {
+				th.Task(func(*Thread) { ran.Add(1) })
+			}
+		})
+	})
+	if got := ran.Load(); got != 64 {
+		t.Errorf("ran = %d, want 64", got)
+	}
+	// Stealing is scheduling-dependent, but with a single producer and an
+	// end-of-region drain some tasks generally execute on other threads; we
+	// only assert the counter is consistent (steals <= runs).
+	st := rt.Stats()
+	if st.TasksStolen > st.TasksRun {
+		t.Errorf("TasksStolen=%d > TasksRun=%d", st.TasksStolen, st.TasksRun)
+	}
+}
+
+func TestTasksFromAllThreads(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	var ran atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < 25; i++ {
+			th.Task(func(*Thread) { ran.Add(1) })
+		}
+	})
+	if got := ran.Load(); got != 100 {
+		t.Errorf("ran = %d, want 100", got)
+	}
+}
+
+func TestTaskSpawningInsideLoop(t *testing.T) {
+	rt := testRuntime(t, taskOpts(3))
+	const n = 60
+	hits := make([]int32, n)
+	rt.Parallel(func(th *Thread) {
+		th.ForNowait(n, func(i int) {
+			th.Task(func(*Thread) { atomic.AddInt32(&hits[i], 1) })
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task for iter %d ran %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestDequeOrdering(t *testing.T) {
+	var d taskDeque
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.push(t1)
+	d.push(t2)
+	d.push(t3)
+	if got := d.popBack(); got != t3 {
+		t.Error("popBack should return newest")
+	}
+	if got := d.popFront(); got != t1 {
+		t.Error("popFront should return oldest")
+	}
+	if got := d.popBack(); got != t2 {
+		t.Error("popBack should return remaining")
+	}
+	if d.popBack() != nil || d.popFront() != nil {
+		t.Error("empty deque should return nil")
+	}
+}

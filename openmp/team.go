@@ -1,0 +1,172 @@
+package openmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is one fork–join instance: n threads executing the same region body.
+// Shared construct state (loop descriptors, reduction cells, single
+// winners) is keyed by a per-thread construct sequence number, which
+// requires — exactly as OpenMP does — that all threads of a team encounter
+// the team's worksharing constructs in the same order.
+type Team struct {
+	rt   *Runtime
+	n    int
+	body func(*Thread)
+
+	bar  barrier
+	join sync.WaitGroup
+
+	mu     sync.Mutex
+	shared map[int64]*construct
+
+	pool     *taskPool
+	rootTask task
+}
+
+type construct struct {
+	state any
+	done  int32 // threads that have finished with the instance
+}
+
+func newTeam(rt *Runtime, n int, body func(*Thread)) *Team {
+	tm := &Team{
+		rt:     rt,
+		n:      n,
+		body:   body,
+		shared: make(map[int64]*construct),
+		pool:   newTaskPool(n),
+	}
+	tm.bar.n = int32(n)
+	tm.join.Add(n)
+	return tm
+}
+
+// run executes the region body as thread tid, drains leftover explicit
+// tasks, and passes the implicit end-of-region barrier.
+func (tm *Team) run(tid int) {
+	defer tm.join.Done()
+	th := &Thread{team: tm, id: tid, curTask: &tm.rootTask}
+	tm.body(th)
+	th.drainTasks()
+	tm.bar.wait()
+}
+
+// instance returns the shared state for the construct with sequence number
+// seq, creating it with create on first arrival.
+func (tm *Team) instance(seq int64, create func() any) any {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	c, ok := tm.shared[seq]
+	if !ok {
+		c = &construct{state: create()}
+		tm.shared[seq] = c
+	}
+	return c.state
+}
+
+// release marks the calling thread done with construct seq and frees the
+// instance once every team thread has released it, keeping the shared map
+// bounded for long-running applications.
+func (tm *Team) release(seq int64) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	c, ok := tm.shared[seq]
+	if !ok {
+		return
+	}
+	c.done++
+	if int(c.done) == tm.n {
+		delete(tm.shared, seq)
+	}
+}
+
+// Thread is the per-thread view of a parallel region, passed to the region
+// body. It is not safe to share a Thread between goroutines.
+type Thread struct {
+	team     *Team
+	id       int
+	seq      int64 // worksharing constructs encountered so far
+	curTask  *task
+	curGroup *taskGroup // innermost active taskgroup, nil outside one
+	stealAt  int        // rotating steal start position
+}
+
+// ID returns the thread number within the team (0 = primary).
+func (th *Thread) ID() int { return th.id }
+
+// NumThreads returns the team size.
+func (th *Thread) NumThreads() int { return th.team.n }
+
+// Runtime returns the owning runtime.
+func (th *Thread) Runtime() *Runtime { return th.team.rt }
+
+// Place returns the place index this thread is bound to, or -1 when
+// unbound.
+func (th *Thread) Place() int {
+	p := th.team.rt.placement
+	if p == nil || th.id >= len(p) {
+		return -1
+	}
+	return p[th.id]
+}
+
+// nextSeq advances the thread's construct counter.
+func (th *Thread) nextSeq() int64 {
+	th.seq++
+	return th.seq
+}
+
+// Barrier blocks until every thread of the team has called it.
+func (th *Thread) Barrier() { th.team.bar.wait() }
+
+// Master runs fn on the primary thread only. No implied barrier.
+func (th *Thread) Master(fn func()) {
+	if th.id == 0 {
+		fn()
+	}
+}
+
+// Single runs fn on the first thread to arrive at this construct; the other
+// threads skip it. Nowait semantics: no implied barrier.
+func (th *Thread) Single(fn func()) {
+	seq := th.nextSeq()
+	st := th.team.instance(seq, func() any { return new(atomic.Bool) }).(*atomic.Bool)
+	if st.CompareAndSwap(false, true) {
+		fn()
+	}
+	th.team.release(seq)
+}
+
+// Critical runs fn under the process-wide named critical-section lock.
+func (th *Thread) Critical(name string, fn func()) {
+	mu := th.team.rt.criticalFor(name)
+	mu.Lock()
+	defer mu.Unlock()
+	fn()
+}
+
+// barrier is a generation-counting (sense-reversing) spin barrier. Spinning
+// threads yield the processor, so the barrier is safe on any GOMAXPROCS.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint64
+}
+
+func (b *barrier) wait() {
+	if b.n <= 1 {
+		return
+	}
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == gen {
+		runtime.Gosched()
+	}
+}
