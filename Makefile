@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the concurrency-sensitive packages — the wait-policy lock
+# park/wake path and the parallel sweep worker pool — under the race
+# detector. Keep this green before touching openmp or internal/core.
+race:
+	$(GO) vet ./... && $(GO) test -race ./openmp ./internal/core
+
+verify: race test

@@ -5,36 +5,54 @@
 // Usage:
 //
 //	ompsweep [-arch a64fx,skylake,milan] [-apps CG,Nqueens] [-frac 0.26]
-//	         [-o dataset.csv] [-progress]
+//	         [-workers 8] [-checkpoint dir] [-o dataset.csv] [-progress]
 //
 // Without flags it reproduces the full Table II dataset (~244k samples) on
-// stdout.
+// stdout. Settings are evaluated on a bounded worker pool (-workers, default
+// one per CPU); the output is byte-identical regardless of the worker count.
+// With -checkpoint, completed settings are journaled so an interrupted run
+// (Ctrl-C finishes in-flight settings first) resumes where it left off when
+// rerun with the same flags.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"omptune"
 )
 
 func main() {
 	var (
-		archList = flag.String("arch", "", "comma-separated architectures (default: all)")
-		appList  = flag.String("apps", "", "comma-separated applications (default: all per arch)")
-		frac     = flag.Float64("frac", 0, "fraction of the config space to sample (0 = Table II defaults, 1 = exhaustive)")
-		out      = flag.String("o", "-", "output CSV path ('-' = stdout)")
-		progress = flag.Bool("progress", false, "print one line per completed setting to stderr")
-		extended = flag.Bool("extended", false, "include numa_domains places and six thread counts (future-work coverage)")
-		shard    = flag.String("shard", "", "K/N: collect only the K-th of N application shards (merge CSVs afterwards)")
+		archList   = flag.String("arch", "", "comma-separated architectures (default: all)")
+		appList    = flag.String("apps", "", "comma-separated applications (default: all per arch)")
+		frac       = flag.Float64("frac", 0, "fraction of the config space to sample in [0, 1] (0 = Table II defaults, 1 = exhaustive)")
+		out        = flag.String("o", "-", "output CSV path ('-' = stdout)")
+		progress   = flag.Bool("progress", false, "print one line per completed setting to stderr")
+		extended   = flag.Bool("extended", false, "include numa_domains places and six thread counts (future-work coverage)")
+		shard      = flag.String("shard", "", "K/N: collect only the K-th of N application shards (merge CSVs afterwards)")
+		workers    = flag.Int("workers", 0, "concurrent setting batches (0 = one per CPU)")
+		checkpoint = flag.String("checkpoint", "", "journal completed settings here; rerun with the same flags to resume")
 	)
 	flag.Parse()
 
-	opt := omptune.CollectOptions{}
+	if *frac < 0 || *frac > 1 {
+		fatal(fmt.Errorf("-frac %v outside [0, 1]", *frac))
+	}
+
+	opt := omptune.CollectOptions{
+		Workers:       *workers,
+		CheckpointDir: *checkpoint,
+		Shard:         *shard,
+	}
 	if *archList != "" {
 		for _, a := range strings.Split(*archList, ",") {
 			if _, err := omptune.MachineByName(strings.TrimSpace(a)); err != nil {
@@ -59,7 +77,9 @@ func main() {
 		if !ok || err1 != nil || err2 != nil || n < 1 || k < 0 || k >= n {
 			fatal(fmt.Errorf("-shard wants K/N with 0 <= K < N, got %q", *shard))
 		}
-		// Shard by application: stable, disjoint, and merge-safe.
+		// Shard by application: stable, disjoint, and merge-safe. The shard
+		// spec is recorded in the checkpoint manifest, so resuming a
+		// checkpoint dir written under a different -shard is rejected.
 		pool := opt.Apps
 		if pool == nil {
 			for _, a := range omptune.Applications() {
@@ -88,8 +108,17 @@ func main() {
 	}
 	opt.Extended = *extended
 
+	// A first Ctrl-C cancels the sweep between settings — in-flight settings
+	// finish and checkpoint — a second one kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt.Context = ctx
+
 	ds, err := omptune.Collect(opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpoint != "" {
+			fmt.Fprintln(os.Stderr, "ompsweep: interrupted; rerun with the same flags to resume from", *checkpoint)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ompsweep: collected %d samples\n", ds.Len())

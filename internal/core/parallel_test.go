@@ -1,0 +1,299 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/topology"
+)
+
+// smallCampaign is a fast-but-nontrivial sweep spec shared by the engine
+// tests: one arch, one app, three settings, ~10% of the space.
+func smallCampaign() SweepConfig {
+	return SweepConfig{
+		Arches:   []topology.Arch{topology.A64FX},
+		AppNames: []string{"Sort"},
+		Fraction: map[topology.Arch]float64{topology.A64FX: 0.1},
+	}
+}
+
+func sweepCSV(t *testing.T, sc SweepConfig) []byte {
+	t.Helper()
+	ds, err := RunSweep(sc)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestParallelSweepMatchesSerialCSV(t *testing.T) {
+	serial := smallCampaign()
+	serial.Workers = 1
+	parallel := smallCampaign()
+	parallel.Workers = 8
+	a := sweepCSV(t, serial)
+	b := sweepCSV(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel sweep CSV differs from serial: %d vs %d bytes", len(b), len(a))
+	}
+	// Two arches, so merged batches cross an architecture boundary too.
+	multi := SweepConfig{
+		Arches:   []topology.Arch{topology.Milan, topology.A64FX},
+		AppNames: []string{"CG"},
+		Fraction: map[topology.Arch]float64{topology.Milan: 0.03, topology.A64FX: 0.03},
+	}
+	multiSerial, multiParallel := multi, multi
+	multiSerial.Workers = 1
+	multiParallel.Workers = 8
+	if !bytes.Equal(sweepCSV(t, multiSerial), sweepCSV(t, multiParallel)) {
+		t.Fatal("multi-arch parallel sweep CSV differs from serial")
+	}
+}
+
+// TestEvalUnitDefaultMissingFromSpace is the regression test for the
+// enrichment bug: a space without the default configuration used to leave
+// DefaultRuntime = 0 on every sample, poisoning speedups downstream.
+func TestEvalUnitDefaultMissingFromSpace(t *testing.T) {
+	units, err := planUnits(smallCampaign())
+	if err != nil {
+		t.Fatalf("planUnits: %v", err)
+	}
+	u := *units[0]
+	var filtered []env.Config
+	for _, cfg := range u.space {
+		if cfg != u.defCfg {
+			filtered = append(filtered, cfg)
+		}
+	}
+	u.space = filtered
+	if _, err := evalUnit(&u); err == nil {
+		t.Fatal("evalUnit accepted a space without the default configuration")
+	} else if !strings.Contains(err.Error(), "default configuration") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// And with the default present, every sample is enriched with its mean.
+	samples, err := evalUnit(units[0])
+	if err != nil {
+		t.Fatalf("evalUnit: %v", err)
+	}
+	for _, s := range samples {
+		if s.DefaultRuntime <= 0 {
+			t.Fatalf("sample %s not enriched: DefaultRuntime = %v", s.SettingKey(), s.DefaultRuntime)
+		}
+	}
+}
+
+func TestPlanUnitsRejectsBadFraction(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		sc := smallCampaign()
+		sc.Fraction[topology.A64FX] = bad
+		if _, err := RunSweep(sc); err == nil {
+			t.Errorf("fraction %v accepted", bad)
+		}
+	}
+}
+
+func TestCheckpointResumeAfterInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	want := sweepCSV(t, smallCampaign()) // oracle: plain uncheckpointed run
+
+	// First run: cancel as soon as the first setting batch completes. The
+	// engine lets in-flight batches finish, so one or two of the three
+	// settings end up journaled.
+	ctx, cancel := context.WithCancel(context.Background())
+	first := smallCampaign()
+	first.Workers = 1
+	first.CheckpointDir = dir
+	first.Context = ctx
+	first.OnProgress = func(ProgressEvent) { cancel() }
+	if _, err := RunSweep(first); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	journal, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatalf("journal after interrupt: %v", err)
+	}
+	done := strings.Count(string(journal), "\n")
+	if done == 0 || done >= 3 {
+		t.Fatalf("journaled settings after interrupt = %d, want in [1, 2]", done)
+	}
+
+	// Resume: the journaled settings must come back without re-evaluation
+	// and the final CSV must match the oracle byte for byte.
+	var resumed, evaluated int
+	second := smallCampaign()
+	second.Workers = 4
+	second.CheckpointDir = dir
+	second.OnProgress = func(ev ProgressEvent) {
+		if ev.Resumed {
+			resumed++
+		} else {
+			evaluated++
+		}
+	}
+	got := sweepCSV(t, second)
+	if resumed != done {
+		t.Errorf("resumed %d settings, want %d from the journal", resumed, done)
+	}
+	if evaluated != 3-done {
+		t.Errorf("re-evaluated %d settings, want %d", evaluated, 3-done)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep CSV differs from an uninterrupted run")
+	}
+
+	// Third run over a complete checkpoint: everything resumes, nothing is
+	// evaluated.
+	resumed, evaluated = 0, 0
+	if got := sweepCSV(t, second); !bytes.Equal(got, want) {
+		t.Fatal("fully-checkpointed sweep CSV differs")
+	}
+	if resumed != 3 || evaluated != 0 {
+		t.Errorf("complete checkpoint: resumed %d evaluated %d, want 3 and 0", resumed, evaluated)
+	}
+}
+
+func TestCheckpointRejectsDifferentCampaign(t *testing.T) {
+	dir := t.TempDir()
+	sc := smallCampaign()
+	sc.CheckpointDir = dir
+	sc.ShardSpec = "0/2"
+	if _, err := RunSweep(sc); err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+
+	cases := map[string]func(*SweepConfig){
+		"different shard":    func(s *SweepConfig) { s.ShardSpec = "1/2" },
+		"different fraction": func(s *SweepConfig) { s.Fraction = map[topology.Arch]float64{topology.A64FX: 0.2} },
+		"different apps":     func(s *SweepConfig) { s.AppNames = []string{"CG"} },
+		"extended space":     func(s *SweepConfig) { s.Extended = true },
+	}
+	for name, mutate := range cases {
+		other := smallCampaign()
+		other.CheckpointDir = dir
+		other.ShardSpec = "0/2"
+		mutate(&other)
+		if _, err := RunSweep(other); err == nil {
+			t.Errorf("%s: checkpoint from another campaign accepted", name)
+		} else if !strings.Contains(err.Error(), "different campaign") {
+			t.Errorf("%s: unhelpful error: %v", name, err)
+		}
+	}
+
+	// The identical spec still resumes fine.
+	same := smallCampaign()
+	same.CheckpointDir = dir
+	same.ShardSpec = "0/2"
+	if _, err := RunSweep(same); err != nil {
+		t.Errorf("identical campaign rejected: %v", err)
+	}
+}
+
+func TestCheckpointJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sc := smallCampaign()
+	sc.CheckpointDir = dir
+	if _, err := RunSweep(sc); err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	// Simulate a kill mid-append: a torn, half-written final record.
+	jPath := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(jPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"unit":9999,"key":"ga`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var resumed int
+	sc.OnProgress = func(ev ProgressEvent) {
+		if ev.Resumed {
+			resumed++
+		}
+	}
+	if _, err := RunSweep(sc); err != nil {
+		t.Fatalf("resume over torn journal: %v", err)
+	}
+	if resumed != 3 {
+		t.Errorf("resumed %d settings over torn journal, want 3", resumed)
+	}
+}
+
+func TestProgressReportsRatesAndTotals(t *testing.T) {
+	var events []ProgressEvent
+	sc := smallCampaign()
+	sc.Workers = 1
+	sc.OnProgress = func(ev ProgressEvent) { events = append(events, ev) }
+	var lines bytes.Buffer
+	sc.Progress = &lines
+	ds, err := RunSweep(sc)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d progress events, want 3", len(events))
+	}
+	last := events[len(events)-1]
+	if last.SettingsDone != 3 || last.SettingsTotal != 3 {
+		t.Errorf("final settings count %d/%d, want 3/3", last.SettingsDone, last.SettingsTotal)
+	}
+	if last.SamplesDone != ds.Len() || last.SamplesTotal != ds.Len() {
+		t.Errorf("final samples %d/%d, want %d/%d (planning totals must be exact)",
+			last.SamplesDone, last.SamplesTotal, ds.Len(), ds.Len())
+	}
+	if last.SamplesPerSec <= 0 {
+		t.Error("final event has no throughput estimate")
+	}
+	if last.ETA != 0 {
+		t.Errorf("final event ETA = %v, want 0", last.ETA)
+	}
+	for _, ev := range events {
+		if ev.Resumed {
+			t.Error("non-checkpointed sweep reported a resumed setting")
+		}
+	}
+	if got := strings.Count(lines.String(), "\n"); got != 3 {
+		t.Errorf("progress writer got %d lines, want 3", got)
+	}
+	if !strings.Contains(lines.String(), "a64fx Sort") {
+		t.Errorf("progress lines lack batch identity: %q", lines.String())
+	}
+}
+
+// TestWorkerErrorAborts ensures an evaluation failure surfaces instead of
+// hanging the pool or producing a partial dataset.
+func TestWorkerErrorAborts(t *testing.T) {
+	units, err := planUnits(smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one unit's space (default missing) and run it through the
+	// pool path directly.
+	broken := *units[1]
+	var filtered []env.Config
+	for _, cfg := range broken.space {
+		if cfg != broken.defCfg {
+			filtered = append(filtered, cfg)
+		}
+	}
+	broken.space = filtered
+	pending := []*sweepUnit{units[0], &broken, units[2]}
+	results := make([][]*dataset.Sample, len(units))
+	rep := newReporter(SweepConfig{}, len(units), 0)
+	err = runUnits(context.Background(), SweepConfig{Workers: 2}, pending, results, nil, rep)
+	if err == nil || !strings.Contains(err.Error(), "default configuration") {
+		t.Fatalf("pool error = %v, want default-configuration failure", err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressEvent is one structured progress update, emitted after every
+// completed (arch, app, setting) batch of a sweep. Consumers either receive
+// it through SweepConfig.OnProgress or as a formatted line on
+// SweepConfig.Progress.
+type ProgressEvent struct {
+	// SettingsDone / SettingsTotal count completed setting batches,
+	// including batches restored from a checkpoint.
+	SettingsDone, SettingsTotal int
+	// SamplesDone / SamplesTotal count dataset rows; totals are exact (the
+	// deterministic sampling rule is evaluated during planning).
+	SamplesDone, SamplesTotal int
+	// Arch, App, Setting identify the batch that just finished.
+	Arch, App, Setting string
+	// SettingSamples is the number of rows the batch contributed.
+	SettingSamples int
+	// Resumed marks batches loaded from the checkpoint journal instead of
+	// being re-evaluated.
+	Resumed bool
+	// Elapsed is the wall-clock time since the sweep started.
+	Elapsed time.Duration
+	// SamplesPerSec is the evaluation throughput (checkpointed batches are
+	// excluded — they cost no evaluation time).
+	SamplesPerSec float64
+	// ETA estimates the remaining wall-clock time at the current rate; zero
+	// when the rate is not yet measurable.
+	ETA time.Duration
+}
+
+// reporter serializes progress accounting across sweep workers and renders
+// the structured events as text for the legacy Progress writer.
+type reporter struct {
+	mu           sync.Mutex
+	w            io.Writer
+	fn           func(ProgressEvent)
+	start        time.Time
+	done         int
+	total        int
+	samplesDone  int
+	samplesTotal int
+	evaluated    int // rows actually evaluated this run (excludes resumed)
+}
+
+func newReporter(sc SweepConfig, totalUnits, totalSamples int) *reporter {
+	return &reporter{
+		w: sc.Progress, fn: sc.OnProgress,
+		start: time.Now(), total: totalUnits, samplesTotal: totalSamples,
+	}
+}
+
+// unitDone records one finished batch and emits the progress event.
+func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
+	if r.w == nil && r.fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	r.samplesDone += samples
+	if !resumed {
+		r.evaluated += samples
+	}
+	ev := ProgressEvent{
+		SettingsDone: r.done, SettingsTotal: r.total,
+		SamplesDone: r.samplesDone, SamplesTotal: r.samplesTotal,
+		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
+		SettingSamples: samples, Resumed: resumed,
+		Elapsed: time.Since(r.start),
+	}
+	if secs := ev.Elapsed.Seconds(); secs > 0 && r.evaluated > 0 {
+		ev.SamplesPerSec = float64(r.evaluated) / secs
+		remaining := r.samplesTotal - r.samplesDone
+		if remaining > 0 {
+			ev.ETA = time.Duration(float64(remaining) / ev.SamplesPerSec * float64(time.Second))
+		}
+	}
+	if r.fn != nil {
+		r.fn(ev)
+	}
+	if r.w != nil {
+		fmt.Fprintln(r.w, ev.String())
+	}
+}
+
+// String renders the event as one human-readable progress line.
+func (ev ProgressEvent) String() string {
+	tag := ""
+	if ev.Resumed {
+		tag = " (resumed)"
+	}
+	line := fmt.Sprintf("[%d/%d] %s %s %s: %d configurations%s",
+		ev.SettingsDone, ev.SettingsTotal, ev.Arch, ev.App, ev.Setting,
+		ev.SettingSamples, tag)
+	if ev.SamplesPerSec > 0 {
+		line += fmt.Sprintf(" | %.0f samples/s", ev.SamplesPerSec)
+	}
+	if ev.ETA > 0 {
+		line += fmt.Sprintf(" | ETA %s", ev.ETA.Round(time.Second))
+	}
+	return line
+}

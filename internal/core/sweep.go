@@ -5,8 +5,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"omptune/internal/apps"
 	"omptune/internal/dataset"
@@ -27,12 +30,32 @@ type SweepConfig struct {
 	// counts of Table II; 1.0 is the fully exhaustive sweep. The default
 	// configuration is always included regardless of the fraction.
 	Fraction map[topology.Arch]float64
-	// Progress, when non-nil, receives one line per completed setting.
+	// Progress, when non-nil, receives one formatted line per completed
+	// setting batch (see ProgressEvent.String).
 	Progress io.Writer
+	// OnProgress, when non-nil, receives the structured event per completed
+	// setting batch. It is called from worker goroutines under a lock, so
+	// events arrive serialized.
+	OnProgress func(ProgressEvent)
 	// Extended enables the paper's future-work coverage: numa_domains
 	// places in the configuration space and six thread counts instead of
 	// three for the thread-varied applications.
 	Extended bool
+	// Workers bounds the number of setting batches evaluated concurrently;
+	// <= 0 means runtime.NumCPU(). The merged sample order is independent
+	// of the worker count (byte-identical CSV output).
+	Workers int
+	// CheckpointDir, when non-empty, journals every completed setting batch
+	// so an interrupted campaign resumes without recomputation. The
+	// directory is created if needed; resuming validates that it belongs to
+	// the same campaign spec.
+	CheckpointDir string
+	// ShardSpec tags the campaign's shard (e.g. "0/4") in the checkpoint
+	// manifest, so a resume with a different shard layout is rejected.
+	ShardSpec string
+	// Context, when non-nil, cancels the sweep between setting batches;
+	// in-flight batches finish (and are checkpointed) first.
+	Context context.Context
 }
 
 // DefaultFractions yields, with the sampling rule of keepConfig, dataset
@@ -70,11 +93,29 @@ func hash64(s string) uint64 {
 	return h
 }
 
-// RunSweep executes the campaign and returns the enriched dataset. Settings
-// are processed as batches — all configurations of one setting together —
-// mirroring the batching rationale of §IV-B (relative performance within a
-// setting is preserved even if the cluster load changes between settings).
-func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
+// sweepUnit is one (arch, app, setting) batch — the unit of parallelism and
+// of checkpointing. All configurations of a setting stay in one unit,
+// mirroring the batching rationale of §IV-B: relative performance within a
+// setting is preserved even if the cluster load changes between settings.
+type sweepUnit struct {
+	index    int // position in the campaign plan; fixes the merge order
+	arch     topology.Arch
+	m        *topology.Machine
+	app      *apps.App
+	set      sim.Setting
+	frac     float64
+	space    []env.Config // shared across the arch's units
+	defCfg   env.Config
+	cfgCount int // sampled configurations including the default
+}
+
+func (u *sweepUnit) key() string {
+	return string(u.arch) + "/" + u.app.Name + "/" + u.set.Label
+}
+
+// planUnits enumerates the campaign deterministically (arch → app →
+// setting, exactly the serial sweep order) and validates its inputs.
+func planUnits(sc SweepConfig) ([]*sweepUnit, error) {
 	arches := sc.Arches
 	if arches == nil {
 		arches = topology.Arches()
@@ -83,7 +124,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 	if fractions == nil {
 		fractions = DefaultFractions()
 	}
-	ds := &dataset.Dataset{}
+	var units []*sweepUnit
 	for _, arch := range arches {
 		m, err := topology.Get(arch)
 		if err != nil {
@@ -92,6 +133,9 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 		frac, ok := fractions[arch]
 		if !ok {
 			frac = 1.0
+		}
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("core: fraction %v for %s outside [0, 1]", frac, arch)
 		}
 		appList, err := selectApps(arch, sc.AppNames)
 		if err != nil {
@@ -108,42 +152,218 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 				settings = ExtendedThreadSettings(m)
 			}
 			for _, set := range settings {
-				start := len(ds.Samples)
-				var defMean float64
-				for _, cfg := range space {
-					isDef := cfg == defCfg
-					if !isDef && !keepConfig(app.Name, arch, set.Label, cfg, frac) {
-						continue
-					}
-					s := &dataset.Sample{
-						Arch: arch, App: app.Name, Suite: string(app.Suite),
-						Setting: set.Label, Threads: set.Threads, Scale: set.Scale,
-						Config: cfg,
-					}
-					for rep := 0; rep < sim.Reps; rep++ {
-						s.Runtimes[rep] = sim.Evaluate(m, app.Profile, cfg, set, rep)
-					}
-					if isDef {
-						defMean = s.MeanRuntime()
-					}
-					ds.Samples = append(ds.Samples, s)
+				u := &sweepUnit{
+					index: len(units), arch: arch, m: m, app: app, set: set,
+					frac: frac, space: space, defCfg: defCfg,
 				}
-				// Enrichment (§IV-B): attach the default's mean runtime to
-				// every sample of the setting.
-				for _, s := range ds.Samples[start:] {
-					s.DefaultRuntime = defMean
-				}
-				if sc.Progress != nil {
-					fmt.Fprintf(sc.Progress, "%s %s %s: %d configurations\n",
-						arch, app.Name, set.Label, len(ds.Samples)-start)
-				}
+				u.cfgCount = countSampled(u)
+				units = append(units, u)
 			}
 		}
+	}
+	return units, nil
+}
+
+// countSampled applies the deterministic sampling rule without evaluating
+// anything, giving exact progress totals up front.
+func countSampled(u *sweepUnit) int {
+	n := 0
+	for _, cfg := range u.space {
+		if cfg == u.defCfg || keepConfig(u.app.Name, u.arch, u.set.Label, cfg, u.frac) {
+			n++
+		}
+	}
+	return n
+}
+
+// evalUnit runs one setting batch. The default configuration is evaluated
+// explicitly first — if it is missing from the space the batch fails loudly
+// rather than silently enriching every sample with DefaultRuntime = 0
+// (which would poison downstream speedups with Inf/NaN).
+func evalUnit(u *sweepUnit) ([]*dataset.Sample, error) {
+	newSample := func(cfg env.Config) *dataset.Sample {
+		s := &dataset.Sample{
+			Arch: u.arch, App: u.app.Name, Suite: string(u.app.Suite),
+			Setting: u.set.Label, Threads: u.set.Threads, Scale: u.set.Scale,
+			Config: cfg,
+		}
+		for rep := 0; rep < sim.Reps; rep++ {
+			s.Runtimes[rep] = sim.Evaluate(u.m, u.app.Profile, cfg, u.set, rep)
+		}
+		return s
+	}
+	defInSpace := false
+	for _, cfg := range u.space {
+		if cfg == u.defCfg {
+			defInSpace = true
+			break
+		}
+	}
+	if !defInSpace {
+		return nil, fmt.Errorf("core: default configuration absent from the sweep space for %s; cannot enrich (§IV-B)", u.key())
+	}
+	defSample := newSample(u.defCfg)
+	defMean := defSample.MeanRuntime()
+	out := make([]*dataset.Sample, 0, u.cfgCount)
+	for _, cfg := range u.space {
+		if cfg == u.defCfg {
+			out = append(out, defSample)
+			continue
+		}
+		if !keepConfig(u.app.Name, u.arch, u.set.Label, cfg, u.frac) {
+			continue
+		}
+		out = append(out, newSample(cfg))
+	}
+	// Enrichment (§IV-B): attach the default's mean runtime to every sample
+	// of the setting.
+	for _, s := range out {
+		s.DefaultRuntime = defMean
+	}
+	return out, nil
+}
+
+// RunSweep executes the campaign and returns the enriched dataset. Setting
+// batches fan out over a bounded worker pool and merge back in plan order,
+// so the result is byte-for-byte identical to a serial (Workers: 1) sweep.
+// With CheckpointDir set, completed batches are journaled and an interrupted
+// run resumes without re-evaluating them.
+func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
+	ctx := sc.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	units, err := planUnits(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	var ck *checkpoint
+	if sc.CheckpointDir != "" {
+		ck, err = openCheckpoint(sc.CheckpointDir, manifestFor(sc, units))
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+	}
+
+	totalSamples := 0
+	for _, u := range units {
+		totalSamples += u.cfgCount
+	}
+	rep := newReporter(sc, len(units), totalSamples)
+
+	results := make([][]*dataset.Sample, len(units))
+	var pending []*sweepUnit
+	for _, u := range units {
+		if ck != nil {
+			samples, ok, err := ck.load(u)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				results[u.index] = samples
+				rep.unitDone(u, len(samples), true)
+				continue
+			}
+		}
+		pending = append(pending, u)
+	}
+
+	if len(pending) > 0 {
+		if err := runUnits(ctx, sc, pending, results, ck, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	ds := &dataset.Dataset{Samples: make([]*dataset.Sample, 0, totalSamples)}
+	for _, samples := range results {
+		ds.Samples = append(ds.Samples, samples...)
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// runUnits fans the pending batches out over the worker pool, writing each
+// result into its plan slot (and the checkpoint, if any) as it completes.
+func runUnits(ctx context.Context, sc SweepConfig, pending []*sweepUnit,
+	results [][]*dataset.Sample, ck *checkpoint, rep *reporter) error {
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	unitCh := make(chan *sweepUnit)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range unitCh {
+				samples, err := evalUnit(u)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if ck != nil {
+					if err := ck.save(u, samples); err != nil {
+						fail(err)
+						return
+					}
+				}
+				mu.Lock()
+				results[u.index] = samples
+				mu.Unlock()
+				rep.unitDone(u, len(samples), false)
+			}
+		}()
+	}
+dispatch:
+	for _, u := range pending {
+		// Checked first because select picks randomly among ready cases: a
+		// cancelled sweep must not keep handing out batches.
+		if cctx.Err() != nil {
+			break
+		}
+		select {
+		case unitCh <- u:
+		case <-cctx.Done():
+			break dispatch
+		}
+	}
+	close(unitCh)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		if ck != nil {
+			return fmt.Errorf("core: sweep interrupted (%w); completed settings are checkpointed in %s — rerun with the same flags to resume", err, sc.CheckpointDir)
+		}
+		return fmt.Errorf("core: sweep interrupted: %w", err)
+	}
+	return nil
 }
 
 func selectApps(arch topology.Arch, names []string) ([]*apps.App, error) {

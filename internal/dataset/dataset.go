@@ -185,25 +185,44 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
-// Merge combines datasets collected separately (e.g. per-architecture
-// shards of a cluster campaign) into one, preserving order and rejecting
-// duplicate rows — the same (arch, app, setting, config) must not appear
-// twice, which would double-count a configuration in the analysis.
-func Merge(parts ...*Dataset) (*Dataset, error) {
-	out := &Dataset{}
-	seen := make(map[string]bool)
+// sampleKey identifies one row for overlap detection: the same (arch, app,
+// setting, config) must not appear twice, which would double-count a
+// configuration in the analysis.
+func (s *Sample) sampleKey() string { return s.SettingKey() + "|" + s.Config.Key() }
+
+// Merge appends the samples of the given parts to d in order, validating
+// non-overlap against d's existing rows and across the parts. On error d is
+// left unchanged.
+func (d *Dataset) Merge(parts ...*Dataset) error {
+	seen := make(map[string]bool, len(d.Samples))
+	for _, s := range d.Samples {
+		seen[s.sampleKey()] = true
+	}
+	var add []*Sample
 	for _, p := range parts {
 		if p == nil {
 			continue
 		}
 		for _, s := range p.Samples {
-			key := s.SettingKey() + "|" + s.Config.Key()
+			key := s.sampleKey()
 			if seen[key] {
-				return nil, fmt.Errorf("dataset: duplicate sample %s", key)
+				return fmt.Errorf("dataset: duplicate sample %s", key)
 			}
 			seen[key] = true
-			out.Samples = append(out.Samples, s)
+			add = append(add, s)
 		}
+	}
+	d.Samples = append(d.Samples, add...)
+	return nil
+}
+
+// Merge combines datasets collected separately (e.g. per-architecture
+// shards of a cluster campaign) into one, preserving order and rejecting
+// duplicate rows.
+func Merge(parts ...*Dataset) (*Dataset, error) {
+	out := &Dataset{}
+	if err := out.Merge(parts...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -246,6 +246,34 @@ func TestSpeedupRangePropertyBestIsMax(t *testing.T) {
 	}
 }
 
+func TestMergeMethod(t *testing.T) {
+	d := &Dataset{Samples: []*Sample{mkSample(topology.A64FX, "CG", "small", 1.2)}}
+	b := &Dataset{Samples: []*Sample{mkSample(topology.Milan, "CG", "large", 1.4)}}
+	if err := d.Merge(b, nil); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("merged length = %d, want 2", d.Len())
+	}
+	// Overlap with the receiver's existing rows is rejected, and on error
+	// the receiver is unchanged.
+	dup := &Dataset{Samples: []*Sample{
+		mkSample(topology.Skylake, "CG", "small", 1.1),
+		mkSample(topology.A64FX, "CG", "small", 1.2),
+	}}
+	if err := d.Merge(dup); err == nil {
+		t.Error("overlapping merge accepted")
+	}
+	if d.Len() != 2 {
+		t.Errorf("failed merge mutated receiver: length = %d, want 2", d.Len())
+	}
+	// Overlap across the parts themselves is rejected too.
+	p := &Dataset{Samples: []*Sample{mkSample(topology.Skylake, "MG", "small", 1.1)}}
+	if err := (&Dataset{}).Merge(p, p); err == nil {
+		t.Error("cross-part overlap accepted")
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := &Dataset{Samples: []*Sample{mkSample(topology.A64FX, "CG", "small", 1.2)}}
 	b := &Dataset{Samples: []*Sample{mkSample(topology.Milan, "CG", "small", 1.4)}}

@@ -18,6 +18,7 @@
 package omptune
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -141,21 +142,46 @@ type CollectOptions struct {
 	// architecture (nil = Table II-matching defaults; set to 1.0 for the
 	// fully exhaustive sweep).
 	Fraction map[Arch]float64
-	// Progress receives a line per completed setting when non-nil.
+	// Progress receives a formatted line per completed setting when
+	// non-nil.
 	Progress io.Writer
+	// OnProgress receives the structured progress event per completed
+	// setting when non-nil (settings done/total, samples/sec, ETA).
+	OnProgress func(ProgressEvent)
 	// Extended enables the future-work coverage: numa_domains places and
 	// six thread counts for the thread-varied applications.
 	Extended bool
+	// Workers bounds how many setting batches are evaluated concurrently;
+	// <= 0 means runtime.NumCPU(). The sample order — and therefore the CSV
+	// output — is identical for every worker count.
+	Workers int
+	// CheckpointDir, when non-empty, journals completed settings so an
+	// interrupted campaign resumes without recomputation.
+	CheckpointDir string
+	// Shard tags the campaign's shard spec in the checkpoint manifest; a
+	// resume under a different shard layout is rejected.
+	Shard string
+	// Context cancels the sweep between settings when non-nil; in-flight
+	// settings finish (and checkpoint) first.
+	Context context.Context
 }
+
+// ProgressEvent is the structured per-setting progress update of a sweep.
+type ProgressEvent = core.ProgressEvent
 
 // Collect runs the sweep of §IV and returns the enriched dataset.
 func Collect(opt CollectOptions) (*Dataset, error) {
 	return core.RunSweep(core.SweepConfig{
-		Arches:   opt.Arches,
-		AppNames: opt.Apps,
-		Fraction: opt.Fraction,
-		Progress: opt.Progress,
-		Extended: opt.Extended,
+		Arches:        opt.Arches,
+		AppNames:      opt.Apps,
+		Fraction:      opt.Fraction,
+		Progress:      opt.Progress,
+		OnProgress:    opt.OnProgress,
+		Extended:      opt.Extended,
+		Workers:       opt.Workers,
+		CheckpointDir: opt.CheckpointDir,
+		ShardSpec:     opt.Shard,
+		Context:       opt.Context,
 	})
 }
 

@@ -12,8 +12,10 @@ import (
 // worker waiting for a region. The zero value is unlocked but not attached
 // to a runtime; use Runtime.NewLock to get wait-policy-aware behaviour.
 type Lock struct {
-	state  atomic.Int32
-	parked chan struct{} // buffered wake token channel
+	state   atomic.Int32
+	waiters atomic.Int32  // goroutines at or past the park decision
+	parked  chan struct{} // buffered wake token channel
+	stats   *rtStats      // sleep/wakeup accounting; nil for zero-value locks
 	// spinForever mirrors KMP_LIBRARY=turnaround / KMP_BLOCKTIME=infinite.
 	spinForever bool
 	blocktime   time.Duration
@@ -22,7 +24,7 @@ type Lock struct {
 // NewLock returns a lock honouring the runtime's wait policy.
 func (rt *Runtime) NewLock() *Lock {
 	bt := rt.opts.effectiveBlocktimeMS()
-	l := &Lock{parked: make(chan struct{}, 1)}
+	l := &Lock{parked: make(chan struct{}, 1), stats: &rt.stats}
 	if bt == BlocktimeInfinite {
 		l.spinForever = true
 	} else {
@@ -50,7 +52,9 @@ func (l *Lock) Lock() {
 		}
 		runtime.Gosched()
 	}
-	// Parked path: wait for wake tokens, retrying the acquisition.
+	// Parked path: the blocktime budget is exhausted, so block on the wake
+	// channel until a release hands us a token — the same sleep/wake cycle
+	// workers use between regions (KMP_LIBRARY=throughput semantics).
 	if l.parked == nil {
 		// Zero-value lock: degrade to a pure spin.
 		for !l.state.CompareAndSwap(0, 1) {
@@ -58,14 +62,21 @@ func (l *Lock) Lock() {
 		}
 		return
 	}
+	// Register before the acquisition attempt: Unlock reads waiters after
+	// clearing state, so either our CAS sees the cleared state or Unlock
+	// sees our registration and posts a token — never neither.
+	l.waiters.Add(1)
 	for {
-		select {
-		case <-l.parked:
-		default:
-			runtime.Gosched()
-		}
 		if l.state.CompareAndSwap(0, 1) {
+			l.waiters.Add(-1)
 			return
+		}
+		if l.stats != nil {
+			l.stats.sleeps.Add(1)
+		}
+		<-l.parked
+		if l.stats != nil {
+			l.stats.wakeups.Add(1)
 		}
 	}
 }
@@ -78,7 +89,10 @@ func (l *Lock) Unlock() {
 	if l.state.Swap(0) != 1 {
 		panic("openmp: Unlock of unlocked Lock")
 	}
-	if l.parked != nil {
+	if l.parked != nil && l.waiters.Load() > 0 {
+		// Non-blocking: a token already in the buffer serves the same
+		// purpose, and waiters that acquired during the spin phase must not
+		// leave Unlock stuck behind a full channel.
 		select {
 		case l.parked <- struct{}{}:
 		default:

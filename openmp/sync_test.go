@@ -1,8 +1,10 @@
 package openmp
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLockMutualExclusion(t *testing.T) {
@@ -65,6 +67,95 @@ func TestZeroValueLockStillExcludes(t *testing.T) {
 	})
 	if n != 300 {
 		t.Errorf("n = %d, want 300", n)
+	}
+}
+
+func TestLockParksAfterBlocktime(t *testing.T) {
+	// optsN(1): no pooled workers, so every Sleep/Wakeup below is the lock's.
+	o := optsN(1)
+	o.Library = LibThroughput
+	o.BlocktimeMS = 0
+	rt := testRuntime(t, o)
+	l := rt.NewLock()
+	l.Lock()
+	done := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(done)
+	}()
+	// Give the contender ample time to exhaust its (zero) blocktime and
+	// park; a busy-spinning implementation would burn CPU here instead.
+	time.Sleep(20 * time.Millisecond)
+	if st := rt.Stats(); st.Sleeps == 0 {
+		t.Error("contender past blocktime did not park: Stats().Sleeps = 0")
+	}
+	l.Unlock()
+	<-done
+	if st := rt.Stats(); st.Wakeups == 0 {
+		t.Error("parked contender woke without accounting: Stats().Wakeups = 0")
+	}
+}
+
+func TestLockTurnaroundNeverParks(t *testing.T) {
+	o := optsN(4)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	l := rt.NewLock()
+	counter := 0
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			l.Lock()
+			counter++
+			l.Unlock()
+		}
+	})
+	if counter != 800 {
+		t.Errorf("counter = %d, want 800", counter)
+	}
+	if st := rt.Stats(); st.Sleeps != 0 || st.Wakeups != 0 {
+		t.Errorf("turnaround lock parked: Sleeps=%d Wakeups=%d, want 0 0", st.Sleeps, st.Wakeups)
+	}
+}
+
+// TestLockParkWakeHammer drives many goroutines across the blocktime→park
+// transition at once; run under -race it checks the waiter accounting and
+// token hand-off for data races and lost wakeups.
+func TestLockParkWakeHammer(t *testing.T) {
+	o := optsN(1)
+	o.Library = LibThroughput
+	o.BlocktimeMS = 0
+	rt := testRuntime(t, o)
+	l := rt.NewLock()
+	const goroutines, iters = 8, 150
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				if i%16 == 0 {
+					// Hold the lock long enough that contenders blow their
+					// zero blocktime and take the park path.
+					time.Sleep(50 * time.Microsecond)
+				}
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Errorf("counter = %d, want %d (lost update — exclusion broken)", counter, goroutines*iters)
+	}
+	st := rt.Stats()
+	if st.Sleeps == 0 {
+		t.Error("hammer never parked: Stats().Sleeps = 0 (park path untested)")
+	}
+	if st.Wakeups == 0 {
+		t.Error("parked waiters woke without accounting: Stats().Wakeups = 0")
 	}
 }
 
