@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race bench verify
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,20 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# race exercises the concurrency-sensitive packages — the wait-policy lock
-# park/wake path and the parallel sweep worker pool — under the race
+# race exercises the concurrency-sensitive packages — the hot-team region
+# dispatch, the lock-free construct ring, the wait-policy barrier and lock
+# park/wake paths, and the parallel sweep worker pool — under the race
 # detector. Keep this green before touching openmp or internal/core.
 race:
-	$(GO) vet ./... && $(GO) test -race ./openmp ./internal/core
+	$(GO) vet ./... && $(GO) test -race -count=1 ./openmp ./internal/core
+
+# bench runs the runtime overhead microbenchmarks with settings pinned for
+# benchstat: save a baseline with `make bench > before.txt`, make changes,
+# `make bench > after.txt`, then `benchstat before.txt after.txt`.
+# BENCH selects the benchmarks (regexp); default covers the EPCC-style
+# overhead suite plus the whole-operation benchmarks it complements.
+BENCH ?= .
+bench:
+	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=300ms -count=5 -benchmem
 
 verify: race test

@@ -1,0 +1,269 @@
+package openmp
+
+// Tests for the hot-team fork–join paths: steady-state allocation-freedom,
+// nested-region detection, the lock-free construct ring (including its
+// overflow fallback), the wait-policy-aware barrier, sharded stats
+// aggregation, and critical-section lock caching.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelSteadyStateZeroAlloc is the headline acceptance criterion:
+// once the hot team is warm, dispatching a region allocates nothing. The
+// turnaround policy keeps every wait on the spin path (the park path
+// allocates its wake channel, and AllocsPerRun counts allocations from all
+// goroutines, workers included).
+func TestParallelSteadyStateZeroAlloc(t *testing.T) {
+	o := optsN(4)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	body := func(*Thread) {}
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body) // warm the hot team
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
+		t.Errorf("steady-state Parallel: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// A static worksharing loop needs no shared construct state, so a whole
+// region containing one stays allocation-free too.
+func TestParallelStaticForZeroAlloc(t *testing.T) {
+	o := optsN(4)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	var sink atomic.Int64
+	iter := func(i int) {
+		if i == 0 {
+			sink.Add(1)
+		}
+	}
+	body := func(th *Thread) { th.For(256, iter) }
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
+		t.Errorf("static-for region: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNestedParallelPanics(t *testing.T) {
+	rt := testRuntime(t, optsN(2))
+	var msg any
+	rt.Parallel(func(th *Thread) {
+		if th.ID() != 0 {
+			return
+		}
+		func() {
+			defer func() { msg = recover() }()
+			rt.Parallel(func(*Thread) {})
+		}()
+	})
+	if msg == nil {
+		t.Fatal("nested Parallel did not panic")
+	}
+	if s := fmt.Sprint(msg); !strings.Contains(s, "nested Parallel") {
+		t.Errorf("panic message %q does not mention nested Parallel", s)
+	}
+	// The recover happened inside the region body, so the runtime must
+	// still be fully usable.
+	var ran atomic.Int32
+	rt.Parallel(func(*Thread) { ran.Add(1) })
+	if ran.Load() != 2 {
+		t.Errorf("region after recovered nested panic ran %d threads, want 2", ran.Load())
+	}
+}
+
+// TestConstructRingOverflow drives one thread more than constructRingSize
+// nowait constructs ahead of its gated teammate, forcing the overflow-map
+// fallback, then verifies every construct still ran exactly once and the
+// map fully drained.
+func TestConstructRingOverflow(t *testing.T) {
+	rt := testRuntime(t, optsN(2))
+	const constructs = constructRingSize + 16
+	gate := make(chan struct{})
+	var ran atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		if th.ID() != 0 {
+			<-gate
+		}
+		for k := 0; k < constructs; k++ {
+			th.Single(func() { ran.Add(1) })
+		}
+		if th.ID() == 0 {
+			close(gate)
+		}
+	})
+	if got := ran.Load(); got != constructs {
+		t.Errorf("%d Single bodies ran, want %d", got, constructs)
+	}
+	r := &rt.hot.ring
+	r.mu.Lock()
+	overflows, live := r.overflows, len(r.overflow)
+	r.mu.Unlock()
+	if overflows == 0 {
+		t.Error("expected at least one overflow-map routing")
+	}
+	if live != 0 {
+		t.Errorf("%d overflow entries leaked after the region", live)
+	}
+	if gate := r.overflowLive.Load(); gate != 0 {
+		t.Errorf("overflowLive = %d after full release, want 0", gate)
+	}
+}
+
+// TestConstructRingStress hammers the ring with mixed nowait constructs
+// across many regions; run under -race it checks the claim/publish/undo
+// protocol's happens-before edges, and the sums check construct identity
+// (a duplicated or cross-wired instance would double- or under-count).
+func TestConstructRingStress(t *testing.T) {
+	o := optsN(4)
+	o.Schedule = ScheduleDynamic
+	o.ChunkSize = 4
+	rt := testRuntime(t, o)
+	const regions, iters = 25, 96
+	var loopSum, singleSum atomic.Int64
+	for r := 0; r < regions; r++ {
+		rt.Parallel(func(th *Thread) {
+			th.ForNowait(iters, func(i int) { loopSum.Add(1) })
+			th.Single(func() { singleSum.Add(1) })
+			th.ForNowait(iters, func(i int) { loopSum.Add(1) })
+			if got := th.ReduceSum(1); got != 4 {
+				t.Errorf("ReduceSum(1) = %v, want 4", got)
+			}
+		})
+	}
+	if got := loopSum.Load(); got != 2*regions*iters {
+		t.Errorf("dynamic loops ran %d iterations, want %d", got, 2*regions*iters)
+	}
+	if got := singleSum.Load(); got != regions {
+		t.Errorf("singles ran %d times, want %d", got, regions)
+	}
+}
+
+// TestBarrierParkWake unit-tests the wait-policy barrier with a zero
+// blocktime: waiters that arrive early park, and the generation's releaser
+// wakes every one of them — across many reused generations.
+func TestBarrierParkWake(t *testing.T) {
+	var b barrier
+	b.init(3, 0) // zero budget: park immediately
+	shards := make([]statShard, 3)
+	for it := 0; it < 50; it++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i == 0 {
+					time.Sleep(200 * time.Microsecond) // let the others park
+				}
+				b.wait(&shards[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	var sleeps, wakeups uint64
+	for i := range shards {
+		sleeps += shards[i].sleeps.Load()
+		wakeups += shards[i].wakeups.Load()
+	}
+	if sleeps == 0 {
+		t.Error("no barrier waiter ever parked despite a zero blocktime")
+	}
+	if sleeps != wakeups {
+		t.Errorf("sleeps = %d but wakeups = %d; every park must be woken", sleeps, wakeups)
+	}
+}
+
+// In turnaround mode barrier waiters spin and never park, whatever the
+// arrival skew.
+func TestBarrierTurnaroundNeverParks(t *testing.T) {
+	var b barrier
+	b.init(3, BlocktimeInfinite)
+	shards := make([]statShard, 3)
+	for it := 0; it < 10; it++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i == 0 {
+					time.Sleep(200 * time.Microsecond)
+				}
+				b.wait(&shards[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i := range shards {
+		if s := shards[i].sleeps.Load(); s != 0 {
+			t.Errorf("waiter %d parked %d times in turnaround mode, want 0", i, s)
+		}
+	}
+}
+
+// TestStatsShardAggregation checks that Stats() sums the per-thread shards
+// into exactly the totals the old single-counter implementation produced for
+// a deterministic workload.
+func TestStatsShardAggregation(t *testing.T) {
+	rt := testRuntime(t, optsN(4))
+	rt.Parallel(func(th *Thread) {
+		th.For(400, func(int) {}) // static, no chunk: one chunk per thread
+		for i := 0; i < 3; i++ {
+			th.Task(func(*Thread) {})
+		}
+		th.TaskWait()
+	})
+	s := rt.Stats()
+	if s.Regions != 1 {
+		t.Errorf("Regions = %d, want 1", s.Regions)
+	}
+	if s.Chunks != 4 {
+		t.Errorf("Chunks = %d, want 4 (one static chunk per thread)", s.Chunks)
+	}
+	if s.TasksRun != 12 {
+		t.Errorf("TasksRun = %d, want 12", s.TasksRun)
+	}
+}
+
+// TestNoSleepsWithinBlocktime is the satellite fix for spurious sleep
+// accounting: regions dispatched back-to-back well inside the blocktime
+// budget must never count a sleep, because a worker that finds work during
+// its final pre-park re-check did not actually sleep.
+func TestNoSleepsWithinBlocktime(t *testing.T) {
+	o := optsN(4)
+	o.BlocktimeMS = 10_000 // far longer than this test
+	rt := testRuntime(t, o)
+	for r := 0; r < 20; r++ {
+		rt.Parallel(func(*Thread) {})
+	}
+	if s := rt.Stats(); s.Sleeps != 0 {
+		t.Errorf("Sleeps = %d with a 10s blocktime and immediate redispatch, want 0", s.Sleeps)
+	}
+}
+
+func TestCriticalLockCachedPerName(t *testing.T) {
+	rt := testRuntime(t, optsN(2))
+	a1 := rt.criticalFor("a")
+	if a2 := rt.criticalFor("a"); a2 != a1 {
+		t.Error("criticalFor returned different locks for the same name")
+	}
+	if b := rt.criticalFor("b"); b == a1 {
+		t.Error("criticalFor returned the same lock for different names")
+	}
+	x := 0
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			th.Critical("a", func() { x++ })
+		}
+	})
+	if x != 400 {
+		t.Errorf("critical-section counter = %d, want 400", x)
+	}
+}

@@ -41,7 +41,7 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 	if chunk <= 0 {
 		lo, hi := t*n/nt, (t+1)*n/nt
 		if lo < hi {
-			th.team.rt.stats.chunks.Add(1)
+			th.stats.chunks.Add(1)
 		}
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -50,58 +50,66 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 	}
 	for lo := t * chunk; lo < n; lo += nt * chunk {
 		hi := min(lo+chunk, n)
-		th.team.rt.stats.chunks.Add(1)
+		th.stats.chunks.Add(1)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
 	}
 }
 
+// dynLoop's cursor is the single hottest shared word in a dynamic loop —
+// every chunk grab of every thread CASes it — so it gets a cache line to
+// itself rather than sharing one with whatever the allocator placed next to
+// it.
 type dynLoop struct {
 	next atomic.Int64
+	_    [cacheLineSize - 8]byte
 }
 
 // forDynamic hands out fixed-size chunks from a shared counter,
 // first-come-first-served.
 func (th *Thread) forDynamic(n, chunk int, body func(i int)) {
 	seq := th.nextSeq()
-	st := th.team.instance(seq, func() any { return new(dynLoop) }).(*dynLoop)
+	st, h := th.team.instance(seq, func() any { return new(dynLoop) })
+	d := st.(*dynLoop)
 	if chunk <= 0 {
 		chunk = 1
 	}
 	for {
-		lo := int(st.next.Add(int64(chunk))) - chunk
+		lo := int(d.next.Add(int64(chunk))) - chunk
 		if lo >= n {
 			break
 		}
 		hi := min(lo+chunk, n)
-		th.team.rt.stats.chunks.Add(1)
+		th.stats.chunks.Add(1)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
 	}
-	th.team.release(seq)
+	th.team.release(h, seq)
 }
 
 type guidedLoop struct {
 	remaining atomic.Int64
+	_         [cacheLineSize - 8]byte
 }
 
 // forGuided hands out exponentially shrinking chunks: each grab takes
 // remaining/(2*nthreads), clamped below by the chunk size (default 1).
 func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 	seq := th.nextSeq()
-	st := th.team.instance(seq, func() any {
+	st, h := th.team.instance(seq, func() any {
 		g := new(guidedLoop)
 		g.remaining.Store(int64(n))
 		return g
-	}).(*guidedLoop)
+	})
+	g := st.(*guidedLoop)
 	if minChunk <= 0 {
 		minChunk = 1
 	}
 	nt := int64(th.team.n)
 	for {
-		rem := st.remaining.Load()
+		rem := g.remaining.Load()
 		if rem <= 0 {
 			break
 		}
@@ -112,15 +120,15 @@ func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 		if c > rem {
 			c = rem
 		}
-		if !st.remaining.CompareAndSwap(rem, rem-c) {
+		if !g.remaining.CompareAndSwap(rem, rem-c) {
 			continue
 		}
 		lo := n - int(rem)
 		hi := lo + int(c)
-		th.team.rt.stats.chunks.Add(1)
+		th.stats.chunks.Add(1)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
 	}
-	th.team.release(seq)
+	th.team.release(h, seq)
 }

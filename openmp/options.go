@@ -206,8 +206,8 @@ func ParseReduction(s string) (ReductionMethod, error) {
 	return 0, fmt.Errorf("openmp: unknown reduction method %q", s)
 }
 
-// BlocktimeInfinite keeps worker threads spinning forever between regions
-// (KMP_BLOCKTIME=infinite).
+// BlocktimeInfinite keeps waiting threads spinning forever — between
+// regions and at barriers alike (KMP_BLOCKTIME=infinite).
 const BlocktimeInfinite = -1
 
 // Options configures a Runtime. The zero value is NOT ready to use; call
@@ -228,10 +228,11 @@ type Options struct {
 	Places []PlaceSpec
 	// Library selects the execution mode (see LibraryMode).
 	Library LibraryMode
-	// BlocktimeMS is how long, in milliseconds, an idle worker spins before
-	// sleeping. BlocktimeInfinite disables sleeping. Turnaround mode
-	// overrides this to BlocktimeInfinite, mirroring the OMP_WAIT_POLICY
-	// derivation in the LLVM runtime.
+	// BlocktimeMS is how long, in milliseconds, a waiting thread spins
+	// before sleeping — both workers idling between regions and threads
+	// waiting at a team barrier. BlocktimeInfinite disables sleeping.
+	// Turnaround mode overrides this to BlocktimeInfinite, mirroring the
+	// OMP_WAIT_POLICY derivation in the LLVM runtime.
 	BlocktimeMS int
 	// Reduction forces a reduction method (ReductionDefault = heuristic).
 	Reduction ReductionMethod

@@ -19,12 +19,13 @@ type Ordered struct {
 // call ord.Do exactly once.
 func (th *Thread) ForOrdered(n int, body func(i int, ord *Ordered)) {
 	seq := th.nextSeq()
-	ord := th.team.instance(seq, func() any { return new(Ordered) }).(*Ordered)
+	st, h := th.team.instance(seq, func() any { return new(Ordered) })
+	ord := st.(*Ordered)
 	// The inner loop claims its own construct sequence number on every
 	// thread, keeping the per-thread counters aligned.
 	th.ForNowait(n, func(i int) { body(i, ord) })
 	th.Barrier()
-	th.team.release(seq)
+	th.team.release(h, seq)
 }
 
 // Do runs fn as iteration i's ordered region: it waits until every earlier
@@ -57,10 +58,15 @@ func (rt *Runtime) ParallelN(n int, body func(th *Thread)) {
 	}
 	rt.Parallel(func(th *Thread) {
 		seq := th.nextSeq()
-		sub := th.team.instance(seq, func() any { return newTeam(rt, n, body) }).(*Team)
+		st, h := th.team.instance(seq, func() any {
+			sub := newTeam(rt, n)
+			sub.body = body
+			return sub
+		})
+		sub := st.(*Team)
 		if th.ID() < n {
 			sub.run(th.ID())
 		}
-		th.team.release(seq)
+		th.team.release(h, seq)
 	})
 }

@@ -1,0 +1,168 @@
+package openmp
+
+// EPCC-syncbench-style overhead microbenchmarks. Where bench_test.go
+// measures whole operations (a region containing a 4096-iteration loop),
+// these isolate the runtime's own per-construct overhead — fork–join
+// dispatch, barrier passage, per-schedule loop dispatch with an empty body,
+// single, critical, lock and reduction — the quantities KMP_LIBRARY and
+// KMP_BLOCKTIME tune. Sub-benchmark names are benchstat-friendly: run with
+// `make bench` and compare snapshots with
+//
+//	benchstat before.txt after.txt
+//
+// as recorded in EXPERIMENTS.md.
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// waitPolicies are the KMP_LIBRARY variants whose fork–join cost the paper
+// contrasts: throughput parks workers after the blocktime budget (here 0, so
+// immediately), turnaround spins forever.
+var waitPolicies = []struct {
+	name   string
+	mutate func(*Options)
+}{
+	{"policy=throughput", nil},
+	{"policy=turnaround", func(o *Options) { o.Library = LibTurnaround }},
+}
+
+// BenchmarkOverheadParallel measures bare region dispatch: an empty body on
+// a warm hot team. The steady state must be 0 allocs/op.
+func BenchmarkOverheadParallel(b *testing.B) {
+	for _, p := range waitPolicies {
+		b.Run(p.name, func(b *testing.B) {
+			rt := benchRuntime(b, p.mutate)
+			body := func(*Thread) {}
+			rt.Parallel(body)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Parallel(body)
+			}
+		})
+	}
+}
+
+// BenchmarkOverheadBarrier measures one barrier passage inside a live
+// region, per wait policy.
+func BenchmarkOverheadBarrier(b *testing.B) {
+	for _, p := range waitPolicies {
+		b.Run(p.name, func(b *testing.B) {
+			rt := benchRuntime(b, p.mutate)
+			b.ReportAllocs()
+			b.ResetTimer()
+			rt.Parallel(func(th *Thread) {
+				for i := 0; i < b.N; i++ {
+					th.Barrier()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOverheadFor measures worksharing-loop dispatch overhead: a
+// 128-iteration empty loop inside a single long-lived region, so the number
+// isolates schedule dispatch (construct claim, chunk handout, end barrier)
+// from fork–join.
+func BenchmarkOverheadFor(b *testing.B) {
+	schedules := []struct {
+		name  string
+		sched ScheduleKind
+		chunk int
+	}{
+		{"sched=static", ScheduleStatic, 0},
+		{"sched=static_c8", ScheduleStatic, 8},
+		{"sched=dynamic_c1", ScheduleDynamic, 1},
+		{"sched=dynamic_c8", ScheduleDynamic, 8},
+		{"sched=guided", ScheduleGuided, 0},
+	}
+	for _, s := range schedules {
+		b.Run(s.name, func(b *testing.B) {
+			rt := benchRuntime(b, func(o *Options) {
+				o.Schedule = s.sched
+				o.ChunkSize = s.chunk
+				o.Library = LibTurnaround
+			})
+			var sink atomic.Int64
+			iter := func(j int) {
+				if j == 0 {
+					sink.Add(1)
+				}
+			}
+			b.ResetTimer()
+			rt.Parallel(func(th *Thread) {
+				for i := 0; i < b.N; i++ {
+					th.For(128, iter)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOverheadSingle measures the single construct: one ring
+// claim/release plus a winner CAS per op, nowait, so fast threads run ahead
+// and exercise slot recycling.
+func BenchmarkOverheadSingle(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	b.ResetTimer()
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Single(func() {})
+		}
+	})
+}
+
+// BenchmarkOverheadCritical measures a named critical section under team
+// contention: the name→lock resolution is the cached sync.Map fast path.
+func BenchmarkOverheadCritical(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+	n := 0
+	b.ResetTimer()
+	rt.Parallel(func(th *Thread) {
+		per := b.N / th.NumThreads()
+		for i := 0; i < per; i++ {
+			th.Critical("bench", func() { n++ })
+		}
+	})
+	_ = n
+}
+
+// BenchmarkOverheadReduce measures one team-wide sum reduction per op, per
+// reduction method (KMP_FORCE_REDUCTION).
+func BenchmarkOverheadReduce(b *testing.B) {
+	methods := []struct {
+		name   string
+		method ReductionMethod
+	}{
+		{"red=tree", ReductionTree},
+		{"red=atomic", ReductionAtomic},
+		{"red=critical", ReductionCritical},
+	}
+	for _, m := range methods {
+		b.Run(m.name, func(b *testing.B) {
+			rt := benchRuntime(b, func(o *Options) {
+				o.Reduction = m.method
+				o.Library = LibTurnaround
+			})
+			b.ResetTimer()
+			rt.Parallel(func(th *Thread) {
+				for i := 0; i < b.N; i++ {
+					th.ReduceSum(1)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOverheadStats measures the Stats() snapshot itself, which now
+// walks the per-thread shards.
+func BenchmarkOverheadStats(b *testing.B) {
+	rt := benchRuntime(b, nil)
+	rt.Parallel(func(*Thread) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Stats()
+	}
+}

@@ -65,47 +65,50 @@ func (th *Thread) reduce(local, identity float64, op func(a, b float64) float64)
 	seq := th.nextSeq()
 	switch method {
 	case ReductionAtomic:
-		st := th.team.instance(seq, func() any {
+		st, h := th.team.instance(seq, func() any {
 			c := new(atomicCell)
 			c.bits.Store(math.Float64bits(identity))
 			return c
-		}).(*atomicCell)
-		st.fold(local, op)
+		})
+		cell := st.(*atomicCell)
+		cell.fold(local, op)
 		th.Barrier()
-		out := math.Float64frombits(st.bits.Load())
+		out := math.Float64frombits(cell.bits.Load())
 		th.Barrier() // all threads read before the instance is released
-		th.team.release(seq)
+		th.team.release(h, seq)
 		return out
 
 	case ReductionCritical:
-		st := th.team.instance(seq, func() any { return &critCell{val: identity} }).(*critCell)
-		st.mu.Lock()
-		st.val = op(st.val, local)
-		st.mu.Unlock()
+		st, h := th.team.instance(seq, func() any { return &critCell{val: identity} })
+		cell := st.(*critCell)
+		cell.mu.Lock()
+		cell.val = op(cell.val, local)
+		cell.mu.Unlock()
 		th.Barrier()
-		out := st.val
+		out := cell.val
 		th.Barrier()
-		th.team.release(seq)
+		th.team.release(h, seq)
 		return out
 
 	default: // ReductionTree
 		align := th.team.rt.opts.AlignAlloc
-		st := th.team.instance(seq, func() any {
+		st, h := th.team.instance(seq, func() any {
 			stride := padStride(align)
 			return &treeCell{slots: AlignedFloat64s(n*stride, align), stride: stride}
-		}).(*treeCell)
-		st.slots[th.id*st.stride] = local
+		})
+		cell := st.(*treeCell)
+		cell.slots[th.id*cell.stride] = local
 		th.Barrier()
 		for step := 1; step < n; step <<= 1 {
 			if th.id%(2*step) == 0 && th.id+step < n {
-				a := &st.slots[th.id*st.stride]
-				*a = op(*a, st.slots[(th.id+step)*st.stride])
+				a := &cell.slots[th.id*cell.stride]
+				*a = op(*a, cell.slots[(th.id+step)*cell.stride])
 			}
 			th.Barrier()
 		}
-		out := st.slots[0]
+		out := cell.slots[0]
 		th.Barrier()
-		th.team.release(seq)
+		th.team.release(h, seq)
 		return out
 	}
 }

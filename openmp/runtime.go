@@ -11,9 +11,15 @@ import (
 // Runtime owns a pool of worker goroutines and executes fork–join parallel
 // regions over them. Create one with New, use it from a single orchestrating
 // goroutine, and release the workers with Close. Parallel regions may not be
-// nested: calling Parallel from inside a region is a programming error (the
-// inner call would deadlock on the region lock, as OpenMP nested parallelism
-// is disabled in this runtime).
+// nested: calling Parallel from inside a region panics (OpenMP nested
+// parallelism is disabled in this runtime, exactly as with OMP_NESTED=false).
+//
+// The runtime keeps a hot team (libomp's KMP_HOT_TEAMS): the Team, Thread
+// structs, construct ring and task pool are allocated once at New and reused
+// by every region. Regions are dispatched to workers through a generation
+// counter — the dispatcher bumps rt.regionGen and workers observe the new
+// generation on their spin path, so a steady-state Parallel call performs no
+// allocations and no channel operations.
 type Runtime struct {
 	opts      Options
 	bind      BindPolicy
@@ -24,8 +30,19 @@ type Runtime struct {
 	wg       sync.WaitGroup
 	closed   bool
 
-	critMu    sync.Mutex
-	criticals map[string]*sync.Mutex
+	// regionActive guards against nested Parallel: it is set for the
+	// duration of a region, and any Parallel call observing it panics
+	// instead of deadlocking on regionMu.
+	regionActive atomic.Bool
+
+	// shutdown tells workers returning from await to exit instead of
+	// running a region; Close raises it and bumps regionGen to release them.
+	shutdown atomic.Bool
+
+	hot       *Team
+	regionGen atomic.Uint64
+
+	criticals sync.Map // name -> *sync.Mutex
 
 	stats rtStats
 }
@@ -35,16 +52,40 @@ type Runtime struct {
 // mode never sleeps) and for calibrating the performance model.
 type Stats struct {
 	Regions     uint64 // parallel regions executed
-	Sleeps      uint64 // times an idle worker exhausted its blocktime and slept
-	Wakeups     uint64 // times a slept worker was woken for new work
+	Sleeps      uint64 // times an idle worker or barrier waiter exhausted its blocktime and slept
+	Wakeups     uint64 // times a slept worker or barrier waiter was woken
 	TasksRun    uint64 // explicit tasks executed
 	TasksStolen uint64 // tasks taken from another thread's deque
 	Chunks      uint64 // worksharing chunks dispatched
 }
 
-type rtStats struct {
-	regions, sleeps, wakeups, tasksRun, tasksStolen, chunks atomic.Uint64
+// statShard is one thread's private slice of the runtime counters, padded to
+// a cache line so two threads bumping their own counters never false-share.
+// 6 words of counters + 16 bytes of padding = 64 bytes.
+type statShard struct {
+	regions     atomic.Uint64
+	sleeps      atomic.Uint64
+	wakeups     atomic.Uint64
+	tasksRun    atomic.Uint64
+	tasksStolen atomic.Uint64
+	chunks      atomic.Uint64
+	_           [cacheLineSize - 48]byte
 }
+
+// rtStats shards the activity counters per thread: shard i belongs to team
+// thread i, and one extra trailing shard absorbs sources not tied to a team
+// thread (runtime locks). Stats() aggregates across shards, trading a
+// slightly costlier snapshot for uncontended hot-path increments — the old
+// single atomic.Uint64 per counter put every dispatched chunk of every
+// thread on the same cache line.
+type rtStats struct {
+	shards []statShard
+}
+
+func (s *rtStats) shard(i int) *statShard { return &s.shards[i] }
+
+// misc returns the shard for accounting outside any team thread.
+func (s *rtStats) misc() *statShard { return &s.shards[len(s.shards)-1] }
 
 // New validates opts and starts NumThreads-1 worker goroutines (the caller
 // of Parallel acts as thread 0). Serial mode starts no workers.
@@ -53,18 +94,16 @@ func New(opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{
-		opts:      opts,
-		bind:      opts.effectiveBind(),
-		criticals: make(map[string]*sync.Mutex),
+		opts: opts,
+		bind: opts.effectiveBind(),
 	}
+	n := rt.NumThreads()
+	rt.stats.shards = make([]statShard, n+1)
 	rt.placement = AssignPlaces(len(opts.Places), rt.bind, opts.NumThreads, 0)
-	nworkers := opts.NumThreads - 1
-	if opts.Library == LibSerial {
-		nworkers = 0
-	}
-	rt.workers = make([]*worker, nworkers)
+	rt.hot = newTeam(rt, n)
+	rt.workers = make([]*worker, n-1)
 	for i := range rt.workers {
-		w := &worker{rt: rt, id: i, work: make(chan *Team, 1)}
+		w := &worker{rt: rt, id: i, wake: make(chan struct{}, 1)}
 		rt.workers[i] = w
 		rt.wg.Add(1)
 		go w.loop()
@@ -103,16 +142,20 @@ func (rt *Runtime) Placement() []int {
 	return out
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters, aggregated across the
+// per-thread shards.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
-		Regions:     rt.stats.regions.Load(),
-		Sleeps:      rt.stats.sleeps.Load(),
-		Wakeups:     rt.stats.wakeups.Load(),
-		TasksRun:    rt.stats.tasksRun.Load(),
-		TasksStolen: rt.stats.tasksStolen.Load(),
-		Chunks:      rt.stats.chunks.Load(),
+	var out Stats
+	for i := range rt.stats.shards {
+		sh := &rt.stats.shards[i]
+		out.Regions += sh.regions.Load()
+		out.Sleeps += sh.sleeps.Load()
+		out.Wakeups += sh.wakeups.Load()
+		out.TasksRun += sh.tasksRun.Load()
+		out.TasksStolen += sh.tasksStolen.Load()
+		out.Chunks += sh.chunks.Load()
 	}
+	return out
 }
 
 // Close shuts the worker pool down and waits for the goroutines to exit.
@@ -124,8 +167,10 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
+	rt.shutdown.Store(true)
+	rt.regionGen.Add(1)
 	for _, w := range rt.workers {
-		close(w.work)
+		w.wakeIfParked()
 	}
 	rt.wg.Wait()
 }
@@ -135,19 +180,30 @@ func (rt *Runtime) Close() {
 // outstanding explicit tasks). The calling goroutine participates as thread
 // 0, exactly like the primary thread of an OpenMP team.
 func (rt *Runtime) Parallel(body func(th *Thread)) {
+	if rt.regionActive.Load() {
+		panic("openmp: nested Parallel: Parallel called while a region is active (nested parallelism is disabled; use ParallelN or restructure the region)")
+	}
 	rt.regionMu.Lock()
 	defer rt.regionMu.Unlock()
 	if rt.closed {
 		panic("openmp: Parallel called on closed Runtime")
 	}
-	rt.stats.regions.Add(1)
-	n := rt.NumThreads()
-	tm := newTeam(rt, n, body)
-	for i := 0; i < n-1; i++ {
-		rt.workers[i].work <- tm
+	rt.regionActive.Store(true)
+	tm := rt.hot
+	tm.threads[0].stats.regions.Add(1)
+	tm.body = body
+	// Publish the region: the regionGen bump is the release edge workers
+	// acquire tm.body through; parked workers additionally get a wake token.
+	rt.regionGen.Add(1)
+	for _, w := range rt.workers {
+		w.wakeIfParked()
 	}
 	tm.run(0)
-	tm.join.Wait()
+	// The end-of-region barrier doubles as the join: every worker has
+	// finished the body (its last tm accesses precede its barrier arrival,
+	// which precedes the primary's barrier pass).
+	tm.body = nil
+	rt.regionActive.Store(false)
 }
 
 // ParallelFor is shorthand for a region containing a single worksharing
@@ -172,55 +228,62 @@ func (rt *Runtime) ParallelReduceSum(n int, body func(i int) float64) float64 {
 }
 
 // criticalFor returns the process-wide lock for the named critical section.
+// The fast path is a lock-free sync.Map load: after a name's first use,
+// Critical never touches a global mutex to find its lock.
 func (rt *Runtime) criticalFor(name string) *sync.Mutex {
-	rt.critMu.Lock()
-	defer rt.critMu.Unlock()
-	mu, ok := rt.criticals[name]
-	if !ok {
-		mu = new(sync.Mutex)
-		rt.criticals[name] = mu
+	if mu, ok := rt.criticals.Load(name); ok {
+		return mu.(*sync.Mutex)
 	}
-	return mu
+	mu, _ := rt.criticals.LoadOrStore(name, &sync.Mutex{})
+	return mu.(*sync.Mutex)
 }
 
-// worker is one pooled thread. Between regions it waits for work according
-// to the wait policy: spin while the blocktime budget lasts, then sleep on
-// the channel until woken.
+// worker is one pooled thread. Between regions it waits for the region
+// generation to advance according to the wait policy: spin while the
+// blocktime budget lasts, then park on the wake channel until the
+// dispatcher posts a token.
 type worker struct {
-	rt   *Runtime
-	id   int // team thread id is id+1
-	work chan *Team
+	rt     *Runtime
+	id     int    // team thread id is id+1
+	seen   uint64 // last region generation executed
+	parked atomic.Bool
+	wake   chan struct{} // 1-buffered wake tokens
 }
 
 func (w *worker) loop() {
 	defer w.rt.wg.Done()
 	for {
-		tm, ok := w.next()
-		if !ok {
+		w.await()
+		if w.rt.shutdown.Load() {
 			return
 		}
-		tm.run(w.id + 1)
+		w.rt.hot.run(w.id + 1)
 	}
 }
 
-// next implements the KMP_BLOCKTIME / KMP_LIBRARY wait policy. With an
-// infinite budget (turnaround mode or KMP_BLOCKTIME=infinite) the worker
-// spins — yielding the processor but never blocking. With a zero budget it
-// sleeps immediately. Otherwise it spins until the budget expires and then
-// sleeps; being woken from sleep is the expensive path the paper's
+// await blocks until the region generation advances past the last region
+// this worker executed, per the KMP_BLOCKTIME / KMP_LIBRARY wait policy.
+// With an infinite budget (turnaround mode or KMP_BLOCKTIME=infinite) the
+// worker spins — yielding the processor but never blocking. With a zero
+// budget it parks immediately. Otherwise it spins until the budget expires
+// and then parks; being woken from a park is the expensive path the paper's
 // turnaround-mode findings hinge on.
-func (w *worker) next() (*Team, bool) {
-	bt := w.rt.opts.effectiveBlocktimeMS()
+//
+// A worker can lag at most one generation behind: a region's end barrier
+// cannot pass without every worker, so regionGen is at most seen+1 here.
+func (w *worker) await() {
+	rt := w.rt
+	next := w.seen + 1
+	bt := rt.opts.effectiveBlocktimeMS()
 	if bt != 0 {
 		var deadline time.Time
 		if bt > 0 {
 			deadline = time.Now().Add(time.Duration(bt) * time.Millisecond)
 		}
 		for spins := 0; ; spins++ {
-			select {
-			case tm, ok := <-w.work:
-				return tm, ok
-			default:
+			if rt.regionGen.Load() >= next {
+				w.seen = next
+				return
 			}
 			if bt > 0 && spins&63 == 63 && time.Now().After(deadline) {
 				break
@@ -228,12 +291,43 @@ func (w *worker) next() (*Team, bool) {
 			runtime.Gosched()
 		}
 	}
-	w.rt.stats.sleeps.Add(1)
-	tm, ok := <-w.work
-	if ok {
-		w.rt.stats.wakeups.Add(1)
+	for {
+		// Drain any stale token so a park cannot be satisfied by a wake
+		// meant for an earlier generation.
+		select {
+		case <-w.wake:
+		default:
+		}
+		w.parked.Store(true)
+		// Re-check after advertising the park: either this load sees the
+		// dispatched generation (work raced in during the last spins — no
+		// sleep happened, so none is counted), or the dispatcher's
+		// parked.Load() sees true and posts a token. Never neither.
+		if rt.regionGen.Load() >= next {
+			w.parked.Store(false)
+			w.seen = next
+			return
+		}
+		w.stats().sleeps.Add(1)
+		<-w.wake
+		w.stats().wakeups.Add(1)
+		w.parked.Store(false)
 	}
-	return tm, ok
+}
+
+// stats returns the shard of the team thread this worker runs as.
+func (w *worker) stats() *statShard { return w.rt.stats.shard(w.id + 1) }
+
+// wakeIfParked posts a wake token if the worker has advertised a park. The
+// send is non-blocking: a token already in the buffer serves the same
+// purpose.
+func (w *worker) wakeIfParked() {
+	if w.parked.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // String summarizes the runtime configuration.

@@ -18,27 +18,28 @@ func (th *Thread) ScanSum(local float64) float64 {
 	}
 	seq := th.nextSeq()
 	align := th.team.rt.opts.AlignAlloc
-	st := th.team.instance(seq, func() any {
+	st, h := th.team.instance(seq, func() any {
 		stride := padStride(align)
 		return &treeCell{slots: AlignedFloat64s((n+1)*stride, align), stride: stride}
-	}).(*treeCell)
-	st.slots[th.id*st.stride] = local
+	})
+	cell := st.(*treeCell)
+	cell.slots[th.id*cell.stride] = local
 	th.Barrier()
 	// Thread 0 turns the slot array into exclusive prefix sums; n is team
 	// size, so this serial pass is O(n) with n <= a few hundred.
 	if th.id == 0 {
 		run := 0.0
 		for t := 0; t < n; t++ {
-			v := st.slots[t*st.stride]
-			st.slots[t*st.stride] = run
+			v := cell.slots[t*cell.stride]
+			cell.slots[t*cell.stride] = run
 			run += v
 		}
-		st.slots[n*st.stride] = run // total, available to all
+		cell.slots[n*cell.stride] = run // total, available to all
 	}
 	th.Barrier()
-	out := st.slots[th.id*st.stride]
+	out := cell.slots[th.id*cell.stride]
 	th.Barrier()
-	th.team.release(seq)
+	th.team.release(h, seq)
 	return out
 }
 

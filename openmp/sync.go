@@ -15,7 +15,7 @@ type Lock struct {
 	state   atomic.Int32
 	waiters atomic.Int32  // goroutines at or past the park decision
 	parked  chan struct{} // buffered wake token channel
-	stats   *rtStats      // sleep/wakeup accounting; nil for zero-value locks
+	stats   *statShard    // sleep/wakeup accounting; nil for zero-value locks
 	// spinForever mirrors KMP_LIBRARY=turnaround / KMP_BLOCKTIME=infinite.
 	spinForever bool
 	blocktime   time.Duration
@@ -24,7 +24,7 @@ type Lock struct {
 // NewLock returns a lock honouring the runtime's wait policy.
 func (rt *Runtime) NewLock() *Lock {
 	bt := rt.opts.effectiveBlocktimeMS()
-	l := &Lock{parked: make(chan struct{}, 1), stats: &rt.stats}
+	l := &Lock{parked: make(chan struct{}, 1), stats: rt.stats.misc()}
 	if bt == BlocktimeInfinite {
 		l.spinForever = true
 	} else {
@@ -154,14 +154,15 @@ func (th *Thread) Sections(fns ...func()) {
 		th.Barrier()
 		return
 	}
-	st := th.team.instance(seq, func() any { return new(atomic.Int64) }).(*atomic.Int64)
+	st, h := th.team.instance(seq, func() any { return new(atomic.Int64) })
+	cur := st.(*atomic.Int64)
 	for {
-		i := int(st.Add(1)) - 1
+		i := int(cur.Add(1)) - 1
 		if i >= len(fns) {
 			break
 		}
 		fns[i]()
 	}
 	th.Barrier()
-	th.team.release(seq)
+	th.team.release(h, seq)
 }

@@ -118,7 +118,7 @@ func (th *Thread) runOneTask() bool {
 			}
 			if t = pool.deques[victim].popFront(); t != nil {
 				th.stealAt = (th.stealAt + k) % n
-				th.team.rt.stats.tasksStolen.Add(1)
+				th.stats.tasksStolen.Add(1)
 				break
 			}
 		}
@@ -135,6 +135,6 @@ func (th *Thread) runOneTask() bool {
 		t.group.pending.Add(-1)
 	}
 	pool.pending.Add(-1)
-	th.team.rt.stats.tasksRun.Add(1)
+	th.stats.tasksRun.Add(1)
 	return true
 }

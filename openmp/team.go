@@ -2,8 +2,8 @@ package openmp
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Team is one fork–join instance: n threads executing the same region body.
@@ -11,87 +11,88 @@ import (
 // winners) is keyed by a per-thread construct sequence number, which
 // requires — exactly as OpenMP does — that all threads of a team encounter
 // the team's worksharing constructs in the same order.
+//
+// The runtime keeps one hot team alive for its whole lifetime (libomp's
+// KMP_HOT_TEAMS behaviour): the Team, its Thread structs, construct ring and
+// task pool are allocated once and reused by every region, so steady-state
+// Parallel performs no allocations. Only ParallelN sub-teams are built per
+// call.
 type Team struct {
 	rt   *Runtime
 	n    int
 	body func(*Thread)
 
-	bar  barrier
-	join sync.WaitGroup
-
-	mu     sync.Mutex
-	shared map[int64]*construct
+	threads []Thread
+	ring    constructRing
+	bar     barrier
 
 	pool     *taskPool
 	rootTask task
 }
 
-type construct struct {
-	state any
-	done  int32 // threads that have finished with the instance
-}
-
-func newTeam(rt *Runtime, n int, body func(*Thread)) *Team {
+// newTeam builds a team shell; the region body is assigned per region by the
+// dispatcher (Parallel or ParallelN) before any thread calls run.
+func newTeam(rt *Runtime, n int) *Team {
 	tm := &Team{
-		rt:     rt,
-		n:      n,
-		body:   body,
-		shared: make(map[int64]*construct),
-		pool:   newTaskPool(n),
+		rt:      rt,
+		n:       n,
+		threads: make([]Thread, n),
+		pool:    newTaskPool(n),
 	}
-	tm.bar.n = int32(n)
-	tm.join.Add(n)
+	for i := range tm.threads {
+		th := &tm.threads[i]
+		th.team = tm
+		th.id = i
+		th.stats = rt.stats.shard(i)
+	}
+	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
 	return tm
 }
 
 // run executes the region body as thread tid, drains leftover explicit
-// tasks, and passes the implicit end-of-region barrier.
+// tasks, and passes the implicit end-of-region barrier. The barrier doubles
+// as the join: when the primary thread (tid 0) returns, every team thread
+// has finished the region.
 func (tm *Team) run(tid int) {
-	defer tm.join.Done()
-	th := &Thread{team: tm, id: tid, curTask: &tm.rootTask}
+	th := &tm.threads[tid]
+	th.curTask = &tm.rootTask
+	th.curGroup = nil
+	// th.seq is deliberately NOT reset: construct sequence numbers stay
+	// unique for the team's lifetime, which the construct ring's slot
+	// identity encoding relies on. All threads execute the same construct
+	// count per region, so the counters stay aligned across regions.
 	tm.body(th)
 	th.drainTasks()
-	tm.bar.wait()
+	tm.bar.wait(th.stats)
 }
 
 // instance returns the shared state for the construct with sequence number
-// seq, creating it with create on first arrival.
-func (tm *Team) instance(seq int64, create func() any) any {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
-	c, ok := tm.shared[seq]
-	if !ok {
-		c = &construct{state: create()}
-		tm.shared[seq] = c
-	}
-	return c.state
+// seq, creating it with create on first arrival. The returned handle must be
+// passed back to release.
+func (tm *Team) instance(seq int64, create func() any) (any, *constructSlot) {
+	return tm.ring.instance(seq, create)
 }
 
 // release marks the calling thread done with construct seq and frees the
-// instance once every team thread has released it, keeping the shared map
+// instance once every team thread has released it, keeping construct state
 // bounded for long-running applications.
-func (tm *Team) release(seq int64) {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
-	c, ok := tm.shared[seq]
-	if !ok {
-		return
-	}
-	c.done++
-	if int(c.done) == tm.n {
-		delete(tm.shared, seq)
-	}
+func (tm *Team) release(h *constructSlot, seq int64) {
+	tm.ring.release(h, seq, int32(tm.n))
 }
 
 // Thread is the per-thread view of a parallel region, passed to the region
-// body. It is not safe to share a Thread between goroutines.
+// body. It is not safe to share a Thread between goroutines. Threads are
+// cache-line padded: they live in the hot team's contiguous array and their
+// mutable fields (seq, stealAt, curTask) are written region after region.
 type Thread struct {
 	team     *Team
 	id       int
-	seq      int64 // worksharing constructs encountered so far
+	seq      int64 // worksharing constructs encountered, team-lifetime monotonic
 	curTask  *task
 	curGroup *taskGroup // innermost active taskgroup, nil outside one
 	stealAt  int        // rotating steal start position
+	stats    *statShard // this thread's stats shard
+	_        [cacheLineSize - 56]byte
 }
 
 // ID returns the thread number within the team (0 = primary).
@@ -120,7 +121,7 @@ func (th *Thread) nextSeq() int64 {
 }
 
 // Barrier blocks until every thread of the team has called it.
-func (th *Thread) Barrier() { th.team.bar.wait() }
+func (th *Thread) Barrier() { th.team.bar.wait(th.stats) }
 
 // Master runs fn on the primary thread only. No implied barrier.
 func (th *Thread) Master(fn func()) {
@@ -133,11 +134,11 @@ func (th *Thread) Master(fn func()) {
 // threads skip it. Nowait semantics: no implied barrier.
 func (th *Thread) Single(fn func()) {
 	seq := th.nextSeq()
-	st := th.team.instance(seq, func() any { return new(atomic.Bool) }).(*atomic.Bool)
-	if st.CompareAndSwap(false, true) {
+	st, h := th.team.instance(seq, func() any { return new(atomic.Bool) })
+	if st.(*atomic.Bool).CompareAndSwap(false, true) {
 		fn()
 	}
-	th.team.release(seq)
+	th.team.release(h, seq)
 }
 
 // Critical runs fn under the process-wide named critical-section lock.
@@ -148,25 +149,114 @@ func (th *Thread) Critical(name string, fn func()) {
 	fn()
 }
 
-// barrier is a generation-counting (sense-reversing) spin barrier. Spinning
-// threads yield the processor, so the barrier is safe on any GOMAXPROCS.
+// barrier is a generation-counting (sense-reversing) barrier that honours
+// the runtime's wait policy: waiters spin within the KMP_BLOCKTIME budget
+// (forever in turnaround mode) and then park on a broadcast channel until
+// the last arriver releases the generation. Parks and wakes are charged to
+// the waiting thread's stats shard, so Stats.Sleeps/Wakeups reflect barrier
+// waits exactly like between-region worker waits. The hot counters (count,
+// gen) sit on separate cache lines so arrivals don't false-share with
+// release polling.
 type barrier struct {
-	n     int32
+	n           int32
+	spinForever bool
+	blocktime   time.Duration
+
+	_     [cacheLineSize]byte
 	count atomic.Int32
+	_     [cacheLineSize - 4]byte
 	gen   atomic.Uint64
+	_     [cacheLineSize - 8]byte
+	park  atomic.Pointer[barrierGen]
 }
 
-func (b *barrier) wait() {
+// barrierGen is one generation's park point: a broadcast channel closed by
+// whoever CASes it out of the barrier's park slot — either the generation's
+// releaser, or a later-generation parker displacing a stale entry (whose
+// generation is then already released). This ownership rule means every
+// installed entry is closed exactly once and no parked waiter can be
+// stranded by the releaser reading the park slot before the entry lands:
+// the parker re-checks the generation after installing and only blocks if
+// the generation is still open, in which case the releaser's later load is
+// guaranteed to observe the entry (or a displacing successor that closed
+// it).
+type barrierGen struct {
+	gen uint64
+	ch  chan struct{}
+}
+
+func (b *barrier) init(n int, blocktimeMS int) {
+	b.n = int32(n)
+	if blocktimeMS == BlocktimeInfinite {
+		b.spinForever = true
+	} else {
+		b.blocktime = time.Duration(blocktimeMS) * time.Millisecond
+	}
+}
+
+func (b *barrier) wait(sh *statShard) {
 	if b.n <= 1 {
 		return
 	}
 	gen := b.gen.Load()
 	if b.count.Add(1) == b.n {
+		// Last arriver: open the next generation and wake this one's
+		// parked waiters, if an entry for it is installed.
 		b.count.Store(0)
 		b.gen.Add(1)
+		if p := b.park.Load(); p != nil && p.gen == gen {
+			if b.park.CompareAndSwap(p, nil) {
+				close(p.ch)
+			}
+			// CAS failure means a parker displaced (and closed) p.
+		}
 		return
 	}
+	if b.spinForever {
+		for b.gen.Load() == gen {
+			runtime.Gosched()
+		}
+		return
+	}
+	if b.blocktime > 0 {
+		deadline := time.Now().Add(b.blocktime)
+		for spins := 0; b.gen.Load() == gen; spins++ {
+			if spins&63 == 63 && time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	b.parkWait(gen, sh)
+}
+
+// parkWait blocks until generation gen is released, installing (or joining)
+// the generation's broadcast entry.
+func (b *barrier) parkWait(gen uint64, sh *statShard) {
 	for b.gen.Load() == gen {
-		runtime.Gosched()
+		p := b.park.Load()
+		if p == nil || p.gen != gen {
+			np := &barrierGen{gen: gen, ch: make(chan struct{})}
+			if !b.park.CompareAndSwap(p, np) {
+				continue
+			}
+			if p != nil {
+				// Displaced a stale entry: its generation was already
+				// released (or is newer and will re-install), so waking its
+				// waiters is required and harmless.
+				close(p.ch)
+			}
+			p = np
+		}
+		// Re-check after the entry is visible: if the generation was
+		// released while installing, the releaser may have missed the
+		// entry — do not block (and do not count a sleep that never
+		// happened; the entry itself is closed by a future displacer).
+		if b.gen.Load() != gen {
+			return
+		}
+		sh.sleeps.Add(1)
+		<-p.ch
+		sh.wakeups.Add(1)
 	}
 }
