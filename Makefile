@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,24 @@ BENCH ?= .
 bench:
 	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=300ms -count=5 -benchmem
 
-verify: race test
+# smoke runs a real-execution micro-campaign through the measured backend:
+# one app per suite (NPB/BOTS/proxy) on one arch, a tiny slice of the space,
+# two timed repetitions. It asserts the campaign completes, resumes
+# byte-identically from its own checkpoint, and records only positive
+# measured runtimes (CSV columns 14-17 are runtime_0..runtime_3).
+SMOKE_DIR := $(or $(TMPDIR),/tmp)/omptune-smoke
+SMOKE_SWEEP = $(GO) run ./cmd/ompsweep -backend measured -arch a64fx \
+	-apps EP,Nqueens,XSbench -frac 0.001 -measure-reps 2 -checkpoint $(SMOKE_DIR)/ck
+smoke: build
+	rm -rf $(SMOKE_DIR)
+	$(SMOKE_SWEEP) -o $(SMOKE_DIR)/smoke.csv
+	$(SMOKE_SWEEP) -o $(SMOKE_DIR)/resumed.csv
+	cmp $(SMOKE_DIR)/smoke.csv $(SMOKE_DIR)/resumed.csv
+	awk -F, 'NR == 1 { if ($$NF != "source") { print "smoke: missing source column"; bad = 1; exit 1 } next } \
+		{ if ($$NF != "measured") { print "smoke: unmeasured row: " $$0; bad = 1; exit 1 } \
+		  for (i = 14; i <= 17; i++) if ($$i + 0 <= 0) { print "smoke: non-positive runtime: " $$0; bad = 1; exit 1 } } \
+		END { if (bad) exit 1; if (NR < 2) { print "smoke: empty campaign"; exit 1 } print "smoke: " NR - 1 " measured samples OK" }' \
+		$(SMOKE_DIR)/smoke.csv
+	rm -rf $(SMOKE_DIR)
+
+verify: race test smoke

@@ -6,7 +6,17 @@
 //
 //	ompanalyze -data dataset.csv [-upshot] [-worst]
 //	           [-wilcoxon APP,SETTING] [-heatmap app|arch|apparch]
-//	           [-recommend APP] [-tune APP@ARCH]
+//	           [-recommend APP] [-tune APP@ARCH] [-backend model|measured]
+//	           [-calibrate ARCH]
+//
+// -backend selects the measurement backend for the evaluation-driven
+// analyses (-tune, -random, -numa): model (the deterministic analytic
+// model, default) or measured (real kernel execution on this host).
+//
+// -calibrate quantifies how well the two backends agree: both evaluate a
+// small deterministic subspace of configurations on the given architecture,
+// and the report prints per-application and per-variable Spearman rank
+// correlation plus the median relative error in speedup-over-default units.
 package main
 
 import (
@@ -36,8 +46,24 @@ func main() {
 		transfer  = flag.String("transfer", "", "application for leave-one-architecture-out transfer analysis")
 		numa      = flag.String("numa", "", "APP@ARCH: evaluate the deferred numa_domains placements")
 		drill     = flag.String("drill", "", "APP@ARCH: hierarchical Fig3->Fig2->Fig4 drill-down with tuning advice")
+		backendFl = flag.String("backend", "model", "measurement backend for -tune/-random/-numa: model or measured")
+		calibrate = flag.String("calibrate", "", "ARCH: compare the model against the measured backend over a small subspace")
+		calApps   = flag.String("calibrate-apps", "", "comma-separated apps for -calibrate (default: all on the arch)")
+		calCfgs   = flag.Int("calibrate-configs", 12, "configurations per app for -calibrate")
+		mreps     = flag.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
+		mwarmup   = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
 	)
 	flag.Parse()
+
+	measureOpt := omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps}
+	var backend omptune.Evaluator // nil = the analytic model
+	switch *backendFl {
+	case "model":
+	case "measured":
+		backend = omptune.NewMeasuredEvaluator(measureOpt)
+	default:
+		fatal(fmt.Errorf("-backend %q: want model or measured", *backendFl))
+	}
 
 	var ds *omptune.Dataset
 	load := func() *omptune.Dataset {
@@ -139,9 +165,9 @@ func main() {
 			fatal(err)
 		}
 		set := app.Settings(m)[1] // the middle (default-size) setting
-		res := omptune.Tune(m, app, set, nil, *budget)
-		fmt.Printf("tuned %s on %s (%s): %.3fs -> %.3fs (%.3fx) in %d evaluations\n",
-			appName, archName, set.Label, res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.Evaluations)
+		res := omptune.TuneWith(backend, m, app, set, nil, *budget)
+		fmt.Printf("tuned %s on %s (%s, %s backend): %.3fs -> %.3fs (%.3fx) in %d evaluations\n",
+			appName, archName, set.Label, *backendFl, res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.Evaluations)
 		for _, s := range res.Trace {
 			fmt.Printf("  %-20s = %-12s -> %.3fs\n", s.Variable, s.Value, s.Seconds)
 		}
@@ -151,7 +177,7 @@ func main() {
 		ran = true
 		app, m := appArch(*random)
 		set := app.Settings(m)[1]
-		res := omptune.RandomSearch(m, app, set, *budget, 1)
+		res := omptune.RandomSearchWith(backend, m, app, set, *budget, 1)
 		fmt.Printf("random search %s on %s: %.3fx in %d evaluations (best: %s)\n",
 			app.Name, m.Arch, res.Speedup(), res.Evaluations, res.Best)
 	}
@@ -187,9 +213,40 @@ func main() {
 		ran = true
 		app, m := appArch(*numa)
 		set := app.Settings(m)[1]
-		cfg, speedup := omptune.BestNUMAPlacement(m, app, set)
+		cfg, speedup := omptune.BestNUMAPlacementWith(backend, m, app, set)
 		fmt.Printf("best numa_domains placement for %s on %s (%s): %.3fx with %s\n",
 			app.Name, m.Arch, set.Label, speedup, cfg)
+	}
+	if *calibrate != "" {
+		ran = true
+		m, err := omptune.MachineByName(*calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		var appNames []string
+		if *calApps != "" {
+			for _, a := range strings.Split(*calApps, ",") {
+				name := strings.TrimSpace(a)
+				if _, err := omptune.ApplicationByName(name); err != nil {
+					fatal(err)
+				}
+				appNames = append(appNames, name)
+			}
+		}
+		// The reference is always the model; the alternate is the measured
+		// backend (reusing the one from -backend measured, so its cached
+		// series are shared with any tuning run in the same invocation).
+		alt := backend
+		if alt == nil {
+			alt = omptune.NewMeasuredEvaluator(measureOpt)
+		}
+		rep, err := omptune.Calibrate(nil, alt, omptune.CalibrationOptions{
+			Arch: m.Arch, AppNames: appNames, ConfigsPerApp: *calCfgs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
 	}
 	if *drill != "" {
 		ran = true

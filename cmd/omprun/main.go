@@ -8,12 +8,20 @@
 // Usage:
 //
 //	omprun -app Nqueens [-scale 1.0] [-set "OMP_NUM_THREADS=4,KMP_LIBRARY=turnaround"]
+//	       [-warmup 1] [-reps 4] [-json]
 //	omprun -list
 //
 // Real environment variables are honoured too; -set entries override them.
+//
+// Timing uses the same harness as the measured sweep backend (-backend
+// measured in ompsweep): -warmup untimed runs, then -reps timed repetitions
+// on the same runtime, so the hot team is reused across repetitions exactly
+// like a §IV-C campaign measurement. -json emits the series as one JSON
+// object for scripting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +29,23 @@ import (
 	"time"
 
 	"omptune"
+	"omptune/internal/measure"
 	"omptune/openmp"
 )
+
+// runReport is the -json output shape.
+type runReport struct {
+	App         string       `json:"app"`
+	Scale       float64      `json:"scale"`
+	Runtime     string       `json:"runtime"`
+	Warmup      int          `json:"warmup"`
+	Reps        int          `json:"reps"`
+	RuntimesSec []float64    `json:"runtimes_sec"`
+	MeanSec     float64      `json:"mean_sec"`
+	MinSec      float64      `json:"min_sec"`
+	Checksum    float64      `json:"checksum"`
+	Stats       openmp.Stats `json:"stats"`
+}
 
 func main() {
 	var (
@@ -30,6 +53,9 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
 		setFlag = flag.String("set", "", "comma-separated KEY=VALUE overrides")
 		list    = flag.Bool("list", false, "list the available applications")
+		warmup  = flag.Int("warmup", 0, "untimed warmup runs before the timed repetitions")
+		reps    = flag.Int("reps", 1, "timed repetitions (the runtime is reused across them)")
+		jsonOut = flag.Bool("json", false, "emit the measurement series as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -51,6 +77,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps %d: want at least 1", *reps))
+	}
+	if *warmup < 0 {
+		fatal(fmt.Errorf("-warmup %d: want >= 0", *warmup))
+	}
 
 	environ := os.Environ()
 	if *setFlag != "" {
@@ -68,17 +100,54 @@ func main() {
 	}
 	defer rt.Close()
 
-	fmt.Printf("running %s (scale %.2f) on %s\n", app.Name, *scale, rt)
-	start := time.Now()
-	sum := app.Kernel(rt, *scale)
-	elapsed := time.Since(start)
-	st := rt.Stats()
-	fmt.Printf("checksum   %.10g\n", sum)
-	fmt.Printf("wall time  %s\n", elapsed)
+	if !*jsonOut {
+		fmt.Printf("running %s (scale %.2f) on %s\n", app.Name, *scale, rt)
+	}
+	series := measure.Run(rt, app.Kernel, *scale, *warmup, *reps)
+
+	mean, min := 0.0, series.Runtimes[0]
+	for _, t := range series.Runtimes {
+		mean += t
+		if t < min {
+			min = t
+		}
+	}
+	mean /= float64(len(series.Runtimes))
+
+	if *jsonOut {
+		rep := runReport{
+			App: app.Name, Scale: *scale, Runtime: rt.String(),
+			Warmup: series.Warmup, Reps: len(series.Runtimes),
+			RuntimesSec: series.Runtimes, MeanSec: mean, MinSec: min,
+			Checksum: series.Checksum, Stats: series.Stats,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st := series.Stats
+	fmt.Printf("checksum   %.10g\n", series.Checksum)
+	if len(series.Runtimes) == 1 {
+		fmt.Printf("wall time  %s\n", secondsDuration(series.Runtimes[0]))
+	} else {
+		for i, t := range series.Runtimes {
+			fmt.Printf("rep %-2d     %s\n", i, secondsDuration(t))
+		}
+		fmt.Printf("mean       %s (min %s over %d reps, %d warmup)\n",
+			secondsDuration(mean), secondsDuration(min), len(series.Runtimes), series.Warmup)
+	}
 	fmt.Printf("regions    %d\n", st.Regions)
 	fmt.Printf("chunks     %d\n", st.Chunks)
 	fmt.Printf("tasks      %d (stolen %d)\n", st.TasksRun, st.TasksStolen)
 	fmt.Printf("sleeps     %d, wakeups %d\n", st.Sleeps, st.Wakeups)
+}
+
+func secondsDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ompsweep [-arch a64fx,skylake,milan] [-apps CG,Nqueens] [-frac 0.26]
+//	         [-backend model|measured] [-measure-reps n] [-measure-warmup n]
 //	         [-workers 8] [-checkpoint dir] [-o dataset.csv] [-progress]
 //
 // Without flags it reproduces the full Table II dataset (~244k samples) on
@@ -13,6 +14,14 @@
 // With -checkpoint, completed settings are journaled so an interrupted run
 // (Ctrl-C finishes in-flight settings first) resumes where it left off when
 // rerun with the same flags.
+//
+// -backend selects the measurement backend. The default, model, evaluates
+// the calibrated analytic model and is deterministic. measured executes each
+// application's functional kernel on a real openmp runtime built from the
+// swept configuration, timing actual repetitions on this host; samples then
+// carry "measured" in the CSV source column, and a checkpoint written under
+// one backend refuses to resume under the other. Keep -frac tiny for
+// measured campaigns — every sample is a real run.
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 		shard      = flag.String("shard", "", "K/N: collect only the K-th of N application shards (merge CSVs afterwards)")
 		workers    = flag.Int("workers", 0, "concurrent setting batches (0 = one per CPU)")
 		checkpoint = flag.String("checkpoint", "", "journal completed settings here; rerun with the same flags to resume")
+		backend    = flag.String("backend", "model", "measurement backend: model (analytic, deterministic) or measured (real kernel execution)")
+		mreps      = flag.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
+		mwarmup    = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
 	)
 	flag.Parse()
 
@@ -52,6 +64,16 @@ func main() {
 		Workers:       *workers,
 		CheckpointDir: *checkpoint,
 		Shard:         *shard,
+	}
+	switch *backend {
+	case "model":
+		// nil Backend: the deterministic default.
+	case "measured":
+		opt.Backend = omptune.NewMeasuredEvaluator(omptune.MeasureOptions{
+			Warmup: *mwarmup, TimedReps: *mreps,
+		})
+	default:
+		fatal(fmt.Errorf("-backend %q: want model or measured", *backend))
 	}
 	if *archList != "" {
 		for _, a := range strings.Split(*archList, ",") {

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/stats"
+	"omptune/internal/topology"
+
+	"omptune/internal/apps"
+)
+
+// Calibration quantifies how faithfully one measurement backend tracks
+// another — in practice, how well the analytic model's rankings agree with
+// real kernel execution. Two views are reported:
+//
+//   - per application: both backends evaluate a deterministically sampled
+//     subspace of configurations (the default always included) and the
+//     Spearman rank correlation over configurations says whether the
+//     backends order candidate environments the same way. That ordering is
+//     exactly what the tuner and the optimality labels consume, so rank
+//     agreement — not absolute agreement — is the figure of merit.
+//   - per variable: one-at-a-time deviations from the default, pooled
+//     across the applications, isolating which runtime knobs the backends
+//     disagree about.
+//
+// Absolute runtimes are incomparable across backends (the model's scale is
+// the study system's, a measured run's is this host's), so relative error
+// is computed on runtimes normalized by each backend's own default-config
+// mean — i.e. in speedup-over-default units, which are scale-free.
+
+// CalibrationOptions controls the calibration subspace.
+type CalibrationOptions struct {
+	// Arch selects the machine model; empty means A64FX.
+	Arch topology.Arch
+	// AppNames restricts the applications; nil means every app on the arch.
+	AppNames []string
+	// ConfigsPerApp bounds the per-app subspace (default included); <= 0
+	// means 24.
+	ConfigsPerApp int
+	// Seed varies which configurations the deterministic sampler picks.
+	Seed uint64
+}
+
+// AppCalibration is the per-application agreement row.
+type AppCalibration struct {
+	App     string
+	Setting string
+	Configs int
+	// Spearman is the rank correlation between the two backends' mean
+	// runtimes over the subspace (1 = identical ordering).
+	Spearman float64
+	// MedianRelErr is the median |alt−ref|/ref of runtimes normalized by
+	// each backend's default-config mean.
+	MedianRelErr float64
+}
+
+// VariableCalibration is the per-variable agreement row, pooled across apps.
+type VariableCalibration struct {
+	Variable     env.VarName
+	Points       int
+	Spearman     float64
+	MedianRelErr float64
+}
+
+// CalibrationReport is the model-vs-measured comparison over a subspace.
+type CalibrationReport struct {
+	Reference string // backend whose ordering is the yardstick
+	Alternate string // backend being judged against it
+	Arch      topology.Arch
+	Apps      []AppCalibration
+	Variables []VariableCalibration
+}
+
+// Calibrate evaluates the same configuration subspace under both backends
+// and reports their agreement. ref is the yardstick (nil = analytic model);
+// alt is the backend being judged (typically the measured one).
+func Calibrate(ref, alt Evaluator, opt CalibrationOptions) (*CalibrationReport, error) {
+	ref, alt = orModel(ref), orModel(alt)
+	arch := opt.Arch
+	if arch == "" {
+		arch = topology.A64FX
+	}
+	m, err := topology.Get(arch)
+	if err != nil {
+		return nil, err
+	}
+	appList, err := selectApps(arch, opt.AppNames)
+	if err != nil {
+		return nil, err
+	}
+	if len(appList) == 0 {
+		return nil, fmt.Errorf("core: no applications to calibrate on %s", arch)
+	}
+	perApp := opt.ConfigsPerApp
+	if perApp <= 0 {
+		perApp = 24
+	}
+
+	space := env.Space(m)
+	def := env.Default(m)
+	rep := &CalibrationReport{Reference: ref.Name(), Alternate: alt.Name(), Arch: arch}
+
+	// Per-variable accumulators: normalized runtimes of every one-at-a-time
+	// deviation, pooled across apps.
+	varRef := map[env.VarName][]float64{}
+	varAlt := map[env.VarName][]float64{}
+
+	for _, app := range appList {
+		set := calibrationSetting(app, m)
+		cfgs := calibrationSubspace(app.Name, arch, set.Label, space, def, perApp, opt.Seed)
+		refDef := meanRuntime(ref, m, app, def, set)
+		altDef := meanRuntime(alt, m, app, def, set)
+		if refDef <= 0 || altDef <= 0 {
+			return nil, fmt.Errorf("core: non-positive default runtime for %s on %s", app.Name, arch)
+		}
+		refN := make([]float64, len(cfgs))
+		altN := make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
+			refN[i] = meanRuntime(ref, m, app, cfg, set) / refDef
+			altN[i] = meanRuntime(alt, m, app, cfg, set) / altDef
+		}
+		rep.Apps = append(rep.Apps, AppCalibration{
+			App: app.Name, Setting: set.Label, Configs: len(cfgs),
+			Spearman:     stats.Spearman(refN, altN),
+			MedianRelErr: medianRelErr(refN, altN),
+		})
+
+		for _, v := range env.Names() {
+			for _, val := range env.Values(m, v) {
+				if def.Value(v) == val {
+					continue
+				}
+				cand, err := def.Set(v, val)
+				if err != nil || cand.Validate(m) != nil {
+					continue
+				}
+				varRef[v] = append(varRef[v], meanRuntime(ref, m, app, cand, set)/refDef)
+				varAlt[v] = append(varAlt[v], meanRuntime(alt, m, app, cand, set)/altDef)
+			}
+		}
+	}
+
+	for _, v := range env.Names() {
+		if len(varRef[v]) == 0 {
+			continue
+		}
+		rep.Variables = append(rep.Variables, VariableCalibration{
+			Variable: v, Points: len(varRef[v]),
+			Spearman:     stats.Spearman(varRef[v], varAlt[v]),
+			MedianRelErr: medianRelErr(varRef[v], varAlt[v]),
+		})
+	}
+	return rep, nil
+}
+
+// calibrationSetting picks the cheapest setting of an app — smallest thread
+// count, smallest scale — so the measured backend's wall-clock cost stays
+// proportional to the subspace, not the campaign.
+func calibrationSetting(app *apps.App, m *topology.Machine) sim.Setting {
+	sets := app.Settings(m)
+	best := sets[0]
+	for _, s := range sets[1:] {
+		if s.Threads < best.Threads || (s.Threads == best.Threads && s.Scale < best.Scale) {
+			best = s
+		}
+	}
+	return best
+}
+
+// calibrationSubspace deterministically ranks the non-default configurations
+// by hash and keeps the n−1 lowest, with the default always first. The hash
+// keying mirrors keepConfig so different apps exercise different corners of
+// the space.
+func calibrationSubspace(appName string, arch topology.Arch, setting string, space []env.Config, def env.Config, n int, seed uint64) []env.Config {
+	type ranked struct {
+		h   uint64
+		cfg env.Config
+	}
+	var rs []ranked
+	for _, cfg := range space {
+		if cfg == def {
+			continue
+		}
+		h := hash64(fmt.Sprintf("cal|%d|%s|%s|%s|%s", seed, appName, arch, setting, cfg.Key()))
+		rs = append(rs, ranked{h, cfg})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].h < rs[j].h })
+	out := []env.Config{def}
+	for _, r := range rs {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, r.cfg)
+	}
+	return out
+}
+
+// medianRelErr is the median |b−a|/a over paired normalized runtimes.
+func medianRelErr(a, b []float64) float64 {
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	errs := make([]float64, len(a))
+	for i := range a {
+		errs[i] = math.Abs(b[i]-a[i]) / a[i]
+	}
+	return stats.Median(errs)
+}
+
+// String renders the report as the two aligned tables the ompanalyze
+// -calibrate command prints.
+func (r *CalibrationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration on %s: %s (reference) vs %s\n\n", r.Arch, r.Reference, r.Alternate)
+	fmt.Fprintf(&b, "%-14s %-10s %8s %10s %13s\n", "app", "setting", "configs", "spearman", "med.rel.err")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "%-14s %-10s %8d %10.3f %12.1f%%\n", a.App, a.Setting, a.Configs, a.Spearman, 100*a.MedianRelErr)
+	}
+	fmt.Fprintf(&b, "\n%-18s %8s %10s %13s\n", "variable", "points", "spearman", "med.rel.err")
+	for _, v := range r.Variables {
+		fmt.Fprintf(&b, "%-18s %8d %10.3f %12.1f%%\n", v.Variable, v.Points, v.Spearman, 100*v.MedianRelErr)
+	}
+	return b.String()
+}

@@ -34,16 +34,32 @@ type sweepManifest struct {
 	Fractions map[string]float64 `json:"fractions"`
 	Extended  bool               `json:"extended"`
 	Shard     string             `json:"shard,omitempty"`
-	Units     []string           `json:"units"` // ordered unit keys
+	// Backend is the measurement backend's identity (Evaluator.Name). Model
+	// and measured runtimes must never mix inside one campaign, so resuming
+	// under a different backend is rejected. Manifests written before the
+	// evaluator seam carry no backend field; they read back as "model", the
+	// only backend that existed then.
+	Backend string   `json:"backend,omitempty"`
+	Units   []string `json:"units"` // ordered unit keys
 }
 
 const manifestVersion = 1
 
-func manifestFor(sc SweepConfig, units []*sweepUnit) sweepManifest {
+// backendName normalizes the manifest's backend field: absent (a pre-seam
+// manifest) means the model backend.
+func (m sweepManifest) backendName() string {
+	if m.Backend == "" {
+		return dataset.SourceModel
+	}
+	return m.Backend
+}
+
+func manifestFor(sc SweepConfig, ev Evaluator, units []*sweepUnit) sweepManifest {
 	man := sweepManifest{
 		Version:   manifestVersion,
 		Extended:  sc.Extended,
 		Shard:     sc.ShardSpec,
+		Backend:   orModel(ev).Name(),
 		Fractions: map[string]float64{},
 	}
 	seen := map[topology.Arch]bool{}
@@ -64,6 +80,9 @@ func (m sweepManifest) diff(other sweepManifest) string {
 	switch {
 	case m.Version != other.Version:
 		return fmt.Sprintf("checkpoint format version %d vs %d", other.Version, m.Version)
+	case m.backendName() != other.backendName():
+		return fmt.Sprintf("measurement backend %q vs %q — a campaign journaled under the %q backend cannot resume under %q",
+			other.backendName(), m.backendName(), other.backendName(), m.backendName())
 	case m.Shard != other.Shard:
 		return fmt.Sprintf("shard spec %q vs %q", other.Shard, m.Shard)
 	case m.Extended != other.Extended:

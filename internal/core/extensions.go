@@ -134,17 +134,15 @@ func Transfer(ds *dataset.Dataset, app string, treeOpt ml.TreeOptions, nTrees in
 
 // RandomSearch is the baseline the guided tuner is judged against: sample
 // `budget` configurations uniformly (deterministically seeded) and keep the
-// best. Returned in the same TuneResult shape as Tune.
-func RandomSearch(m *topology.Machine, app *apps.App, set sim.Setting, budget int, seedVal uint64) TuneResult {
+// best. Returned in the same TuneResult shape as Tune. The ev backend
+// decides what an evaluation measures (nil = analytic model).
+func RandomSearch(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, budget int, seedVal uint64) TuneResult {
 	if budget <= 0 {
 		budget = 200
 	}
+	ev = orModel(ev)
 	measure := func(cfg env.Config) float64 {
-		total := 0.0
-		for rep := 0; rep < sim.Reps; rep++ {
-			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
-		}
-		return total / sim.Reps
+		return meanRuntime(ev, m, app, cfg, set)
 	}
 	space := env.Space(m)
 	res := TuneResult{Best: env.Default(m)}
@@ -202,14 +200,12 @@ func ExtendedThreadSettings(m *topology.Machine) []sim.Setting {
 
 // BestNUMAPlacement evaluates the extended numa_domains configurations for
 // one app/arch/setting and reports the best speedup over the default —
-// the experiment the paper left for future work.
-func BestNUMAPlacement(m *topology.Machine, app *apps.App, set sim.Setting) (env.Config, float64) {
+// the experiment the paper left for future work. The ev backend decides
+// what an evaluation measures (nil = analytic model).
+func BestNUMAPlacement(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting) (env.Config, float64) {
+	ev = orModel(ev)
 	measure := func(cfg env.Config) float64 {
-		total := 0.0
-		for rep := 0; rep < sim.Reps; rep++ {
-			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
-		}
-		return total / sim.Reps
+		return meanRuntime(ev, m, app, cfg, set)
 	}
 	def := measure(env.Default(m))
 	best := env.Default(m)

@@ -81,8 +81,8 @@ func TestRandomSearchNeedsMoreEvalsThanGuided(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := sim.Setting{Label: "medium", Threads: m.Cores, Scale: 1}
-	guided := Tune(m, app, set, nil, 60)
-	random := RandomSearch(m, app, set, 60, 99)
+	guided := Tune(nil, m, app, set, nil, 60)
+	random := RandomSearch(nil, m, app, set, 60, 99)
 	if guided.Speedup() < 4 {
 		t.Errorf("guided speedup %v, want > 4", guided.Speedup())
 	}
@@ -127,7 +127,7 @@ func TestBestNUMAPlacementHelpsMemoryBoundOnMilan(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := sim.Setting{Label: "t24", Threads: 24, Scale: 1}
-	cfg, speedup := BestNUMAPlacement(m, app, set)
+	cfg, speedup := BestNUMAPlacement(nil, m, app, set)
 	if cfg.Places != topology.PlaceNUMA {
 		t.Fatalf("best config places = %s, want numa_domains", cfg.Places)
 	}
@@ -218,7 +218,7 @@ func TestDrillDownNQueensOnA64FX(t *testing.T) {
 	}
 	// The pruned order must recover the big win within a small budget.
 	app, _ := apps.ByName("Nqueens")
-	res := Tune(topology.MustGet(topology.A64FX), app,
+	res := Tune(nil, topology.MustGet(topology.A64FX), app,
 		sim.Setting{Label: "medium", Threads: 48, Scale: 1}, order, 40)
 	if res.Speedup() < 4 {
 		t.Errorf("drill-guided tuning speedup %v, want > 4", res.Speedup())

@@ -77,13 +77,13 @@ func TestEvalUnitDefaultMissingFromSpace(t *testing.T) {
 		}
 	}
 	u.space = filtered
-	if _, err := evalUnit(&u); err == nil {
+	if _, err := evalUnit(&u, ModelEvaluator{}); err == nil {
 		t.Fatal("evalUnit accepted a space without the default configuration")
 	} else if !strings.Contains(err.Error(), "default configuration") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 	// And with the default present, every sample is enriched with its mean.
-	samples, err := evalUnit(units[0])
+	samples, err := evalUnit(units[0], ModelEvaluator{})
 	if err != nil {
 		t.Fatalf("evalUnit: %v", err)
 	}
@@ -292,7 +292,7 @@ func TestWorkerErrorAborts(t *testing.T) {
 	pending := []*sweepUnit{units[0], &broken, units[2]}
 	results := make([][]*dataset.Sample, len(units))
 	rep := newReporter(SweepConfig{}, len(units), 0)
-	err = runUnits(context.Background(), SweepConfig{Workers: 2}, pending, results, nil, rep)
+	err = runUnits(context.Background(), SweepConfig{Workers: 2}, ModelEvaluator{}, pending, results, nil, rep)
 	if err == nil || !strings.Contains(err.Error(), "default configuration") {
 		t.Fatalf("pool error = %v, want default-configuration failure", err)
 	}

@@ -56,6 +56,11 @@ type SweepConfig struct {
 	// Context, when non-nil, cancels the sweep between setting batches;
 	// in-flight batches finish (and are checkpointed) first.
 	Context context.Context
+	// Evaluator is the measurement backend; nil means the analytic model
+	// (byte-identical output with pre-seam sweeps). The backend's identity is
+	// recorded in every sample's Source column and in the checkpoint
+	// manifest — resuming a checkpoint under a different backend is rejected.
+	Evaluator Evaluator
 }
 
 // DefaultFractions yields, with the sampling rule of keepConfig, dataset
@@ -180,15 +185,16 @@ func countSampled(u *sweepUnit) int {
 // explicitly first — if it is missing from the space the batch fails loudly
 // rather than silently enriching every sample with DefaultRuntime = 0
 // (which would poison downstream speedups with Inf/NaN).
-func evalUnit(u *sweepUnit) ([]*dataset.Sample, error) {
+func evalUnit(u *sweepUnit, ev Evaluator) ([]*dataset.Sample, error) {
 	newSample := func(cfg env.Config) *dataset.Sample {
 		s := &dataset.Sample{
 			Arch: u.arch, App: u.app.Name, Suite: string(u.app.Suite),
 			Setting: u.set.Label, Threads: u.set.Threads, Scale: u.set.Scale,
 			Config: cfg,
+			Source: ev.Name(),
 		}
 		for rep := 0; rep < sim.Reps; rep++ {
-			s.Runtimes[rep] = sim.Evaluate(u.m, u.app.Profile, cfg, u.set, rep)
+			s.Runtimes[rep] = ev.Evaluate(u.m, u.app, cfg, u.set, rep)
 		}
 		return s
 	}
@@ -233,6 +239,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ev := orModel(sc.Evaluator)
 	units, err := planUnits(sc)
 	if err != nil {
 		return nil, err
@@ -240,7 +247,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 
 	var ck *checkpoint
 	if sc.CheckpointDir != "" {
-		ck, err = openCheckpoint(sc.CheckpointDir, manifestFor(sc, units))
+		ck, err = openCheckpoint(sc.CheckpointDir, manifestFor(sc, ev, units))
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +278,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 	}
 
 	if len(pending) > 0 {
-		if err := runUnits(ctx, sc, pending, results, ck, rep); err != nil {
+		if err := runUnits(ctx, sc, ev, pending, results, ck, rep); err != nil {
 			return nil, err
 		}
 	}
@@ -288,7 +295,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 
 // runUnits fans the pending batches out over the worker pool, writing each
 // result into its plan slot (and the checkpoint, if any) as it completes.
-func runUnits(ctx context.Context, sc SweepConfig, pending []*sweepUnit,
+func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*sweepUnit,
 	results [][]*dataset.Sample, ck *checkpoint, rep *reporter) error {
 	workers := sc.Workers
 	if workers <= 0 {
@@ -320,7 +327,7 @@ func runUnits(ctx context.Context, sc SweepConfig, pending []*sweepUnit,
 		go func() {
 			defer wg.Done()
 			for u := range unitCh {
-				samples, err := evalUnit(u)
+				samples, err := evalUnit(u, ev)
 				if err != nil {
 					fail(err)
 					return

@@ -40,10 +40,13 @@ func (r TuneResult) Speedup() float64 {
 // keeping the best value before moving on, and stop after a full pass with
 // no improvement or when the evaluation budget is exhausted.
 //
-// The objective is the mean of the repeated simulated measurements — the
-// same quantity the study's speedups use — so Tune behaves like a user
-// re-running the real application under candidate environments.
-func Tune(m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarName, budget int) TuneResult {
+// The objective is the mean of the repeated measurements — the same
+// quantity the study's speedups use — so Tune behaves like a user re-running
+// the real application under candidate environments. The ev backend decides
+// what "measurement" means: nil (or ModelEvaluator) evaluates the analytic
+// model, the measured backend runs the application's kernel on a real
+// openmp runtime.
+func Tune(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarName, budget int) TuneResult {
 	if budget <= 0 {
 		budget = 200
 	}
@@ -52,12 +55,9 @@ func Tune(m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarNa
 			order = append(order, v)
 		}
 	}
+	ev = orModel(ev)
 	measure := func(cfg env.Config) float64 {
-		total := 0.0
-		for rep := 0; rep < sim.Reps; rep++ {
-			total += sim.Evaluate(m, app.Profile, cfg, set, rep)
-		}
-		return total / sim.Reps
+		return meanRuntime(ev, m, app, cfg, set)
 	}
 	res := TuneResult{Best: env.Default(m)}
 	res.DefaultSeconds = measure(res.Best)

@@ -11,8 +11,14 @@ import (
 	"omptune/internal/topology"
 )
 
-// header is the canonical column order of the open-sourced tabular files.
-var header = []string{
+// The tabular format is versioned by its header. headerV1 is the original
+// column order of the open-sourced files; headerV2 appends the "source"
+// provenance column recording which measurement backend produced each row.
+// WriteCSV emits the V1 header whenever every sample is model-sourced, so
+// model-backend campaigns stay byte-identical with files written before the
+// column existed; ReadCSV accepts both, defaulting absent provenance to
+// "model".
+var headerV1 = []string{
 	"arch", "app", "suite", "setting", "threads", "scale",
 	"omp_places", "omp_proc_bind", "omp_schedule",
 	"kmp_library", "kmp_blocktime", "kmp_force_reduction", "kmp_align_alloc",
@@ -20,8 +26,28 @@ var header = []string{
 	"default_runtime", "speedup", "optimal",
 }
 
-// WriteCSV streams the dataset in the study's tabular format.
+var headerV2 = append(append([]string{}, headerV1...), "source")
+
+// hasNonModelSource reports whether any sample needs the provenance column.
+func (d *Dataset) hasNonModelSource() bool {
+	for _, s := range d.Samples {
+		if s.SourceName() != SourceModel {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV streams the dataset in the study's tabular format. Datasets whose
+// samples all come from the model backend use the legacy V1 header
+// (byte-identical with pre-provenance files); any measured sample switches
+// the file to the V2 header with the trailing "source" column.
 func (d *Dataset) WriteCSV(w io.Writer) error {
+	header := headerV1
+	withSource := d.hasNonModelSource()
+	if withSource {
+		header = headerV2
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return err
@@ -47,6 +73,9 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		row[17] = fmt1(s.DefaultRuntime)
 		row[18] = fmt1(s.Speedup())
 		row[19] = strconv.FormatBool(s.Optimal())
+		if withSource {
+			row[20] = s.SourceName()
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -55,7 +84,10 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset previously written by WriteCSV.
+// ReadCSV parses a dataset previously written by WriteCSV, accepting both
+// header versions. Files without the "source" column — every CSV produced
+// before the provenance column existed — read back with Source defaulting
+// to "model".
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -65,7 +97,12 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("dataset: empty file")
 	}
-	if len(rows[0]) != len(header) || rows[0][0] != "arch" {
+	withSource := false
+	switch {
+	case len(rows[0]) == len(headerV1) && rows[0][0] == "arch":
+	case len(rows[0]) == len(headerV2) && rows[0][0] == "arch" && rows[0][len(headerV2)-1] == "source":
+		withSource = true
+	default:
 		return nil, fmt.Errorf("dataset: unrecognized header %v", rows[0])
 	}
 	d := &Dataset{}
@@ -111,6 +148,12 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 		if s.DefaultRuntime, err = strconv.ParseFloat(row[17], 64); err != nil {
 			return nil, fmt.Errorf("dataset: row %d default_runtime: %w", ln+2, err)
+		}
+		if withSource {
+			if row[20] == "" {
+				return nil, fmt.Errorf("dataset: row %d has an empty source column", ln+2)
+			}
+			s.Source = row[20]
 		}
 		d.Samples = append(d.Samples, s)
 	}

@@ -30,6 +30,27 @@ type Sample struct {
 	// DefaultRuntime is the mean runtime of the default configuration in
 	// the same setting (the enrichment step of §IV-B).
 	DefaultRuntime float64
+	// Source records the measurement backend that produced the runtimes
+	// ("model" for the analytic model, "measured" for real kernel execution
+	// on the openmp runtime). Empty means "model" — the provenance of every
+	// dataset written before the Source column existed.
+	Source string
+}
+
+// SourceModel and SourceMeasured are the provenance values of the built-in
+// measurement backends.
+const (
+	SourceModel    = "model"
+	SourceMeasured = "measured"
+)
+
+// SourceName returns the sample's provenance, normalizing the empty
+// (pre-Source, legacy) value to SourceModel.
+func (s *Sample) SourceName() string {
+	if s.Source == "" {
+		return SourceModel
+	}
+	return s.Source
 }
 
 // MeanRuntime averages the repeated measurements, the mitigation for

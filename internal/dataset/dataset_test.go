@@ -292,3 +292,73 @@ func TestMerge(t *testing.T) {
 		t.Errorf("empty merge: %v, %d", err, empty.Len())
 	}
 }
+
+func TestCSVSourceColumnRoundTrip(t *testing.T) {
+	// A dataset with measured provenance writes the V2 header and round-trips
+	// the source column.
+	measured := mkSample(topology.A64FX, "CG", "small", 1.2)
+	measured.Source = SourceMeasured
+	model := mkSample(topology.A64FX, "CG", "large", 1.1)
+	ds := &Dataset{Samples: []*Sample{measured, model}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(head, ",optimal,source") {
+		t.Fatalf("V2 header missing source column: %q", head)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got := back.Samples[0].Source; got != SourceMeasured {
+		t.Errorf("sample 0 source = %q, want %q", got, SourceMeasured)
+	}
+	if got := back.Samples[1].SourceName(); got != SourceModel {
+		t.Errorf("sample 1 source = %q, want %q", got, SourceModel)
+	}
+}
+
+func TestCSVModelDatasetKeepsLegacyHeader(t *testing.T) {
+	// All-model datasets must stay byte-identical with pre-provenance files:
+	// the V1 header, no trailing column — explicit "model" and empty Source
+	// are equivalent.
+	explicit := mkSample(topology.A64FX, "CG", "small", 1.5)
+	explicit.Source = SourceModel
+	ds := &Dataset{Samples: []*Sample{explicit, mkSample(topology.A64FX, "CG", "large", 1.1)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if strings.Contains(head, "source") {
+		t.Fatalf("model-only dataset wrote the source column: %q", head)
+	}
+}
+
+func TestCSVLegacyFileReadsWithModelSource(t *testing.T) {
+	// A V1 file (written before the Source column existed) reads back with
+	// every sample defaulting to the model provenance.
+	legacy := "arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal\n" +
+		"a64fx,CG,NPB,small,48,1,unset,unset,static,throughput,200,unset,256,1,1,1,1,1,1,false\n"
+	ds, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("ReadCSV(legacy): %v", err)
+	}
+	if ds.Len() != 1 || ds.Samples[0].SourceName() != SourceModel {
+		t.Fatalf("legacy sample source = %q, want %q", ds.Samples[0].SourceName(), SourceModel)
+	}
+	if ds.Samples[0].Source != "" {
+		t.Fatalf("legacy sample raw Source = %q, want empty", ds.Samples[0].Source)
+	}
+}
+
+func TestCSVSourceColumnErrors(t *testing.T) {
+	// An empty source cell in a V2 file is a corruption signal, not a default.
+	bad := "arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal,source\n" +
+		"a64fx,CG,NPB,small,48,1,unset,unset,static,throughput,200,unset,256,1,1,1,1,1,1,false,\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("empty source cell accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package env
+
+import (
+	"omptune/internal/topology"
+	"omptune/openmp"
+)
+
+// RuntimeOptions translates a swept configuration into the openmp runtime's
+// Options on machine m — the bridge that lets every Config of the sweep
+// space reach a real openmp.Runtime instead of only the analytic model.
+//
+// The translation mirrors the string-environment path exactly: feeding
+// c.Environ() through openmp.OptionsFromEnviron yields the same Options
+// wherever that path can resolve the value (the abstract topology places —
+// sockets, ll_caches, numa_domains — need a machine model, which is why this
+// bridge exists). NumThreads is set to the machine's core count, the same
+// default a full-machine run would use; callers running a specific setting
+// override it with the setting's thread count.
+func (c Config) RuntimeOptions(m *topology.Machine) openmp.Options {
+	o := openmp.Options{
+		NumThreads:  m.Cores,
+		Schedule:    runtimeSchedule(c.Schedule),
+		Bind:        runtimeBind(c.ProcBind),
+		Library:     runtimeLibrary(c.Library),
+		BlocktimeMS: c.BlocktimeMS,
+		Reduction:   runtimeReduction(c.ForceReduction),
+		AlignAlloc:  c.AlignAlloc,
+	}
+	if c.Places != topology.PlaceUnset {
+		// Resolve the place kind against the machine model, falling back to
+		// cores for kinds the model cannot partition (as the sim does).
+		places, err := m.Partition(c.Places)
+		if err != nil {
+			places, _ = m.Partition(topology.PlaceCores)
+		}
+		o.Places = make([]openmp.PlaceSpec, len(places))
+		for i, p := range places {
+			cores := make([]int, len(p.Cores))
+			copy(cores, p.Cores)
+			o.Places[i] = openmp.PlaceSpec{Cores: cores}
+		}
+	}
+	return o
+}
+
+func runtimeSchedule(s Schedule) openmp.ScheduleKind {
+	switch s {
+	case ScheduleDynamic:
+		return openmp.ScheduleDynamic
+	case ScheduleGuided:
+		return openmp.ScheduleGuided
+	case ScheduleAuto:
+		return openmp.ScheduleAuto
+	default:
+		return openmp.ScheduleStatic
+	}
+}
+
+func runtimeBind(b ProcBind) openmp.BindPolicy {
+	switch b {
+	case BindMaster:
+		return openmp.BindMaster
+	case BindClose:
+		return openmp.BindClose
+	case BindSpread:
+		return openmp.BindSpread
+	case BindTrue:
+		return openmp.BindTrue
+	case BindFalse:
+		return openmp.BindNone
+	default:
+		return openmp.BindDefault
+	}
+}
+
+func runtimeLibrary(l Library) openmp.LibraryMode {
+	switch l {
+	case LibTurnaround:
+		return openmp.LibTurnaround
+	case LibSerial:
+		return openmp.LibSerial
+	default:
+		return openmp.LibThroughput
+	}
+}
+
+func runtimeReduction(r Reduction) openmp.ReductionMethod {
+	switch r {
+	case ReductionTree:
+		return openmp.ReductionTree
+	case ReductionCritical:
+		return openmp.ReductionCritical
+	case ReductionAtomic:
+		return openmp.ReductionAtomic
+	default:
+		return openmp.ReductionDefault
+	}
+}

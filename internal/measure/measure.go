@@ -1,0 +1,165 @@
+// Package measure is the real-execution measurement backend: it runs an
+// application's functional kernel on an actual openmp.Runtime built from the
+// swept env.Config (via Config.RuntimeOptions) and times it with the
+// monotonic clock. It is the counterpart of the analytic model in
+// internal/sim — the two plug into the same core.Evaluator seam, so every
+// analysis in the repository can run on modeled or measured data.
+//
+// The package also exposes the shared measurement harness (Run) used by
+// cmd/omprun, so one-off command-line measurements and sweep campaigns time
+// kernels identically: warmup runs first, then timed repetitions on the same
+// runtime (reusing the hot team across reps, as a user re-running a binary
+// under an exported environment would reuse a warmed machine).
+package measure
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+	"omptune/openmp"
+)
+
+// Series is the result of one measured kernel series: warmup runs followed
+// by timed repetitions on the same runtime.
+type Series struct {
+	// Runtimes are the timed repetitions, in seconds (monotonic clock).
+	Runtimes []float64
+	// Checksum is the kernel's verification value from the last run.
+	Checksum float64
+	// Stats snapshots the runtime's activity counters after the series
+	// (cumulative over warmup and timed runs).
+	Stats openmp.Stats
+	// Warmup is how many untimed runs preceded the timed repetitions.
+	Warmup int
+}
+
+// Run executes kernel on rt at the given scale: warmup untimed runs, then
+// reps timed repetitions. The runtime is reused across all runs — the first
+// (warmup) run pays team spin-up and allocator warm-up so the timed reps
+// measure steady state, mirroring the repeated-run methodology of §IV-C.
+func Run(rt *openmp.Runtime, kernel func(*openmp.Runtime, float64) float64, scale float64, warmup, reps int) Series {
+	if warmup < 0 {
+		warmup = 0
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	s := Series{Runtimes: make([]float64, reps), Warmup: warmup}
+	for i := 0; i < warmup; i++ {
+		s.Checksum = kernel(rt, scale)
+	}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		s.Checksum = kernel(rt, scale)
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			// Sub-resolution kernels still need a positive, honest runtime;
+			// one nanosecond is below every real kernel here.
+			elapsed = 1e-9
+		}
+		s.Runtimes[i] = elapsed
+	}
+	s.Stats = rt.Stats()
+	return s
+}
+
+// Options configures the measured evaluator.
+type Options struct {
+	// Warmup is the number of untimed runs before the timed repetitions
+	// (default 1).
+	Warmup int
+	// TimedReps is how many timed repetitions one configuration gets
+	// (default sim.Reps, matching the study's R0..R3). When fewer than
+	// sim.Reps, the sweep's repetition slots cycle over the timed runs —
+	// useful for smoke campaigns where two reps suffice.
+	TimedReps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup <= 0 {
+		o.Warmup = 1
+	}
+	if o.TimedReps <= 0 {
+		o.TimedReps = sim.Reps
+	}
+	return o
+}
+
+// Evaluator is the measured counterpart of the analytic model: Evaluate
+// builds a real openmp.Runtime from the configuration (via
+// env.Config.RuntimeOptions), runs the application's kernel with the shared
+// harness, and returns wall-clock seconds.
+//
+// One measured series covers all repetition indices of a configuration: the
+// first Evaluate call for a (machine, app, config, setting) key runs the
+// warmup and every timed repetition on one runtime, and subsequent calls for
+// the remaining rep indices return the already-timed values. That preserves
+// the sweep's sample shape (Reps runtimes per row) while reusing the runtime
+// across reps. Evaluate is safe for concurrent use by sweep workers; series
+// for distinct keys measure independently.
+type Evaluator struct {
+	opt Options
+
+	mu     sync.Mutex
+	series map[string]*seriesEntry
+}
+
+type seriesEntry struct {
+	once     sync.Once
+	runtimes []float64
+}
+
+// NewEvaluator returns a measured-backend evaluator with the given options.
+func NewEvaluator(opt Options) *Evaluator {
+	return &Evaluator{opt: opt.withDefaults(), series: make(map[string]*seriesEntry)}
+}
+
+// Name identifies the backend in dataset provenance columns and checkpoint
+// manifests.
+func (e *Evaluator) Name() string { return "measured" }
+
+// Deterministic reports false: wall-clock measurements vary run to run.
+func (e *Evaluator) Deterministic() bool { return false }
+
+// Evaluate measures app's kernel under cfg at the given setting and returns
+// the runtime, in seconds, of repetition rep.
+func (e *Evaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting, rep int) float64 {
+	key := string(m.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
+	e.mu.Lock()
+	ent, ok := e.series[key]
+	if !ok {
+		ent = &seriesEntry{}
+		e.series[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		s, err := e.measure(m, app, cfg, set)
+		if err != nil {
+			// The sweep space is pre-validated (env.Config.Validate and
+			// RuntimeOptions guarantee constructible options), so a failure
+			// here is programmer error, not data.
+			panic(fmt.Sprintf("measure: %s: %v", key, err))
+		}
+		ent.runtimes = s.Runtimes
+	})
+	return ent.runtimes[rep%len(ent.runtimes)]
+}
+
+// measure runs one full series for the key on a fresh runtime.
+func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) (Series, error) {
+	opts := cfg.RuntimeOptions(m)
+	if set.Threads > 0 {
+		opts.NumThreads = set.Threads
+	}
+	rt, err := openmp.New(opts)
+	if err != nil {
+		return Series{}, err
+	}
+	defer rt.Close()
+	return Run(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps), nil
+}

@@ -1,0 +1,155 @@
+package measure
+
+import (
+	"sync"
+	"testing"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+	"omptune/openmp"
+)
+
+func testSetting() sim.Setting { return sim.Setting{Label: "t4", Threads: 4, Scale: 0.3} }
+
+func TestRunHarness(t *testing.T) {
+	app, err := apps.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := openmp.MustNew(openmp.Options{
+		NumThreads: 4, Schedule: openmp.ScheduleStatic,
+		Library: openmp.LibThroughput, BlocktimeMS: 200, AlignAlloc: 64,
+	})
+	defer rt.Close()
+	s := Run(rt, app.Kernel, 0.3, 2, 3)
+	if len(s.Runtimes) != 3 {
+		t.Fatalf("got %d timed reps, want 3", len(s.Runtimes))
+	}
+	for i, r := range s.Runtimes {
+		if r <= 0 {
+			t.Errorf("rep %d runtime %v not positive", i, r)
+		}
+	}
+	if s.Warmup != 2 {
+		t.Errorf("Warmup = %d, want 2", s.Warmup)
+	}
+	if s.Checksum == 0 {
+		t.Error("checksum not captured")
+	}
+	if s.Stats.Regions == 0 {
+		t.Error("stats not captured: no regions recorded")
+	}
+}
+
+func TestRunClampsDegenerateArguments(t *testing.T) {
+	app, err := apps.ByName("Nqueens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := openmp.MustNew(openmp.Options{
+		NumThreads: 2, Schedule: openmp.ScheduleStatic,
+		Library: openmp.LibThroughput, BlocktimeMS: 0, AlignAlloc: 64,
+	})
+	defer rt.Close()
+	s := Run(rt, app.Kernel, 0.3, -1, 0)
+	if s.Warmup != 0 || len(s.Runtimes) != 1 {
+		t.Fatalf("clamping failed: warmup %d, reps %d", s.Warmup, len(s.Runtimes))
+	}
+	if s.Runtimes[0] <= 0 {
+		t.Fatalf("runtime %v not positive", s.Runtimes[0])
+	}
+}
+
+func TestEvaluatorIdentity(t *testing.T) {
+	e := NewEvaluator(Options{})
+	if e.Name() != "measured" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.Deterministic() {
+		t.Error("measured backend must not claim determinism")
+	}
+}
+
+func TestEvaluatorSeriesReuseAcrossReps(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Options{Warmup: 1, TimedReps: 2})
+	cfg := env.Default(m)
+	set := testSetting()
+	// All sim.Reps sample slots must be served from one measured series:
+	// with 2 timed reps, slots cycle (0,1,0,1) and repeated queries of the
+	// same slot return the identical value (no re-measurement).
+	var first [sim.Reps]float64
+	for rep := 0; rep < sim.Reps; rep++ {
+		first[rep] = e.Evaluate(m, app, cfg, set, rep)
+		if first[rep] <= 0 {
+			t.Fatalf("rep %d runtime %v not positive", rep, first[rep])
+		}
+	}
+	if first[0] != first[2] || first[1] != first[3] {
+		t.Errorf("2 timed reps must cycle across 4 slots: %v", first)
+	}
+	for rep := 0; rep < sim.Reps; rep++ {
+		if again := e.Evaluate(m, app, cfg, set, rep); again != first[rep] {
+			t.Errorf("rep %d re-measured: %v then %v", rep, first[rep], again)
+		}
+	}
+}
+
+func TestEvaluatorConcurrentSameKey(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("Nqueens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Options{Warmup: 0, TimedReps: 2})
+	cfg := env.Default(m)
+	set := testSetting()
+	const workers = 8
+	got := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = e.Evaluate(m, app, cfg, set, 0)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatalf("concurrent callers saw different series: %v", got)
+		}
+	}
+}
+
+func TestEvaluatorHonoursConfigAndSetting(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Options{Warmup: 0, TimedReps: 1})
+	// Distinct configs and settings are distinct series — both must measure
+	// (positive runtimes) without interference.
+	cfgA := env.Default(m)
+	cfgB, err := cfgA.Set(env.VarSchedule, "dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setA := sim.Setting{Label: "t2", Threads: 2, Scale: 0.3}
+	setB := sim.Setting{Label: "t4", Threads: 4, Scale: 0.3}
+	for _, probe := range []struct {
+		cfg env.Config
+		set sim.Setting
+	}{{cfgA, setA}, {cfgB, setA}, {cfgA, setB}} {
+		if r := e.Evaluate(m, app, probe.cfg, probe.set, 0); r <= 0 {
+			t.Fatalf("cfg %s set %s: runtime %v", probe.cfg, probe.set.Label, r)
+		}
+	}
+}

@@ -223,3 +223,52 @@ func ViolinOf(xs []float64, points int) Violin {
 	}
 	return v
 }
+
+// ranks assigns average ranks (1-based) to xs, resolving ties with the
+// mid-rank convention, as Spearman's rho requires.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman returns the Spearman rank correlation coefficient between a and
+// b: the Pearson correlation of their rank vectors, with average ranks for
+// ties. It is the calibration metric comparing the analytic model against
+// measured kernel runtimes — rank agreement is what matters for tuning,
+// since the tuner only ever asks "which configuration is faster".
+// Returns NaN for fewer than two points or when either input is constant.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ra, rb := ranks(a), ranks(b)
+	ma, mb := Mean(ra), Mean(rb)
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -226,3 +226,27 @@ func TestViolinDegenerateInput(t *testing.T) {
 		t.Error("empty violin should have N=0")
 	}
 }
+
+func TestSpearman(t *testing.T) {
+	perfect := []float64{1, 2, 3, 4, 5}
+	double := []float64{2, 4, 6, 8, 10}
+	if r := Spearman(perfect, double); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("monotone pair: rho = %v, want 1", r)
+	}
+	reversed := []float64{5, 4, 3, 2, 1}
+	if r := Spearman(perfect, reversed); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("reversed pair: rho = %v, want -1", r)
+	}
+	// Ties take average ranks: rho must stay within [-1, 1] and be symmetric.
+	a := []float64{1, 2, 2, 3}
+	b := []float64{10, 30, 30, 20}
+	if r1, r2 := Spearman(a, b), Spearman(b, a); math.Abs(r1-r2) > 1e-12 || r1 < -1 || r1 > 1 {
+		t.Fatalf("tied pair: rho = %v / %v", r1, r2)
+	}
+	if r := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(r) {
+		t.Fatalf("constant input: rho = %v, want NaN", r)
+	}
+	if r := Spearman([]float64{1}, []float64{2}); !math.IsNaN(r) {
+		t.Fatalf("single point: rho = %v, want NaN", r)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"omptune/internal/core"
 	"omptune/internal/dataset"
 	"omptune/internal/env"
+	"omptune/internal/measure"
 	"omptune/internal/ml"
 	"omptune/internal/report"
 	"omptune/internal/sim"
@@ -130,6 +131,50 @@ func SimulateExact(m *Machine, app *App, cfg Config, set Setting) float64 {
 // Repetitions is the number of repeated runs per configuration (R0..R3).
 const Repetitions = sim.Reps
 
+// ---- Measurement backends (the Evaluator seam) --------------------------
+
+// Evaluator is the pluggable measurement backend behind Collect, Tune and
+// the extension analyses: it returns the runtime of an application under a
+// configuration. Two backends ship with the library — the deterministic
+// analytic model (the default everywhere) and the measured backend, which
+// executes the application's functional kernel on a real openmp.Runtime.
+type Evaluator = core.Evaluator
+
+// ModelBackend returns the analytic-model backend, the default used when no
+// backend is given. It is deterministic: campaigns produce byte-identical
+// CSV output across runs and worker counts.
+func ModelBackend() Evaluator { return core.ModelEvaluator{} }
+
+// MeasureOptions configures the measured backend (warmup runs and timed
+// repetitions per configuration).
+type MeasureOptions = measure.Options
+
+// NewMeasuredEvaluator returns the measured backend: each evaluation builds
+// a real openmp.Runtime from the swept configuration (via
+// Config.RuntimeOptions), runs the application's kernel with a warmup, and
+// times sim.Reps repetitions on the monotonic clock, reusing the runtime
+// across repetitions. Samples it produces carry Source "measured" in the
+// dataset CSV.
+func NewMeasuredEvaluator(opt MeasureOptions) Evaluator { return measure.NewEvaluator(opt) }
+
+// CalibrationOptions selects the architecture, applications and subspace
+// size of a backend-agreement study.
+type CalibrationOptions = core.CalibrationOptions
+
+// CalibrationReport is the model-vs-measured agreement study: per-app and
+// per-variable Spearman rank correlation and median relative error over a
+// shared configuration subspace. Its String method renders the tables.
+type CalibrationReport = core.CalibrationReport
+
+// Calibrate evaluates the same configuration subspace under both backends
+// and reports how well the alternate backend's runtime ordering tracks the
+// reference's (nil = the analytic model). Runtimes are compared in
+// speedup-over-default units, so the backends' incomparable absolute scales
+// cancel out.
+func Calibrate(ref, alt Evaluator, opt CalibrationOptions) (*CalibrationReport, error) {
+	return core.Calibrate(ref, alt, opt)
+}
+
 // CollectOptions configures a data-collection campaign; the zero value
 // reproduces the paper's full dataset (Table II).
 type CollectOptions struct {
@@ -164,6 +209,13 @@ type CollectOptions struct {
 	// Context cancels the sweep between settings when non-nil; in-flight
 	// settings finish (and checkpoint) first.
 	Context context.Context
+	// Backend is the measurement backend; nil means the analytic model
+	// (byte-identical output with earlier releases). Pass
+	// NewMeasuredEvaluator(...) to collect real kernel runtimes instead. The
+	// backend identity is recorded in each sample's Source column and in the
+	// checkpoint manifest; resuming a checkpoint under a different backend
+	// is rejected.
+	Backend Evaluator
 }
 
 // ProgressEvent is the structured per-setting progress update of a sweep.
@@ -182,6 +234,7 @@ func Collect(opt CollectOptions) (*Dataset, error) {
 		CheckpointDir: opt.CheckpointDir,
 		ShardSpec:     opt.Shard,
 		Context:       opt.Context,
+		Evaluator:     opt.Backend,
 	})
 }
 
@@ -212,7 +265,15 @@ func WorstTrends(ds *Dataset) []core.WorstTrend { return core.WorstTrends(ds, 0.
 // given setting, trying variables in the given order (nil = canonical
 // order; pass a Heatmap's FeatureRank-derived variables for pruning).
 func Tune(m *Machine, app *App, set Setting, order []VarName, budget int) TuneResult {
-	return core.Tune(m, app, set, order, budget)
+	return core.Tune(nil, m, app, set, order, budget)
+}
+
+// TuneWith is Tune on an explicit measurement backend: pass
+// NewMeasuredEvaluator(...) to tune against real kernel execution — the
+// setting the paper's §VI tuner actually targets — or ModelBackend() for
+// the deterministic default.
+func TuneWith(backend Evaluator, m *Machine, app *App, set Setting, order []VarName, budget int) TuneResult {
+	return core.Tune(backend, m, app, set, order, budget)
 }
 
 // MergeDatasets combines separately collected shards, rejecting duplicate
@@ -290,7 +351,12 @@ func Transfer(ds *Dataset, app string) ([]TransferRow, error) {
 // RandomSearch is the unguided baseline for Tune: best of `budget` uniform
 // configuration draws.
 func RandomSearch(m *Machine, app *App, set Setting, budget int, seedVal uint64) TuneResult {
-	return core.RandomSearch(m, app, set, budget, seedVal)
+	return core.RandomSearch(nil, m, app, set, budget, seedVal)
+}
+
+// RandomSearchWith is RandomSearch on an explicit measurement backend.
+func RandomSearchWith(backend Evaluator, m *Machine, app *App, set Setting, budget int, seedVal uint64) TuneResult {
+	return core.RandomSearch(backend, m, app, set, budget, seedVal)
 }
 
 // ExtendedConfigSpace includes the numa_domains place kind the paper
@@ -304,7 +370,13 @@ func ExtendedThreadSettings(m *Machine) []Setting { return core.ExtendedThreadSe
 // BestNUMAPlacement evaluates the deferred numa_domains configurations and
 // returns the best one with its speedup over the default.
 func BestNUMAPlacement(m *Machine, app *App, set Setting) (Config, float64) {
-	return core.BestNUMAPlacement(m, app, set)
+	return core.BestNUMAPlacement(nil, m, app, set)
+}
+
+// BestNUMAPlacementWith is BestNUMAPlacement on an explicit measurement
+// backend.
+func BestNUMAPlacementWith(backend Evaluator, m *Machine, app *App, set Setting) (Config, float64) {
+	return core.BestNUMAPlacement(backend, m, app, set)
 }
 
 // WriteViolinSVG renders an app's runtime-distribution violins (Fig 1/5-7
