@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench smoke verify
+.PHONY: build test vet race bench smoke trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ vet:
 
 # race exercises the concurrency-sensitive packages — the hot-team region
 # dispatch, the lock-free construct ring, the wait-policy barrier and lock
-# park/wake paths, and the parallel sweep worker pool — under the race
-# detector. Keep this green before touching openmp or internal/core.
+# park/wake paths, the per-thread trace rings, and the parallel sweep
+# worker pool — under the race detector. Keep this green before touching
+# openmp or internal/core.
 race:
-	$(GO) vet ./... && $(GO) test -race -count=1 ./openmp ./internal/core
+	$(GO) vet ./... && $(GO) test -race -count=1 ./openmp/... ./internal/core
 
 # bench runs the runtime overhead microbenchmarks with settings pinned for
 # benchstat: save a baseline with `make bench > before.txt`, make changes,
@@ -47,4 +48,28 @@ smoke: build
 		$(SMOKE_DIR)/smoke.csv
 	rm -rf $(SMOKE_DIR)
 
-verify: race test smoke
+# trace-smoke runs a real traced execution end to end: Nqueens (BOTS-style
+# task parallelism) on four threads with OMPT-style tracing enabled. omprun
+# self-validates the Chrome JSON (shape, per-thread B/E nesting, timestamp
+# monotonicity) before writing it and exits nonzero otherwise; the awk pass
+# then asserts the derived per-region summary reports live metrics — regions
+# observed, nonzero stolen tasks, nonzero barrier wait, no dropped events.
+TRACE_DIR := $(or $(TMPDIR),/tmp)/omptune-trace-smoke
+trace-smoke: build
+	rm -rf $(TRACE_DIR) && mkdir -p $(TRACE_DIR)
+	$(GO) run ./cmd/omprun -app Nqueens -scale 0.5 \
+		-set "OMP_NUM_THREADS=4,KMP_BLOCKTIME=0" -warmup 1 -reps 2 \
+		-trace $(TRACE_DIR)/trace.json -trace-summary 2> $(TRACE_DIR)/summary.txt
+	grep -q '"traceEvents"' $(TRACE_DIR)/trace.json
+	awk '/^summary: / { found = 1; \
+		for (i = 2; i <= NF; i++) { split($$i, kv, "="); v[kv[1]] = kv[2] } \
+		if (v["regions"] + 0 <= 0) { print "trace-smoke: no regions"; exit 1 } \
+		if (v["dropped"] + 0 != 0) { print "trace-smoke: dropped events"; exit 1 } \
+		if (v["tasks_stolen"] + 0 <= 0) { print "trace-smoke: no steals"; exit 1 } \
+		if (v["barrier_wait_ns"] + 0 <= 0) { print "trace-smoke: no barrier wait"; exit 1 } \
+		print "trace-smoke: " $$0 } \
+		END { if (!found) { print "trace-smoke: summary line missing"; exit 1 } }' \
+		$(TRACE_DIR)/summary.txt
+	rm -rf $(TRACE_DIR)
+
+verify: race test smoke trace-smoke

@@ -9,6 +9,7 @@
 //
 //	omprun -app Nqueens [-scale 1.0] [-set "OMP_NUM_THREADS=4,KMP_LIBRARY=turnaround"]
 //	       [-warmup 1] [-reps 4] [-json]
+//	       [-trace out.json] [-trace-summary] [-trace-buf N]
 //	omprun -list
 //
 // Real environment variables are honoured too; -set entries override them.
@@ -18,9 +19,17 @@
 // on the same runtime, so the hot team is reused across repetitions exactly
 // like a §IV-C campaign measurement. -json emits the series as one JSON
 // object for scripting.
+//
+// -trace enables the runtime's OMPT-style event tracing for the timed
+// repetitions and writes a Chrome trace-event JSON file loadable at
+// ui.perfetto.dev (or chrome://tracing). -trace-summary prints the derived
+// per-region metrics (barrier wait share, arrival imbalance, steal rate,
+// chunk histogram) to stderr; it implies tracing even without an output
+// file. -trace-buf sizes the per-thread event rings.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,31 +40,36 @@ import (
 	"omptune"
 	"omptune/internal/measure"
 	"omptune/openmp"
+	"omptune/openmp/trace"
 )
 
 // runReport is the -json output shape.
 type runReport struct {
-	App         string       `json:"app"`
-	Scale       float64      `json:"scale"`
-	Runtime     string       `json:"runtime"`
-	Warmup      int          `json:"warmup"`
-	Reps        int          `json:"reps"`
-	RuntimesSec []float64    `json:"runtimes_sec"`
-	MeanSec     float64      `json:"mean_sec"`
-	MinSec      float64      `json:"min_sec"`
-	Checksum    float64      `json:"checksum"`
-	Stats       openmp.Stats `json:"stats"`
+	App         string         `json:"app"`
+	Scale       float64        `json:"scale"`
+	Runtime     string         `json:"runtime"`
+	Warmup      int            `json:"warmup"`
+	Reps        int            `json:"reps"`
+	RuntimesSec []float64      `json:"runtimes_sec"`
+	MeanSec     float64        `json:"mean_sec"`
+	MinSec      float64        `json:"min_sec"`
+	Checksum    float64        `json:"checksum"`
+	Stats       openmp.Stats   `json:"stats"`
+	RepStats    []openmp.Stats `json:"rep_stats,omitempty"`
 }
 
 func main() {
 	var (
-		appName = flag.String("app", "", "application to run (see -list)")
-		scale   = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
-		setFlag = flag.String("set", "", "comma-separated KEY=VALUE overrides")
-		list    = flag.Bool("list", false, "list the available applications")
-		warmup  = flag.Int("warmup", 0, "untimed warmup runs before the timed repetitions")
-		reps    = flag.Int("reps", 1, "timed repetitions (the runtime is reused across them)")
-		jsonOut = flag.Bool("json", false, "emit the measurement series as JSON on stdout")
+		appName  = flag.String("app", "", "application to run (see -list)")
+		scale    = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
+		setFlag  = flag.String("set", "", "comma-separated KEY=VALUE overrides")
+		list     = flag.Bool("list", false, "list the available applications")
+		warmup   = flag.Int("warmup", 0, "untimed warmup runs before the timed repetitions")
+		reps     = flag.Int("reps", 1, "timed repetitions (the runtime is reused across them)")
+		jsonOut  = flag.Bool("json", false, "emit the measurement series as JSON on stdout")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the timed runs to this file")
+		traceSum = flag.Bool("trace-summary", false, "print derived per-region trace metrics to stderr (implies tracing)")
+		traceBuf = flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -103,7 +117,27 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("running %s (scale %.2f) on %s\n", app.Name, *scale, rt)
 	}
-	series := measure.Run(rt, app.Kernel, *scale, *warmup, *reps)
+
+	var series measure.Series
+	tracing := *traceOut != "" || *traceSum
+	if tracing {
+		// Warmup runs untraced, so the trace covers steady-state timed
+		// repetitions only — the same runs the reported times come from.
+		for i := 0; i < *warmup; i++ {
+			app.Kernel(rt, *scale)
+		}
+		if err := rt.StartTrace(*traceBuf); err != nil {
+			fatal(err)
+		}
+		series = measure.Run(rt, app.Kernel, *scale, 0, *reps)
+		series.Warmup = *warmup
+		data := rt.StopTrace()
+		if err := emitTrace(data, *traceOut, *traceSum); err != nil {
+			fatal(err)
+		}
+	} else {
+		series = measure.Run(rt, app.Kernel, *scale, *warmup, *reps)
+	}
 
 	mean, min := 0.0, series.Runtimes[0]
 	for _, t := range series.Runtimes {
@@ -120,6 +154,7 @@ func main() {
 			Warmup: series.Warmup, Reps: len(series.Runtimes),
 			RuntimesSec: series.Runtimes, MeanSec: mean, MinSec: min,
 			Checksum: series.Checksum, Stats: series.Stats,
+			RepStats: series.RepStats,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -144,6 +179,35 @@ func main() {
 	fmt.Printf("chunks     %d\n", st.Chunks)
 	fmt.Printf("tasks      %d (stolen %d)\n", st.TasksRun, st.TasksStolen)
 	fmt.Printf("sleeps     %d, wakeups %d\n", st.Sleeps, st.Wakeups)
+}
+
+// emitTrace renders the collected trace: a self-validated Chrome JSON file
+// when path is set, and the derived per-region summary on stderr when
+// summary is set.
+func emitTrace(data trace.Data, path string, summary bool) error {
+	if path != "" {
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, data); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		// Validate shape and timestamp monotonicity before the file lands;
+		// strict span pairing only holds when no events were dropped.
+		if _, err := trace.ValidateChrome(bytes.NewReader(buf.Bytes()), data.Dropped == 0); err != nil {
+			return fmt.Errorf("trace self-validation: %w", err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load at ui.perfetto.dev)\n",
+			len(data.Events), path)
+		if data.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d events dropped (raise -trace-buf)\n", data.Dropped)
+		}
+	}
+	if summary {
+		fmt.Fprint(os.Stderr, trace.Summarize(data).String())
+	}
+	return nil
 }
 
 func secondsDuration(s float64) time.Duration {

@@ -7,6 +7,7 @@
 //	ompsweep [-arch a64fx,skylake,milan] [-apps CG,Nqueens] [-frac 0.26]
 //	         [-backend model|measured] [-measure-reps n] [-measure-warmup n]
 //	         [-workers 8] [-checkpoint dir] [-o dataset.csv] [-progress]
+//	         [-telemetry run.jsonl] [-heartbeat 30s]
 //
 // Without flags it reproduces the full Table II dataset (~244k samples) on
 // stdout. Settings are evaluated on a bounded worker pool (-workers, default
@@ -22,6 +23,11 @@
 // carry "measured" in the CSV source column, and a checkpoint written under
 // one backend refuses to resume under the other. Keep -frac tiny for
 // measured campaigns — every sample is a real run.
+//
+// -telemetry appends a JSONL event log of the campaign (plan, per-setting
+// completion, heartbeats with workers-busy and per-arch completion gauges,
+// terminal done/error record) — followable with tail -f and jq while the
+// sweep runs. -heartbeat sets the heartbeat period (default 30s).
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 		backend    = flag.String("backend", "model", "measurement backend: model (analytic, deterministic) or measured (real kernel execution)")
 		mreps      = flag.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
 		mwarmup    = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
+		telemetry  = flag.String("telemetry", "", "append a JSONL telemetry stream (plan/setting_done/heartbeat/done) to this file")
+		heartbeat  = flag.Duration("heartbeat", 0, "telemetry heartbeat period (0 = 30s)")
 	)
 	flag.Parse()
 
@@ -61,9 +69,11 @@ func main() {
 	}
 
 	opt := omptune.CollectOptions{
-		Workers:       *workers,
-		CheckpointDir: *checkpoint,
-		Shard:         *shard,
+		Workers:           *workers,
+		CheckpointDir:     *checkpoint,
+		Shard:             *shard,
+		TelemetryLog:      *telemetry,
+		TelemetryInterval: *heartbeat,
 	}
 	switch *backend {
 	case "model":

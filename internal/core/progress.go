@@ -41,6 +41,7 @@ type reporter struct {
 	mu           sync.Mutex
 	w            io.Writer
 	fn           func(ProgressEvent)
+	tel          *telemetry // optional JSONL telemetry sink
 	start        time.Time
 	done         int
 	total        int
@@ -58,7 +59,7 @@ func newReporter(sc SweepConfig, totalUnits, totalSamples int) *reporter {
 
 // unitDone records one finished batch and emits the progress event.
 func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
-	if r.w == nil && r.fn == nil {
+	if r.w == nil && r.fn == nil && r.tel == nil {
 		return
 	}
 	r.mu.Lock()
@@ -81,6 +82,9 @@ func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
 		if remaining > 0 {
 			ev.ETA = time.Duration(float64(remaining) / ev.SamplesPerSec * float64(time.Second))
 		}
+	}
+	if r.tel != nil {
+		r.tel.settingDone(u, ev)
 	}
 	if r.fn != nil {
 		r.fn(ev)

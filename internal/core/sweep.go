@@ -10,6 +10,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"omptune/internal/apps"
 	"omptune/internal/dataset"
@@ -61,6 +62,15 @@ type SweepConfig struct {
 	// recorded in every sample's Source column and in the checkpoint
 	// manifest — resuming a checkpoint under a different backend is rejected.
 	Evaluator Evaluator
+	// TelemetryLog, when non-empty, appends a JSONL telemetry stream to this
+	// file: a plan record, a setting_done record per completed batch,
+	// periodic heartbeats carrying workers-busy / throughput / per-arch
+	// completion gauges, and a final done (or error) record. Best-effort:
+	// write failures never abort the sweep.
+	TelemetryLog string
+	// TelemetryInterval is the heartbeat period; <= 0 means 30s. A first
+	// heartbeat is always emitted immediately after the plan record.
+	TelemetryInterval time.Duration
 }
 
 // DefaultFractions yields, with the sampling rule of keepConfig, dataset
@@ -234,7 +244,7 @@ func evalUnit(u *sweepUnit, ev Evaluator) ([]*dataset.Sample, error) {
 // so the result is byte-for-byte identical to a serial (Workers: 1) sweep.
 // With CheckpointDir set, completed batches are journaled and an interrupted
 // run resumes without re-evaluating them.
-func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
+func RunSweep(sc SweepConfig) (ds *dataset.Dataset, err error) {
 	ctx := sc.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -258,7 +268,24 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 	for _, u := range units {
 		totalSamples += u.cfgCount
 	}
+
+	var tel *telemetry
+	if sc.TelemetryLog != "" {
+		tel, err = newTelemetry(sc.TelemetryLog, sc.TelemetryInterval)
+		if err != nil {
+			return nil, err
+		}
+		workers := sc.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		tel.plan(units, ev.Name(), workers)
+		// The terminal record reflects how the sweep actually ended, so the
+		// deferred finish reads the named error result.
+		defer func() { tel.finish(err) }()
+	}
 	rep := newReporter(sc, len(units), totalSamples)
+	rep.tel = tel
 
 	results := make([][]*dataset.Sample, len(units))
 	var pending []*sweepUnit
@@ -283,7 +310,7 @@ func RunSweep(sc SweepConfig) (*dataset.Dataset, error) {
 		}
 	}
 
-	ds := &dataset.Dataset{Samples: make([]*dataset.Sample, 0, totalSamples)}
+	ds = &dataset.Dataset{Samples: make([]*dataset.Sample, 0, totalSamples)}
 	for _, samples := range results {
 		ds.Samples = append(ds.Samples, samples...)
 	}
@@ -327,7 +354,13 @@ func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*swee
 		go func() {
 			defer wg.Done()
 			for u := range unitCh {
+				if rep.tel != nil {
+					rep.tel.unitStart()
+				}
 				samples, err := evalUnit(u, ev)
+				if rep.tel != nil {
+					rep.tel.unitEnd()
+				}
 				if err != nil {
 					fail(err)
 					return

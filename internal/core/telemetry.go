@@ -1,0 +1,225 @@
+package core
+
+// Sweep telemetry: a JSONL event log that makes long campaigns observable
+// while they run. Every record is one JSON object on one line, so the file
+// can be followed with tail -f and parsed with jq while the sweep is still
+// going. The record stream is: one "plan" record up front, an immediate
+// first "heartbeat", a "setting_done" per completed batch, periodic
+// heartbeats on the configured interval, and a final "done" (or "error")
+// record. Heartbeats carry expvar-style gauges — workers busy, evaluation
+// throughput, per-arch completion — sampled from counters the sweep workers
+// maintain.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// telemetryRecord is the JSONL record shape. Type discriminates; unused
+// fields are omitted per record type.
+type telemetryRecord struct {
+	Type string `json:"type"` // plan | heartbeat | setting_done | done | error
+	TS   string `json:"ts"`   // RFC3339Nano, UTC
+
+	// plan
+	Backend       string   `json:"backend,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	Arches        []string `json:"arches,omitempty"`
+	SettingsTotal int      `json:"settings_total,omitempty"`
+	SamplesTotal  int      `json:"samples_total,omitempty"`
+
+	// setting_done
+	Arch    string `json:"arch,omitempty"`
+	App     string `json:"app,omitempty"`
+	Setting string `json:"setting,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+
+	// heartbeat / setting_done / done
+	ElapsedSec    float64                 `json:"elapsed_sec"`
+	SettingsDone  int                     `json:"settings_done,omitempty"`
+	SamplesDone   int                     `json:"samples_done,omitempty"`
+	SamplesPerSec float64                 `json:"samples_per_sec,omitempty"`
+	ETASec        float64                 `json:"eta_sec,omitempty"`
+	WorkersBusy   int64                   `json:"workers_busy"`
+	PerArch       map[string]archProgress `json:"per_arch,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// archProgress is the per-architecture completion gauge carried by
+// heartbeat and done records.
+type archProgress struct {
+	SettingsDone  int `json:"settings_done"`
+	SettingsTotal int `json:"settings_total"`
+	SamplesDone   int `json:"samples_done"`
+	SamplesTotal  int `json:"samples_total"`
+}
+
+// telemetry owns the JSONL sink and the campaign gauges. Writes are
+// serialized by mu; the busy-worker gauge is atomic because workers bump it
+// outside any lock on the batch hot path.
+type telemetry struct {
+	mu    sync.Mutex
+	w     io.WriteCloser
+	enc   *json.Encoder
+	start time.Time
+
+	workersBusy atomic.Int64
+
+	// campaign gauges, guarded by mu
+	settingsDone  int
+	settingsTotal int
+	samplesDone   int
+	samplesTotal  int
+	perArch       map[string]*archProgress
+	lastRate      float64
+	lastETA       float64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// newTelemetry opens (appending) the JSONL log and starts the heartbeat
+// loop. interval <= 0 defaults to 30s.
+func newTelemetry(path string, interval time.Duration) (*telemetry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: telemetry log: %w", err)
+	}
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := &telemetry{
+		w: f, enc: json.NewEncoder(f), start: time.Now(),
+		perArch: make(map[string]*archProgress),
+		stop:    make(chan struct{}),
+	}
+	t.done.Add(1)
+	go t.heartbeatLoop(interval)
+	return t, nil
+}
+
+// plan records the campaign shape and emits the first heartbeat
+// immediately, so a consumer tailing the log sees liveness before the
+// first (possibly slow) batch completes.
+func (t *telemetry) plan(units []*sweepUnit, backend string, workers int) {
+	t.mu.Lock()
+	archSet := map[string]bool{}
+	for _, u := range units {
+		a := string(u.arch)
+		archSet[a] = true
+		ap := t.perArch[a]
+		if ap == nil {
+			ap = &archProgress{}
+			t.perArch[a] = ap
+		}
+		ap.SettingsTotal++
+		ap.SamplesTotal += u.cfgCount
+		t.samplesTotal += u.cfgCount
+	}
+	t.settingsTotal = len(units)
+	arches := make([]string, 0, len(archSet))
+	for a := range archSet {
+		arches = append(arches, a)
+	}
+	sort.Strings(arches)
+	t.emitLocked(telemetryRecord{
+		Type: "plan", Backend: backend, Workers: workers, Arches: arches,
+		SettingsTotal: t.settingsTotal, SamplesTotal: t.samplesTotal,
+	})
+	t.emitLocked(t.heartbeatLocked())
+	t.mu.Unlock()
+}
+
+// unitStart / unitEnd bracket one batch evaluation for the busy gauge.
+func (t *telemetry) unitStart() { t.workersBusy.Add(1) }
+func (t *telemetry) unitEnd()   { t.workersBusy.Add(-1) }
+
+// settingDone records one completed batch and updates the gauges.
+func (t *telemetry) settingDone(u *sweepUnit, ev ProgressEvent) {
+	t.mu.Lock()
+	t.settingsDone++
+	t.samplesDone += ev.SettingSamples
+	if ap := t.perArch[string(u.arch)]; ap != nil {
+		ap.SettingsDone++
+		ap.SamplesDone += ev.SettingSamples
+	}
+	t.lastRate = ev.SamplesPerSec
+	t.lastETA = ev.ETA.Seconds()
+	t.emitLocked(telemetryRecord{
+		Type: "setting_done",
+		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
+		Samples: ev.SettingSamples, Resumed: ev.Resumed,
+		ElapsedSec:   time.Since(t.start).Seconds(),
+		SettingsDone: t.settingsDone, SamplesDone: t.samplesDone,
+		SamplesPerSec: ev.SamplesPerSec, ETASec: ev.ETA.Seconds(),
+		WorkersBusy: t.workersBusy.Load(),
+	})
+	t.mu.Unlock()
+}
+
+// heartbeatLocked snapshots the gauges into a heartbeat record. Caller
+// holds mu.
+func (t *telemetry) heartbeatLocked() telemetryRecord {
+	per := make(map[string]archProgress, len(t.perArch))
+	for a, ap := range t.perArch {
+		per[a] = *ap
+	}
+	return telemetryRecord{
+		Type:         "heartbeat",
+		ElapsedSec:   time.Since(t.start).Seconds(),
+		SettingsDone: t.settingsDone, SettingsTotal: t.settingsTotal,
+		SamplesDone: t.samplesDone, SamplesTotal: t.samplesTotal,
+		SamplesPerSec: t.lastRate, ETASec: t.lastETA,
+		WorkersBusy: t.workersBusy.Load(), PerArch: per,
+	}
+}
+
+func (t *telemetry) heartbeatLoop(interval time.Duration) {
+	defer t.done.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.mu.Lock()
+			t.emitLocked(t.heartbeatLocked())
+			t.mu.Unlock()
+		}
+	}
+}
+
+// finish writes the terminal record (done on success, error otherwise),
+// stops the heartbeat loop and closes the log.
+func (t *telemetry) finish(err error) {
+	close(t.stop)
+	t.done.Wait()
+	t.mu.Lock()
+	rec := t.heartbeatLocked()
+	rec.Type = "done"
+	if err != nil {
+		rec.Type = "error"
+		rec.Error = err.Error()
+	}
+	t.emitLocked(rec)
+	t.w.Close()
+	t.mu.Unlock()
+}
+
+// emitLocked stamps and writes one record. Caller holds mu.
+func (t *telemetry) emitLocked(rec telemetryRecord) {
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	// Encoding errors (disk full, closed file) must not kill a campaign;
+	// telemetry is best-effort by design.
+	_ = t.enc.Encode(rec)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"omptune/internal/topology"
+)
+
+// readTelemetry parses every JSONL record from the log.
+func readTelemetry(t *testing.T, path string) []telemetryRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open telemetry log: %v", err)
+	}
+	defer f.Close()
+	var recs []telemetryRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec telemetryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("record %d not valid JSON: %v\n%s", len(recs), err, sc.Text())
+		}
+		if rec.TS == "" {
+			t.Fatalf("record %d missing timestamp: %s", len(recs), sc.Text())
+		}
+		if _, err := time.Parse(time.RFC3339Nano, rec.TS); err != nil {
+			t.Fatalf("record %d timestamp %q: %v", len(recs), rec.TS, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestSweepTelemetryRecordStream(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "run.jsonl")
+	ds, err := RunSweep(SweepConfig{
+		Arches:       []topology.Arch{topology.A64FX},
+		AppNames:     []string{"Sort"},
+		Fraction:     map[topology.Arch]float64{topology.A64FX: 0.05},
+		TelemetryLog: log,
+		// A long heartbeat period isolates the deterministic records (plan,
+		// immediate first heartbeat, setting_done ×3, done) from timing.
+		TelemetryInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+
+	recs := readTelemetry(t, log)
+	if len(recs) != 6 {
+		for _, r := range recs {
+			t.Logf("record: %+v", r)
+		}
+		t.Fatalf("got %d records, want 6 (plan, heartbeat, 3× setting_done, done)", len(recs))
+	}
+
+	plan := recs[0]
+	if plan.Type != "plan" {
+		t.Fatalf("first record type %q, want plan", plan.Type)
+	}
+	if plan.Backend != "model" {
+		t.Errorf("plan backend %q, want model", plan.Backend)
+	}
+	if plan.SettingsTotal != 3 {
+		t.Errorf("plan settings_total %d, want 3 (Sort's settings)", plan.SettingsTotal)
+	}
+	if plan.SamplesTotal <= 0 || plan.Workers <= 0 {
+		t.Errorf("plan samples_total %d / workers %d, want both positive", plan.SamplesTotal, plan.Workers)
+	}
+	if len(plan.Arches) != 1 || plan.Arches[0] != "a64fx" {
+		t.Errorf("plan arches %v, want [a64fx]", plan.Arches)
+	}
+
+	if recs[1].Type != "heartbeat" {
+		t.Fatalf("second record type %q, want the immediate heartbeat", recs[1].Type)
+	}
+	if recs[1].SettingsDone != 0 || recs[1].SamplesDone != 0 {
+		t.Errorf("immediate heartbeat reports done=%d/%d, want 0/0",
+			recs[1].SettingsDone, recs[1].SamplesDone)
+	}
+	if ap, ok := recs[1].PerArch["a64fx"]; !ok || ap.SettingsTotal != 3 {
+		t.Errorf("immediate heartbeat per_arch = %+v, want a64fx with 3 settings", recs[1].PerArch)
+	}
+
+	// setting_done records: counters must be monotonic and end exactly at the
+	// plan totals; the dataset row count must match the telemetry's.
+	samples := 0
+	for i, rec := range recs[2:5] {
+		if rec.Type != "setting_done" {
+			t.Fatalf("record %d type %q, want setting_done", i+2, rec.Type)
+		}
+		if rec.Arch != "a64fx" || rec.App != "Sort" || rec.Setting == "" {
+			t.Errorf("setting_done identity %s/%s/%s", rec.Arch, rec.App, rec.Setting)
+		}
+		if rec.SettingsDone != i+1 {
+			t.Errorf("setting_done %d reports settings_done=%d", i, rec.SettingsDone)
+		}
+		samples += rec.Samples
+		if rec.SamplesDone != samples {
+			t.Errorf("setting_done %d samples_done=%d, want running total %d", i, rec.SamplesDone, samples)
+		}
+	}
+	if samples != ds.Len() {
+		t.Errorf("telemetry counted %d samples, dataset has %d", samples, ds.Len())
+	}
+
+	done := recs[5]
+	if done.Type != "done" {
+		t.Fatalf("last record type %q, want done", done.Type)
+	}
+	if done.SettingsDone != 3 || done.SamplesDone != ds.Len() {
+		t.Errorf("done record %d settings / %d samples, want 3 / %d",
+			done.SettingsDone, done.SamplesDone, ds.Len())
+	}
+	if done.WorkersBusy != 0 {
+		t.Errorf("done record workers_busy=%d, want 0 after the pool drains", done.WorkersBusy)
+	}
+	if ap := done.PerArch["a64fx"]; ap.SettingsDone != 3 || ap.SamplesDone != ds.Len() {
+		t.Errorf("done per_arch a64fx = %+v, want 3 settings / %d samples", ap, ds.Len())
+	}
+}
+
+func TestSweepTelemetryErrorRecord(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "run.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the sweep must fail after planning
+	_, err := RunSweep(SweepConfig{
+		Arches:            []topology.Arch{topology.A64FX},
+		AppNames:          []string{"Sort"},
+		Fraction:          map[topology.Arch]float64{topology.A64FX: 0.05},
+		Context:           ctx,
+		TelemetryLog:      log,
+		TelemetryInterval: time.Hour,
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep should error")
+	}
+	recs := readTelemetry(t, log)
+	if len(recs) == 0 {
+		t.Fatal("no telemetry records")
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "error" {
+		t.Fatalf("last record type %q, want error", last.Type)
+	}
+	if last.Error == "" {
+		t.Error("error record carries no message")
+	}
+}
+
+func TestTelemetryHeartbeatLoop(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "hb.jsonl")
+	tel, err := newTelemetry(log, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.plan(nil, "model", 2)
+	tel.unitStart()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic heartbeat within 2s")
+		}
+		time.Sleep(10 * time.Millisecond)
+		// plan + immediate heartbeat = 2 records; any third is periodic.
+		if len(readTelemetry(t, log)) >= 3 {
+			break
+		}
+	}
+	tel.unitEnd()
+	tel.finish(nil)
+	recs := readTelemetry(t, log)
+	sawBusy := false
+	for _, rec := range recs[2:] {
+		if rec.Type == "heartbeat" && rec.WorkersBusy == 1 {
+			sawBusy = true
+		}
+	}
+	if !sawBusy {
+		t.Error("no heartbeat observed workers_busy=1 while a unit was in flight")
+	}
+	if recs[len(recs)-1].Type != "done" {
+		t.Errorf("last record %q, want done", recs[len(recs)-1].Type)
+	}
+}

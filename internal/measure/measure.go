@@ -34,6 +34,13 @@ type Series struct {
 	// Stats snapshots the runtime's activity counters after the series
 	// (cumulative over warmup and timed runs).
 	Stats openmp.Stats
+	// RepStats holds the per-repetition counter deltas, one entry per
+	// timed run (RepStats[i] pairs with Runtimes[i]). Each delta is taken
+	// between region-quiescent snapshots, so the region-scoped counters
+	// (Regions, Chunks, TasksRun, TasksStolen) are exact per rep; sleeps
+	// and wakeups can smear into the following rep's delta (see the
+	// openmp.Stats contract).
+	RepStats []openmp.Stats
 	// Warmup is how many untimed runs preceded the timed repetitions.
 	Warmup int
 }
@@ -49,10 +56,15 @@ func Run(rt *openmp.Runtime, kernel func(*openmp.Runtime, float64) float64, scal
 	if reps < 1 {
 		reps = 1
 	}
-	s := Series{Runtimes: make([]float64, reps), Warmup: warmup}
+	s := Series{
+		Runtimes: make([]float64, reps),
+		RepStats: make([]openmp.Stats, reps),
+		Warmup:   warmup,
+	}
 	for i := 0; i < warmup; i++ {
 		s.Checksum = kernel(rt, scale)
 	}
+	prev := rt.Stats()
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		s.Checksum = kernel(rt, scale)
@@ -63,6 +75,9 @@ func Run(rt *openmp.Runtime, kernel func(*openmp.Runtime, float64) float64, scal
 			elapsed = 1e-9
 		}
 		s.Runtimes[i] = elapsed
+		cur := rt.Stats()
+		s.RepStats[i] = cur.Sub(prev)
+		prev = cur
 	}
 	s.Stats = rt.Stats()
 	return s
@@ -112,6 +127,7 @@ type Evaluator struct {
 type seriesEntry struct {
 	once     sync.Once
 	runtimes []float64
+	repStats []openmp.Stats
 }
 
 // NewEvaluator returns a measured-backend evaluator with the given options.
@@ -146,8 +162,25 @@ func (e *Evaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config,
 			panic(fmt.Sprintf("measure: %s: %v", key, err))
 		}
 		ent.runtimes = s.Runtimes
+		ent.repStats = s.RepStats
 	})
 	return ent.runtimes[rep%len(ent.runtimes)]
+}
+
+// RepStats returns the runtime-counter delta recorded alongside the sample
+// that Evaluate returned for the same arguments, attaching the derived
+// per-sample counters (regions, chunks, tasks run/stolen, sleeps, wakeups)
+// to the measured series. ok is false when that sample has not been
+// measured yet.
+func (e *Evaluator) RepStats(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting, rep int) (st openmp.Stats, ok bool) {
+	key := string(m.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
+	e.mu.Lock()
+	ent := e.series[key]
+	e.mu.Unlock()
+	if ent == nil || len(ent.repStats) == 0 {
+		return openmp.Stats{}, false
+	}
+	return ent.repStats[rep%len(ent.repStats)], true
 }
 
 // measure runs one full series for the key on a fresh runtime.

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"omptune/internal/apps"
 	"omptune/internal/core"
@@ -216,6 +217,15 @@ type CollectOptions struct {
 	// checkpoint manifest; resuming a checkpoint under a different backend
 	// is rejected.
 	Backend Evaluator
+	// TelemetryLog, when non-empty, appends a JSONL telemetry stream of the
+	// campaign to this file: plan, per-setting completion, periodic
+	// heartbeats with workers-busy / throughput / per-arch completion
+	// gauges, and a terminal done-or-error record. Suited to tail -f and jq
+	// while a long campaign runs.
+	TelemetryLog string
+	// TelemetryInterval is the heartbeat period of the telemetry stream;
+	// zero means 30 seconds.
+	TelemetryInterval time.Duration
 }
 
 // ProgressEvent is the structured per-setting progress update of a sweep.
@@ -224,17 +234,19 @@ type ProgressEvent = core.ProgressEvent
 // Collect runs the sweep of §IV and returns the enriched dataset.
 func Collect(opt CollectOptions) (*Dataset, error) {
 	return core.RunSweep(core.SweepConfig{
-		Arches:        opt.Arches,
-		AppNames:      opt.Apps,
-		Fraction:      opt.Fraction,
-		Progress:      opt.Progress,
-		OnProgress:    opt.OnProgress,
-		Extended:      opt.Extended,
-		Workers:       opt.Workers,
-		CheckpointDir: opt.CheckpointDir,
-		ShardSpec:     opt.Shard,
-		Context:       opt.Context,
-		Evaluator:     opt.Backend,
+		Arches:            opt.Arches,
+		AppNames:          opt.Apps,
+		Fraction:          opt.Fraction,
+		Progress:          opt.Progress,
+		OnProgress:        opt.OnProgress,
+		Extended:          opt.Extended,
+		Workers:           opt.Workers,
+		CheckpointDir:     opt.CheckpointDir,
+		ShardSpec:         opt.Shard,
+		Context:           opt.Context,
+		Evaluator:         opt.Backend,
+		TelemetryLog:      opt.TelemetryLog,
+		TelemetryInterval: opt.TelemetryInterval,
 	})
 }
 

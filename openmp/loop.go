@@ -1,6 +1,20 @@
 package openmp
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"omptune/openmp/trace"
+)
+
+// traceChunk records one dispatched worksharing chunk when tracing is on.
+// The tracer pointer is loaded per chunk (not hoisted per loop) so the
+// untraced fast path stays a single predictable branch and enabling tracing
+// mid-loop is simply picked up.
+func (th *Thread) traceChunk(iters int) {
+	if tr := th.team.rt.tracer.Load(); tr != nil {
+		tr.Emit(th.id, trace.KindChunk, th.team.rt.regionGen.Load(), int64(iters))
+	}
+}
 
 // For executes body for every iteration in [0, n), dividing iterations
 // among the team per the configured schedule, then waits at the implicit
@@ -42,6 +56,7 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 		lo, hi := t*n/nt, (t+1)*n/nt
 		if lo < hi {
 			th.stats.chunks.Add(1)
+			th.traceChunk(hi - lo)
 		}
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -51,6 +66,7 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 	for lo := t * chunk; lo < n; lo += nt * chunk {
 		hi := min(lo+chunk, n)
 		th.stats.chunks.Add(1)
+		th.traceChunk(hi - lo)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -82,6 +98,7 @@ func (th *Thread) forDynamic(n, chunk int, body func(i int)) {
 		}
 		hi := min(lo+chunk, n)
 		th.stats.chunks.Add(1)
+		th.traceChunk(hi - lo)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -126,6 +143,7 @@ func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 		lo := n - int(rem)
 		hi := lo + int(c)
 		th.stats.chunks.Add(1)
+		th.traceChunk(hi - lo)
 		for i := lo; i < hi; i++ {
 			body(i)
 		}

@@ -156,6 +156,86 @@ func BenchmarkOverheadReduce(b *testing.B) {
 	}
 }
 
+// BenchmarkOverheadTracing contrasts the disabled-tracing hot path (one
+// atomic tracer load per instrumented site) with tracing fully enabled
+// (timestamped ring emits at every site) on the two hottest instrumented
+// operations: bare region dispatch and a dynamic-schedule loop. With
+// tracing on, the per-thread rings fill after the first few thousand
+// regions and later emits take the drop path; the drop branch pays the
+// same loads as a successful emit minus the event store, so the trace=on
+// number is a tight floor for steady-state emit cost. Tracing must not add
+// allocations in either mode: region dispatch stays 0 allocs/op, and the
+// dynamic loop keeps only its per-For descriptor allocation.
+func BenchmarkOverheadTracing(b *testing.B) {
+	modes := []struct {
+		name   string
+		traced bool
+	}{
+		{"trace=off", false},
+		{"trace=on", true},
+	}
+	ops := []struct {
+		name string
+		op   func(rt *Runtime, body func(*Thread))
+	}{
+		{"op=parallel", func(rt *Runtime, body func(*Thread)) { rt.Parallel(body) }},
+	}
+	for _, op := range ops {
+		b.Run(op.name, func(b *testing.B) {
+			for _, m := range modes {
+				b.Run(m.name, func(b *testing.B) {
+					rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+					body := func(*Thread) {}
+					rt.Parallel(body)
+					if m.traced {
+						if err := rt.StartTrace(0); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						op.op(rt, body)
+					}
+					b.StopTimer()
+					if m.traced {
+						rt.StopTrace()
+					}
+				})
+			}
+		})
+	}
+	b.Run("op=for_dynamic", func(b *testing.B) {
+		for _, m := range modes {
+			b.Run(m.name, func(b *testing.B) {
+				rt := benchRuntime(b, func(o *Options) {
+					o.Schedule = ScheduleDynamic
+					o.ChunkSize = 8
+					o.Library = LibTurnaround
+				})
+				iter := func(int) {}
+				rt.Parallel(func(th *Thread) { th.For(128, iter) })
+				if m.traced {
+					if err := rt.StartTrace(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				rt.Parallel(func(th *Thread) {
+					for i := 0; i < b.N; i++ {
+						th.For(128, iter)
+					}
+				})
+				b.StopTimer()
+				if m.traced {
+					rt.StopTrace()
+				}
+			})
+		}
+	})
+}
+
 // BenchmarkOverheadStats measures the Stats() snapshot itself, which now
 // walks the per-thread shards.
 func BenchmarkOverheadStats(b *testing.B) {

@@ -1,11 +1,14 @@
 package openmp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"omptune/openmp/trace"
 )
 
 // Runtime owns a pool of worker goroutines and executes fork–join parallel
@@ -45,11 +48,32 @@ type Runtime struct {
 	criticals sync.Map // name -> *sync.Mutex
 
 	stats rtStats
+
+	// tracer is the OMPT-style event collector, nil while tracing is
+	// disabled. Every instrumentation site does one atomic load and a nil
+	// check, so the untraced hot path stays branch-predictable and
+	// allocation-free; see StartTrace.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // Stats is a snapshot of runtime activity counters, useful for verifying
 // that a configuration exercised the intended code paths (e.g. turnaround
 // mode never sleeps) and for calibrating the performance model.
+//
+// Torn-read contract: the counters are sharded per thread and each shard
+// word is read atomically, but Stats() does not stop the world — a snapshot
+// taken while a region is executing (from another goroutine) or while
+// workers are still winding down their between-region waits can mix counter
+// values from different instants. Two guarantees bound the tearing:
+//
+//   - Region quiescence: when Parallel returns, Regions, Chunks, TasksRun
+//     and TasksStolen are exact — every increment of those counters
+//     happens-before the end-of-region barrier the primary thread passed.
+//     Sleeps and Wakeups may still trail, because a worker can exhaust its
+//     blocktime and park after the region that released it has ended.
+//   - Close: after Close returns, every worker has exited, all six counters
+//     are final and exact, and Sleeps == Wakeups (each counted sleep was
+//     matched by a wake, including the shutdown wake).
 type Stats struct {
 	Regions     uint64 // parallel regions executed
 	Sleeps      uint64 // times an idle worker or barrier waiter exhausted its blocktime and slept
@@ -57,6 +81,20 @@ type Stats struct {
 	TasksRun    uint64 // explicit tasks executed
 	TasksStolen uint64 // tasks taken from another thread's deque
 	Chunks      uint64 // worksharing chunks dispatched
+}
+
+// Sub returns the counter-wise difference s − prev: the activity between
+// two snapshots. Meaningful when both snapshots were taken at region
+// quiescence (see the Stats contract).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Regions:     s.Regions - prev.Regions,
+		Sleeps:      s.Sleeps - prev.Sleeps,
+		Wakeups:     s.Wakeups - prev.Wakeups,
+		TasksRun:    s.TasksRun - prev.TasksRun,
+		TasksStolen: s.TasksStolen - prev.TasksStolen,
+		Chunks:      s.Chunks - prev.Chunks,
+	}
 }
 
 // statShard is one thread's private slice of the runtime counters, padded to
@@ -143,7 +181,8 @@ func (rt *Runtime) Placement() []int {
 }
 
 // Stats returns a snapshot of the activity counters, aggregated across the
-// per-thread shards.
+// per-thread shards. See the Stats type for when the snapshot is exact and
+// when it may be torn.
 func (rt *Runtime) Stats() Stats {
 	var out Stats
 	for i := range rt.stats.shards {
@@ -158,8 +197,68 @@ func (rt *Runtime) Stats() Stats {
 	return out
 }
 
+// StartTrace enables OMPT-style event tracing with the given per-thread
+// ring capacity in events (0 means trace.DefaultBufferSize). Rings are
+// preallocated here; once tracing is on, emitting an event costs one
+// timestamp read and one ring store, and a full ring drops new events
+// rather than blocking. Tracing a runtime that is already tracing or
+// closed is an error.
+func (rt *Runtime) StartTrace(eventsPerThread int) error {
+	rt.regionMu.Lock()
+	defer rt.regionMu.Unlock()
+	if rt.closed {
+		return errors.New("openmp: StartTrace on closed Runtime")
+	}
+	if rt.tracer.Load() != nil {
+		return errors.New("openmp: StartTrace while already tracing")
+	}
+	rt.tracer.Store(trace.New(rt.NumThreads(), eventsPerThread))
+	return nil
+}
+
+// StopTrace disables tracing and returns the collected, time-ordered
+// events. Returns an empty Data when tracing was not enabled.
+//
+// A worker emits its end-of-region BarrierLeave/ImplicitEnd after the
+// primary thread has already passed the join barrier, so those records can
+// still be in flight when Parallel returns. StopTrace therefore first swaps
+// the tracer out (new events stop) and then dispatches one untraced no-op
+// flush region: each worker's pending emits precede its flush-barrier
+// arrival, which precedes the primary's barrier pass, so by the time the
+// flush returns every traced event has been published to its ring. Workers
+// parking after the flush may race the drain with park/wake instants, which
+// the rings' single-producer single-consumer protocol permits; such
+// stragglers are simply not collected.
+func (rt *Runtime) StopTrace() trace.Data {
+	rt.regionMu.Lock()
+	tr := rt.tracer.Swap(nil)
+	if tr == nil {
+		rt.regionMu.Unlock()
+		return trace.Data{}
+	}
+	if !rt.closed {
+		// Inline no-op region (Parallel minus the stats bump, invisible to
+		// the Regions counter): purely a synchronization flush.
+		rt.regionActive.Store(true)
+		tm := rt.hot
+		tm.body = func(*Thread) {}
+		rt.regionGen.Add(1)
+		for _, w := range rt.workers {
+			w.wakeIfParked()
+		}
+		tm.run(0)
+		tm.body = nil
+		rt.regionActive.Store(false)
+	}
+	rt.regionMu.Unlock()
+	return tr.Collect()
+}
+
 // Close shuts the worker pool down and waits for the goroutines to exit.
 // The runtime must not be used afterwards. Close is idempotent.
+//
+// Close is the exact-snapshot point of the Stats contract: a Stats() call
+// after Close returns final counter values, with Sleeps == Wakeups.
 func (rt *Runtime) Close() {
 	rt.regionMu.Lock()
 	defer rt.regionMu.Unlock()
@@ -192,6 +291,15 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 	tm := rt.hot
 	tm.threads[0].stats.regions.Add(1)
 	tm.body = body
+	// The fork event is emitted before the generation bump (only the
+	// dispatcher advances regionGen, so Load()+1 is the region about to
+	// run), guaranteeing it precedes every worker event of the region.
+	tr := rt.tracer.Load()
+	var gen uint64
+	if tr != nil {
+		gen = rt.regionGen.Load() + 1
+		tr.Emit(0, trace.KindRegionFork, gen, int64(tm.n))
+	}
 	// Publish the region: the regionGen bump is the release edge workers
 	// acquire tm.body through; parked workers additionally get a wake token.
 	rt.regionGen.Add(1)
@@ -202,6 +310,9 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 	// The end-of-region barrier doubles as the join: every worker has
 	// finished the body (its last tm accesses precede its barrier arrival,
 	// which precedes the primary's barrier pass).
+	if tr != nil {
+		tr.Emit(0, trace.KindRegionJoin, gen, 0)
+	}
 	tm.body = nil
 	rt.regionActive.Store(false)
 }
@@ -308,9 +419,15 @@ func (w *worker) await() {
 			w.seen = next
 			return
 		}
+		if tr := rt.tracer.Load(); tr != nil {
+			tr.Emit(w.id+1, trace.KindPark, next, 0)
+		}
 		w.stats().sleeps.Add(1)
 		<-w.wake
 		w.stats().wakeups.Add(1)
+		if tr := rt.tracer.Load(); tr != nil {
+			tr.Emit(w.id+1, trace.KindWake, next, 0)
+		}
 		w.parked.Store(false)
 	}
 }

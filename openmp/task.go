@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"omptune/openmp/trace"
 )
 
 // task is one explicit task. children counts direct child tasks that have
@@ -81,6 +83,19 @@ func (th *Thread) Task(fn func(*Thread)) {
 	}
 	th.team.pool.pending.Add(1)
 	th.team.pool.deques[th.id].push(t)
+	if tr := th.team.rt.tracer.Load(); tr != nil {
+		tr.Emit(th.id, trace.KindTaskCreate, th.team.rt.regionGen.Load(), 0)
+	}
+	// Task creation is a task scheduling point (OpenMP spec §task scheduling):
+	// periodically yield the processor so idle team threads get a chance to
+	// steal from this deque. Without it, a goroutine that spawns and then
+	// drains a deep task tree never yields while work remains, starving
+	// thieves whenever GOMAXPROCS is smaller than the team — tasking then
+	// degenerates to serial execution on oversubscribed hosts.
+	th.spawns++
+	if th.spawns&31 == 0 {
+		runtime.Gosched()
+	}
 }
 
 // TaskWait blocks until all child tasks of the current task have completed,
@@ -108,17 +123,31 @@ func (th *Thread) drainTasks() {
 // (round-robin starting position so thieves don't all hammer deque 0).
 func (th *Thread) runOneTask() bool {
 	pool := th.team.pool
+	tr := th.team.rt.tracer.Load()
+	var gen uint64
+	if tr != nil {
+		gen = th.team.rt.regionGen.Load()
+	}
 	t := pool.deques[th.id].popBack()
 	if t == nil {
+		// Scan every other deque, starting from the last successful victim
+		// (stealAt) and wrapping across all n slots with self skipped. The
+		// previous formulation offset the scan by th.id+stealAt and skipped
+		// self mid-window, which left one victim permanently untried for
+		// some stealAt values — after a few steals rotated stealAt, a
+		// thread could go blind to a loaded deque and never steal again.
 		n := th.team.n
-		for k := 1; k < n; k++ {
-			victim := (th.id + th.stealAt + k) % n
+		for k := 0; k < n; k++ {
+			victim := (th.stealAt + k) % n
 			if victim == th.id {
 				continue
 			}
 			if t = pool.deques[victim].popFront(); t != nil {
-				th.stealAt = (th.stealAt + k) % n
+				th.stealAt = victim // keep stealing from a productive victim
 				th.stats.tasksStolen.Add(1)
+				if tr != nil {
+					tr.Emit(th.id, trace.KindTaskSteal, gen, int64(victim))
+				}
 				break
 			}
 		}
@@ -128,7 +157,13 @@ func (th *Thread) runOneTask() bool {
 	}
 	prevTask, prevGroup := th.curTask, th.curGroup
 	th.curTask, th.curGroup = t, t.group
+	if tr != nil {
+		tr.Emit(th.id, trace.KindTaskBegin, gen, 0)
+	}
 	t.fn(th)
+	if tr != nil {
+		tr.Emit(th.id, trace.KindTaskEnd, gen, 0)
+	}
 	th.curTask, th.curGroup = prevTask, prevGroup
 	t.parent.children.Add(-1)
 	if t.group != nil {

@@ -184,3 +184,40 @@ func TestDequeOrdering(t *testing.T) {
 		t.Error("empty deque should return nil")
 	}
 }
+
+// TestStealScanCoversAllVictims is the regression test for a blind spot in
+// the steal scan: the old loop offset the victim window by id+stealAt and
+// skipped self mid-window, so for some stealAt rotations one deque was
+// never tried — after a few successful steals a thread could go
+// permanently blind to the only loaded deque, and single-producer regions
+// stopped stealing entirely after the first region. The fixed scan visits
+// every other deque from any rotation, so steals must keep happening in
+// later regions, not just the first.
+func TestStealScanCoversAllVictims(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	spin := func(*Thread) {
+		for i := 0; i < 2000; i++ {
+			_ = i * i
+		}
+	}
+	prev := rt.Stats()
+	for region := 0; region < 3; region++ {
+		rt.Parallel(func(th *Thread) {
+			// Single producer: every task another thread runs is a steal.
+			th.Master(func() {
+				for i := 0; i < 2000; i++ {
+					th.Task(spin)
+				}
+			})
+		})
+		cur := rt.Stats()
+		d := cur.Sub(prev)
+		prev = cur
+		if d.TasksRun != 2000 {
+			t.Fatalf("region %d: ran %d tasks, want 2000", region, d.TasksRun)
+		}
+		if d.TasksStolen == 0 {
+			t.Errorf("region %d: no steals — victim scan went blind", region)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"omptune/openmp/trace"
 )
 
 // Team is one fork–join instance: n threads executing the same region body.
@@ -61,6 +63,19 @@ func (tm *Team) run(tid int) {
 	// unique for the team's lifetime, which the construct ring's slot
 	// identity encoding relies on. All threads execute the same construct
 	// count per region, so the counters stay aligned across regions.
+	if tr := tm.rt.tracer.Load(); tr != nil {
+		gen := tm.rt.regionGen.Load()
+		tr.Emit(tid, trace.KindImplicitBegin, gen, 0)
+		tm.body(th)
+		th.drainTasks()
+		// The end-of-region barrier wait is a span of its own, closed before
+		// the implicit task ends so the B/E pairs nest per thread.
+		tr.Emit(tid, trace.KindBarrierEnter, gen, 0)
+		tm.bar.wait(th.stats)
+		tr.Emit(tid, trace.KindBarrierLeave, gen, 0)
+		tr.Emit(tid, trace.KindImplicitEnd, gen, 0)
+		return
+	}
 	tm.body(th)
 	th.drainTasks()
 	tm.bar.wait(th.stats)
@@ -91,8 +106,8 @@ type Thread struct {
 	curTask  *task
 	curGroup *taskGroup // innermost active taskgroup, nil outside one
 	stealAt  int        // rotating steal start position
+	spawns   int        // tasks spawned; every 32nd spawn is a yield point
 	stats    *statShard // this thread's stats shard
-	_        [cacheLineSize - 56]byte
 }
 
 // ID returns the thread number within the team (0 = primary).
@@ -121,7 +136,16 @@ func (th *Thread) nextSeq() int64 {
 }
 
 // Barrier blocks until every thread of the team has called it.
-func (th *Thread) Barrier() { th.team.bar.wait(th.stats) }
+func (th *Thread) Barrier() {
+	if tr := th.team.rt.tracer.Load(); tr != nil {
+		gen := th.team.rt.regionGen.Load()
+		tr.Emit(th.id, trace.KindBarrierEnter, gen, 0)
+		th.team.bar.wait(th.stats)
+		tr.Emit(th.id, trace.KindBarrierLeave, gen, 0)
+		return
+	}
+	th.team.bar.wait(th.stats)
+}
 
 // Master runs fn on the primary thread only. No implied barrier.
 func (th *Thread) Master(fn func()) {

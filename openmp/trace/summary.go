@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RegionMetrics are the derived per-region statistics — the quantities the
+// paper attributes knob effects to, computed from the raw event stream.
+type RegionMetrics struct {
+	// Gen is the region's generation number (the runtime's region counter).
+	Gen uint64
+	// Threads is the team size recorded at the fork, or the number of
+	// threads that reported an implicit task when the fork was not traced.
+	Threads int
+	// Wall is the fork→join duration on the primary thread.
+	Wall time.Duration
+	// BarrierWait is the total time team threads spent inside barrier
+	// waits (spinning or parked) during the region, summed over threads.
+	BarrierWait time.Duration
+	// WaitShare is BarrierWait divided by Threads×Wall: the fraction of
+	// the region's aggregate thread-time lost to barrier waiting.
+	WaitShare float64
+	// Imbalance is the arrival spread (max−min enter timestamp) at the
+	// region's final barrier — the end-of-region barrier every thread
+	// passes — i.e. how unevenly the body's work was distributed.
+	Imbalance time.Duration
+	// Chunks counts worksharing chunks dispatched in the region, and
+	// ChunksPerThread is its per-thread breakdown (histogram).
+	Chunks          int
+	ChunksPerThread []int
+	// TasksCreated / TasksRun / TasksStolen count explicit-task activity.
+	TasksCreated, TasksRun, TasksStolen int
+}
+
+// Summary is the reduction of a trace to per-region metrics plus
+// whole-trace aggregates.
+type Summary struct {
+	Threads int
+	Events  int
+	Dropped uint64
+	Regions []RegionMetrics
+
+	// Aggregates over all regions (and, for parks/wakes, between them).
+	TotalWall        time.Duration
+	TotalBarrierWait time.Duration
+	WaitShare        float64 // TotalBarrierWait / Σ(threads×wall)
+	AvgImbalance     time.Duration
+	MaxImbalance     time.Duration
+	Chunks           int
+	ChunksPerThread  []int
+	TasksCreated     int
+	TasksRun         int
+	TasksStolen      int
+	StealRate        float64 // TasksStolen / TasksRun
+	Parks, Wakes     int
+}
+
+// regionAcc accumulates one region's events during the scan.
+type regionAcc struct {
+	gen          uint64
+	threads      int
+	forkTS       int64
+	joinTS       int64
+	hasFork      bool
+	hasJoin      bool
+	implicit     map[int32]bool
+	barrierEnter map[int32]int64 // pending enter per tid
+	lastEnter    map[int32]int64 // latest barrier arrival per tid
+	barrierWait  int64
+	chunks       map[int32]int
+	created      int
+	run          int
+	stolen       int
+}
+
+func newRegionAcc(gen uint64) *regionAcc {
+	return &regionAcc{
+		gen:          gen,
+		implicit:     map[int32]bool{},
+		barrierEnter: map[int32]int64{},
+		lastEnter:    map[int32]int64{},
+		chunks:       map[int32]int{},
+	}
+}
+
+// Summarize derives per-region metrics from a collected trace. Incomplete
+// spans (from dropped events or a trace stopped mid-stream) are skipped
+// rather than guessed at.
+func Summarize(d Data) *Summary {
+	s := &Summary{Threads: d.Threads, Events: len(d.Events), Dropped: d.Dropped}
+	regions := map[uint64]*regionAcc{}
+	acc := func(gen uint64) *regionAcc {
+		a := regions[gen]
+		if a == nil {
+			a = newRegionAcc(gen)
+			regions[gen] = a
+		}
+		return a
+	}
+	for _, e := range d.Events {
+		switch e.Kind {
+		case KindRegionFork:
+			a := acc(e.Region)
+			a.forkTS, a.hasFork = e.TS, true
+			a.threads = int(e.Arg)
+		case KindRegionJoin:
+			a := acc(e.Region)
+			a.joinTS, a.hasJoin = e.TS, true
+		case KindImplicitBegin:
+			acc(e.Region).implicit[e.Tid] = true
+		case KindBarrierEnter:
+			a := acc(e.Region)
+			a.barrierEnter[e.Tid] = e.TS
+			a.lastEnter[e.Tid] = e.TS
+		case KindBarrierLeave:
+			a := acc(e.Region)
+			if enter, ok := a.barrierEnter[e.Tid]; ok {
+				a.barrierWait += e.TS - enter
+				delete(a.barrierEnter, e.Tid)
+			}
+		case KindChunk:
+			acc(e.Region).chunks[e.Tid]++
+		case KindTaskCreate:
+			acc(e.Region).created++
+		case KindTaskBegin:
+			acc(e.Region).run++
+		case KindTaskSteal:
+			acc(e.Region).stolen++
+		case KindPark:
+			s.Parks++
+		case KindWake:
+			s.Wakes++
+		}
+	}
+
+	gens := make([]uint64, 0, len(regions))
+	for gen := range regions {
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+
+	s.ChunksPerThread = make([]int, d.Threads)
+	var aggThreadTime time.Duration
+	var imbalanceSum time.Duration
+	imbalanced := 0
+	for _, gen := range gens {
+		a := regions[gen]
+		m := RegionMetrics{
+			Gen:          a.gen,
+			Threads:      a.threads,
+			BarrierWait:  time.Duration(a.barrierWait),
+			TasksCreated: a.created,
+			TasksRun:     a.run,
+			TasksStolen:  a.stolen,
+		}
+		if m.Threads == 0 {
+			m.Threads = len(a.implicit)
+		}
+		if a.hasFork && a.hasJoin {
+			m.Wall = time.Duration(a.joinTS - a.forkTS)
+		}
+		m.ChunksPerThread = make([]int, d.Threads)
+		for tid, n := range a.chunks {
+			if int(tid) < len(m.ChunksPerThread) {
+				m.ChunksPerThread[tid] += n
+				s.ChunksPerThread[tid] += n
+			}
+			m.Chunks += n
+		}
+		if len(a.lastEnter) >= 2 {
+			var minTS, maxTS int64
+			first := true
+			for _, ts := range a.lastEnter {
+				if first {
+					minTS, maxTS, first = ts, ts, false
+					continue
+				}
+				if ts < minTS {
+					minTS = ts
+				}
+				if ts > maxTS {
+					maxTS = ts
+				}
+			}
+			m.Imbalance = time.Duration(maxTS - minTS)
+			imbalanceSum += m.Imbalance
+			imbalanced++
+			if m.Imbalance > s.MaxImbalance {
+				s.MaxImbalance = m.Imbalance
+			}
+		}
+		if m.Wall > 0 && m.Threads > 0 {
+			m.WaitShare = float64(m.BarrierWait) / (float64(m.Threads) * float64(m.Wall))
+			aggThreadTime += time.Duration(m.Threads) * m.Wall
+		}
+		s.TotalWall += m.Wall
+		s.TotalBarrierWait += m.BarrierWait
+		s.Chunks += m.Chunks
+		s.TasksCreated += m.TasksCreated
+		s.TasksRun += m.TasksRun
+		s.TasksStolen += m.TasksStolen
+		s.Regions = append(s.Regions, m)
+	}
+	if aggThreadTime > 0 {
+		s.WaitShare = float64(s.TotalBarrierWait) / float64(aggThreadTime)
+	}
+	if imbalanced > 0 {
+		s.AvgImbalance = imbalanceSum / time.Duration(imbalanced)
+	}
+	if s.TasksRun > 0 {
+		s.StealRate = float64(s.TasksStolen) / float64(s.TasksRun)
+	}
+	return s
+}
+
+// String renders the summary as a per-region table with aggregate header
+// lines, ending with one machine-parseable key=value line (used by
+// `make trace-smoke`).
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d threads, %d events (%d dropped), %d regions\n",
+		s.Threads, s.Events, s.Dropped, len(s.Regions))
+	fmt.Fprintf(&b, "tasks: created %d, run %d, stolen %d (steal rate %.1f%%)\n",
+		s.TasksCreated, s.TasksRun, s.TasksStolen, 100*s.StealRate)
+	fmt.Fprintf(&b, "chunks: %d dispatched%s\n", s.Chunks, perThread(s.ChunksPerThread))
+	fmt.Fprintf(&b, "barriers: total wait %s (share %.1f%% of aggregate thread-time); end-barrier imbalance avg %s, max %s\n",
+		round(s.TotalBarrierWait), 100*s.WaitShare, round(s.AvgImbalance), round(s.MaxImbalance))
+	fmt.Fprintf(&b, "workers: %d parks, %d wakes between regions\n", s.Parks, s.Wakes)
+	if n := len(s.Regions); n > 0 {
+		shown := s.Regions
+		const maxRows = 16
+		if n > maxRows {
+			shown = s.Regions[:maxRows]
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %-9s %-10s %-7s %-6s %-6s\n",
+			"region", "wall", "barwait%", "imbalance", "chunks", "tasks", "steals")
+		for _, m := range shown {
+			fmt.Fprintf(&b, "#%-7d %-10s %-9s %-10s %-7d %-6d %-6d\n",
+				m.Gen, round(m.Wall), fmt.Sprintf("%.1f%%", 100*m.WaitShare),
+				round(m.Imbalance), m.Chunks, m.TasksRun, m.TasksStolen)
+		}
+		if n > maxRows {
+			fmt.Fprintf(&b, "… %d more regions\n", n-maxRows)
+		}
+	}
+	fmt.Fprintf(&b, "summary: regions=%d events=%d dropped=%d tasks_run=%d tasks_stolen=%d steal_rate=%.3f barrier_wait_ns=%d wait_share=%.4f imbalance_avg_ns=%d chunks=%d parks=%d wakes=%d\n",
+		len(s.Regions), s.Events, s.Dropped, s.TasksRun, s.TasksStolen, s.StealRate,
+		int64(s.TotalBarrierWait), s.WaitShare, int64(s.AvgImbalance), s.Chunks, s.Parks, s.Wakes)
+	return b.String()
+}
+
+// perThread renders a per-thread count breakdown when it is interesting
+// (more than one thread saw work).
+func perThread(counts []int) string {
+	active := 0
+	minC, maxC, sum := 0, 0, 0
+	for _, c := range counts {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if sum == 0 || len(counts) < 2 {
+		return ""
+	}
+	minC = counts[0]
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > 0 {
+			active++
+		}
+	}
+	return fmt.Sprintf(" (per thread min %d / mean %.1f / max %d, %d/%d threads active)",
+		minC, float64(sum)/float64(len(counts)), maxC, active, len(counts))
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingWrapAround fills a ring past capacity without draining: the ring
+// must retain the oldest events FIFO, drop the rest, and count every drop.
+func TestRingWrapAround(t *testing.T) {
+	tr := New(1, 8) // rounded to 8
+	capacity := len(tr.rings[0].buf)
+	total := 3 * capacity
+	for i := 0; i < total; i++ {
+		tr.Emit(0, KindChunk, 1, int64(i))
+	}
+	evs := tr.DrainAppend(nil)
+	if len(evs) != capacity {
+		t.Fatalf("drained %d events, want the ring capacity %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		if e.Arg != int64(i) {
+			t.Fatalf("event %d has arg %d, want %d (drop-newest must keep the oldest FIFO)", i, e.Arg, i)
+		}
+	}
+	if got, want := tr.Dropped(), uint64(total-capacity); got != want {
+		t.Errorf("Dropped() = %d, want %d", got, want)
+	}
+	// After a drain the ring accepts new events again.
+	tr.Emit(0, KindChunk, 2, 99)
+	if evs := tr.DrainAppend(nil); len(evs) != 1 || evs[0].Arg != 99 {
+		t.Errorf("post-drain emit: drained %v, want one event with arg 99", evs)
+	}
+}
+
+// TestRingConcurrentFillDrain runs one producer per ring against a single
+// concurrent drainer — the exact contract StopTrace relies on — under the
+// race detector. Every emitted event must be either drained (in per-thread
+// FIFO order) or counted as dropped.
+func TestRingConcurrentFillDrain(t *testing.T) {
+	const threads, perThread = 4, 5000
+	tr := New(threads, 64) // small rings force wrap-around pressure
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				tr.Emit(tid, KindChunk, uint64(tid), int64(i))
+			}
+		}(tid)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var got []Event
+	for {
+		got = tr.DrainAppend(got)
+		select {
+		case <-done:
+			got = tr.DrainAppend(got) // final sweep after producers stop
+			goto check
+		default:
+		}
+	}
+check:
+	lastArg := make([]int64, threads)
+	for i := range lastArg {
+		lastArg[i] = -1
+	}
+	for _, e := range got {
+		if e.Arg <= lastArg[e.Tid] {
+			t.Fatalf("tid %d: arg %d arrived after %d; per-ring FIFO order violated", e.Tid, e.Arg, lastArg[e.Tid])
+		}
+		lastArg[e.Tid] = e.Arg
+	}
+	if total := uint64(len(got)) + tr.Dropped(); total != threads*perThread {
+		t.Errorf("drained %d + dropped %d = %d events, want %d", len(got), tr.Dropped(), total, threads*perThread)
+	}
+	if len(got) == 0 {
+		t.Error("the concurrent drainer received no events at all")
+	}
+}
+
+// synthetic builds a two-thread, one-region trace with known timings:
+// region 5 runs 100ns..1100ns, thread 1 arrives at the end barrier 300ns
+// after thread 0, one task is created on tid 0, stolen and run by tid 1.
+func synthetic() Data {
+	mk := func(ts int64, tid int32, k Kind, arg int64) Event {
+		return Event{TS: ts, Arg: arg, Region: 5, Tid: tid, Kind: k}
+	}
+	evs := []Event{
+		mk(100, 0, KindRegionFork, 2),
+		mk(110, 0, KindImplicitBegin, 0),
+		mk(120, 1, KindImplicitBegin, 0),
+		mk(130, 0, KindChunk, 50),
+		mk(140, 1, KindChunk, 50),
+		mk(150, 0, KindTaskCreate, 0),
+		mk(200, 1, KindTaskSteal, 0),
+		mk(210, 1, KindTaskBegin, 0),
+		mk(400, 1, KindTaskEnd, 0),
+		mk(500, 0, KindBarrierEnter, 0), // tid 0 arrives first
+		mk(800, 1, KindBarrierEnter, 0), // tid 1 arrives 300ns later
+		mk(900, 0, KindBarrierLeave, 0), // tid 0 waited 400ns
+		mk(910, 1, KindBarrierLeave, 0), // tid 1 waited 110ns
+		mk(950, 1, KindImplicitEnd, 0),
+		mk(960, 0, KindImplicitEnd, 0),
+		mk(1100, 0, KindRegionJoin, 0),
+	}
+	return Data{Events: evs, Threads: 2, Start: time.Unix(0, 0)}
+}
+
+func TestSummarizeDerivedMetrics(t *testing.T) {
+	s := Summarize(synthetic())
+	if len(s.Regions) != 1 {
+		t.Fatalf("got %d regions, want 1", len(s.Regions))
+	}
+	m := s.Regions[0]
+	if m.Gen != 5 || m.Threads != 2 {
+		t.Errorf("region gen/threads = %d/%d, want 5/2", m.Gen, m.Threads)
+	}
+	if m.Wall != 1000 {
+		t.Errorf("wall = %v, want 1000ns", m.Wall)
+	}
+	if m.BarrierWait != 510 { // 400 + 110
+		t.Errorf("barrier wait = %v, want 510ns", m.BarrierWait)
+	}
+	if m.Imbalance != 300 {
+		t.Errorf("imbalance = %v, want 300ns (800-500)", m.Imbalance)
+	}
+	wantShare := 510.0 / 2000.0
+	if diff := m.WaitShare - wantShare; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("wait share = %v, want %v", m.WaitShare, wantShare)
+	}
+	if m.Chunks != 2 || m.ChunksPerThread[0] != 1 || m.ChunksPerThread[1] != 1 {
+		t.Errorf("chunks = %d %v, want 2 [1 1]", m.Chunks, m.ChunksPerThread)
+	}
+	if m.TasksCreated != 1 || m.TasksRun != 1 || m.TasksStolen != 1 {
+		t.Errorf("tasks c/r/s = %d/%d/%d, want 1/1/1", m.TasksCreated, m.TasksRun, m.TasksStolen)
+	}
+	if s.StealRate != 1.0 {
+		t.Errorf("steal rate = %v, want 1.0", s.StealRate)
+	}
+	out := s.String()
+	if !strings.Contains(out, "summary: regions=1") ||
+		!strings.Contains(out, "tasks_stolen=1") ||
+		!strings.Contains(out, "barrier_wait_ns=510") {
+		t.Errorf("summary text missing machine line fields:\n%s", out)
+	}
+}
+
+// TestChromeRoundTrip writes the synthetic trace as Chrome JSON and
+// validates its shape strictly (no drops, so spans must balance).
+func TestChromeRoundTrip(t *testing.T) {
+	d := synthetic()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, d); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	n, err := ValidateChrome(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v\n%s", err, buf.String())
+	}
+	if n != len(d.Events) {
+		t.Errorf("validated %d events, want %d", n, len(d.Events))
+	}
+	for _, want := range []string{`"traceEvents"`, `"parallel region"`, `"barrier wait"`, `"task steal"`, `"thread_name"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("chrome JSON missing %s", want)
+		}
+	}
+}
+
+// Out-of-order timestamps and dangling spans must be rejected.
+func TestValidateChromeRejects(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"name":"a","ph":"B","ts":5,"pid":0,"tid":0},
+		{"name":"b","ph":"i","s":"t","ts":2,"pid":0,"tid":0}]}`
+	if _, err := ValidateChrome(strings.NewReader(bad), false); err == nil {
+		t.Error("decreasing ts was not rejected")
+	}
+	dangling := `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":0,"tid":0}]}`
+	if _, err := ValidateChrome(strings.NewReader(dangling), true); err == nil {
+		t.Error("unclosed span was not rejected in strict mode")
+	}
+	if _, err := ValidateChrome(strings.NewReader(dangling), false); err != nil {
+		t.Errorf("lenient mode rejected a dangling span: %v", err)
+	}
+	if _, err := ValidateChrome(strings.NewReader(`{"traceEvents":[]}`), false); err == nil {
+		t.Error("empty traceEvents was not rejected")
+	}
+}
+
+// TestCollectSortsByTimestamp interleaves two rings with crossing
+// timestamps; Collect must merge them into non-decreasing TS order.
+func TestCollectSortsByTimestamp(t *testing.T) {
+	tr := New(2, 16)
+	tr.Emit(0, KindChunk, 1, 0)
+	time.Sleep(time.Millisecond)
+	tr.Emit(1, KindChunk, 1, 1)
+	time.Sleep(time.Millisecond)
+	tr.Emit(0, KindChunk, 1, 2)
+	d := tr.Collect()
+	if len(d.Events) != 3 {
+		t.Fatalf("collected %d events, want 3", len(d.Events))
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].TS < d.Events[i-1].TS {
+			t.Fatalf("events not time-ordered: %v after %v", d.Events[i].TS, d.Events[i-1].TS)
+		}
+	}
+	if d.Threads != 2 || d.Dropped != 0 {
+		t.Errorf("Data threads/dropped = %d/%d, want 2/0", d.Threads, d.Dropped)
+	}
+}
+
+// BenchmarkEmit measures the enabled-path cost of one event record.
+func BenchmarkEmit(b *testing.B) {
+	tr := New(1, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&(1<<19-1) == 0 {
+			tr.rings[0].tail.Store(tr.rings[0].head.Load()) // keep the ring from filling
+		}
+		tr.Emit(0, KindChunk, 1, int64(i))
+	}
+}

@@ -1,0 +1,225 @@
+package openmp
+
+// Integration tests for the OMPT-style tracing layer: event emission from
+// the instrumented runtime sites, allocation-freedom of the disabled hot
+// path (including after a Start/Stop cycle), and the Stats exact-snapshot
+// contract at Close.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"omptune/openmp/trace"
+)
+
+// TestTraceCapturesRegionEvents runs a traced region exercising every
+// instrumented site — worksharing chunks, explicit tasks with forced
+// steals, an explicit barrier — and checks the collected events and the
+// derived summary.
+func TestTraceCapturesRegionEvents(t *testing.T) {
+	o := optsN(4)
+	o.Schedule = ScheduleDynamic
+	o.ChunkSize = 4
+	rt := testRuntime(t, o)
+	if err := rt.StartTrace(0); err != nil {
+		t.Fatalf("StartTrace: %v", err)
+	}
+	if err := rt.StartTrace(0); err == nil {
+		t.Error("second StartTrace did not error")
+	}
+	const tasks = 64
+	rt.Parallel(func(th *Thread) {
+		th.For(64, func(i int) {})
+		// All tasks spawn on thread 0; any other thread that runs one must
+		// have stolen it. The sleep keeps thread 0 from draining its own
+		// deque before the others arrive, making steals all but certain.
+		if th.ID() == 0 {
+			for i := 0; i < tasks; i++ {
+				th.Task(func(*Thread) { time.Sleep(50 * time.Microsecond) })
+			}
+		}
+		th.Barrier()
+	})
+	d := rt.StopTrace()
+	if rt.StopTrace().Events != nil {
+		t.Error("second StopTrace returned events")
+	}
+
+	counts := map[trace.Kind]int{}
+	for _, e := range d.Events {
+		counts[e.Kind]++
+	}
+	if counts[trace.KindRegionFork] != 1 || counts[trace.KindRegionJoin] != 1 {
+		t.Errorf("fork/join = %d/%d, want 1/1", counts[trace.KindRegionFork], counts[trace.KindRegionJoin])
+	}
+	if counts[trace.KindImplicitBegin] != 4 || counts[trace.KindImplicitEnd] != 4 {
+		t.Errorf("implicit begin/end = %d/%d, want 4/4",
+			counts[trace.KindImplicitBegin], counts[trace.KindImplicitEnd])
+	}
+	// 64 iters / chunk 4 = 16 chunks; each thread also passes the explicit
+	// barrier, the loop's implicit barrier, and the end-of-region barrier.
+	if counts[trace.KindChunk] != 16 {
+		t.Errorf("chunks = %d, want 16", counts[trace.KindChunk])
+	}
+	if counts[trace.KindBarrierEnter] != 12 || counts[trace.KindBarrierLeave] != 12 {
+		t.Errorf("barrier enter/leave = %d/%d, want 12/12",
+			counts[trace.KindBarrierEnter], counts[trace.KindBarrierLeave])
+	}
+	if counts[trace.KindTaskCreate] != tasks || counts[trace.KindTaskBegin] != tasks || counts[trace.KindTaskEnd] != tasks {
+		t.Errorf("task create/begin/end = %d/%d/%d, want %d each",
+			counts[trace.KindTaskCreate], counts[trace.KindTaskBegin], counts[trace.KindTaskEnd], tasks)
+	}
+	if counts[trace.KindTaskSteal] == 0 {
+		t.Error("no task steals traced (all tasks spawned on one thread)")
+	}
+
+	s := trace.Summarize(d)
+	if len(s.Regions) != 1 {
+		t.Fatalf("summary has %d regions, want 1", len(s.Regions))
+	}
+	m := s.Regions[0]
+	if m.Threads != 4 || m.Wall <= 0 || m.BarrierWait <= 0 {
+		t.Errorf("region threads/wall/barrierWait = %d/%v/%v, want 4/>0/>0",
+			m.Threads, m.Wall, m.BarrierWait)
+	}
+	if m.TasksRun != tasks || m.Chunks != 16 {
+		t.Errorf("region tasksRun/chunks = %d/%d, want %d/16", m.TasksRun, m.Chunks, tasks)
+	}
+	if s.StealRate <= 0 {
+		t.Errorf("steal rate = %v, want > 0", s.StealRate)
+	}
+
+	// The trace must render as valid Chrome JSON; with no drops the spans
+	// must balance strictly.
+	if d.Dropped != 0 {
+		t.Fatalf("trace dropped %d events with a default-size buffer", d.Dropped)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, d); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if n, err := trace.ValidateChrome(bytes.NewReader(buf.Bytes()), true); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	} else if n != len(d.Events) {
+		t.Errorf("validated %d events, want %d", n, len(d.Events))
+	}
+}
+
+// TestTraceSmallRingDropsCounted forces ring overflow and checks the trace
+// still collects cleanly with the loss accounted for.
+func TestTraceSmallRingDropsCounted(t *testing.T) {
+	rt := testRuntime(t, optsN(2))
+	if err := rt.StartTrace(8); err != nil {
+		t.Fatalf("StartTrace: %v", err)
+	}
+	o := rt.Options()
+	_ = o
+	rt.Parallel(func(th *Thread) {
+		th.For(4096, func(i int) {}) // static: few chunks
+		for i := 0; i < 200; i++ {
+			th.Barrier() // 2 events per thread per barrier: overflows 8-slot rings
+		}
+	})
+	d := rt.StopTrace()
+	if d.Dropped == 0 {
+		t.Error("expected drops with an 8-event ring")
+	}
+	if len(d.Events) == 0 {
+		t.Error("no events survived")
+	}
+}
+
+// TestTraceDisabledZeroAlloc proves the acceptance criterion: with tracing
+// disabled — both never-enabled and after a Start/Stop cycle — the
+// steady-state hot-team dispatch stays allocation-free.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	o := optsN(4)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	body := func(th *Thread) { th.For(64, func(i int) {}) }
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
+		t.Errorf("never-traced Parallel: %.1f allocs/op, want 0", allocs)
+	}
+
+	// A past tracing session must leave no residue on the hot path.
+	if err := rt.StartTrace(0); err != nil {
+		t.Fatalf("StartTrace: %v", err)
+	}
+	rt.Parallel(body)
+	if d := rt.StopTrace(); len(d.Events) == 0 {
+		t.Error("traced region produced no events")
+	}
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
+		t.Errorf("post-StopTrace Parallel: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTraceEnabledZeroAlloc: emitting into preallocated rings is itself
+// allocation-free, as long as the rings don't wrap (drops are free too, but
+// large rings keep the event stream meaningful).
+func TestTraceEnabledZeroAlloc(t *testing.T) {
+	o := optsN(4)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	body := func(th *Thread) { th.For(64, func(i int) {}) }
+	if err := rt.StartTrace(1 << 12); err != nil {
+		t.Fatalf("StartTrace: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
+		t.Errorf("traced Parallel: %.1f allocs/op, want 0", allocs)
+	}
+	rt.StopTrace()
+}
+
+// TestStatsExactAtQuiescence pins the Stats contract: region-scoped
+// counters are exact once Parallel returns, and after Close every counter
+// is final with Sleeps == Wakeups.
+func TestStatsExactAtQuiescence(t *testing.T) {
+	o := optsN(4)
+	rt, err := New(o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const regions, iters, tasks = 7, 64, 9
+	before := rt.Stats()
+	for r := 0; r < regions; r++ {
+		rt.Parallel(func(th *Thread) {
+			th.For(iters, func(i int) {})
+			if th.ID() == 1 {
+				for k := 0; k < tasks; k++ {
+					th.Task(func(*Thread) {})
+				}
+			}
+		})
+	}
+	got := rt.Stats().Sub(before)
+	// Static schedule, 4 threads, 64 iters: every thread gets one chunk.
+	if got.Regions != regions {
+		t.Errorf("Regions = %d, want %d", got.Regions, regions)
+	}
+	if got.Chunks != regions*4 {
+		t.Errorf("Chunks = %d, want %d", got.Chunks, regions*4)
+	}
+	if got.TasksRun != regions*tasks {
+		t.Errorf("TasksRun = %d, want %d", got.TasksRun, regions*tasks)
+	}
+
+	rt.Close()
+	final := rt.Stats()
+	if final.Sleeps != final.Wakeups {
+		t.Errorf("after Close: Sleeps %d != Wakeups %d", final.Sleeps, final.Wakeups)
+	}
+	if again := rt.Stats(); again != final {
+		t.Errorf("Stats changed after Close: %+v then %+v", final, again)
+	}
+}
