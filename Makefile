@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench smoke trace-smoke verify
+.PHONY: build test vet race bench bench-json smoke trace-smoke monitor-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,11 @@ vet:
 
 # race exercises the concurrency-sensitive packages — the hot-team region
 # dispatch, the lock-free construct ring, the wait-policy barrier and lock
-# park/wake paths, the per-thread trace rings, and the parallel sweep
-# worker pool — under the race detector. Keep this green before touching
-# openmp or internal/core.
+# park/wake paths, the per-thread trace rings, the metrics registry, and the
+# parallel sweep worker pool — under the race detector. Keep this green
+# before touching openmp, internal/obs or internal/core.
 race:
-	$(GO) vet ./... && $(GO) test -race -count=1 ./openmp/... ./internal/core
+	$(GO) vet ./... && $(GO) test -race -count=1 ./openmp/... ./internal/core ./internal/obs
 
 # bench runs the runtime overhead microbenchmarks with settings pinned for
 # benchstat: save a baseline with `make bench > before.txt`, make changes,
@@ -27,6 +27,13 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=300ms -count=5 -benchmem
+
+# bench-json runs a single-count pass of the same suite and converts the
+# text output to BENCH_openmp.json via cmd/benchjson — a machine-readable
+# artifact for CI trend tracking (see `go doc ./cmd/benchjson`).
+bench-json:
+	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=100ms -count=1 -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_openmp.json
 
 # smoke runs a real-execution micro-campaign through the measured backend:
 # one app per suite (NPB/BOTS/proxy) on one arch, a tiny slice of the space,
@@ -72,4 +79,54 @@ trace-smoke: build
 		$(TRACE_DIR)/summary.txt
 	rm -rf $(TRACE_DIR)
 
-verify: race test smoke trace-smoke
+# monitor-smoke proves the live monitor end to end on a real measured
+# micro-campaign: ompsweep runs with -serve on an ephemeral port, the bound
+# address is scraped from its stderr line, and while the server lingers the
+# target polls /api/status to "done", then asserts /healthz, a well-formed
+# Prometheus exposition with nonzero campaign gauges and runtime-latency
+# histogram counts, and a status payload carrying the heatmap cells and
+# latency tiles. The final TERM cuts the linger short (graceful shutdown
+# path), and the campaign must still exit 0 with a non-empty CSV.
+MONITOR_DIR := $(or $(TMPDIR),/tmp)/omptune-monitor-smoke
+monitor-smoke: build
+	rm -rf $(MONITOR_DIR) && mkdir -p $(MONITOR_DIR)
+	$(GO) build -o $(MONITOR_DIR)/ompsweep ./cmd/ompsweep
+	set -e; \
+	$(MONITOR_DIR)/ompsweep -backend measured -arch a64fx -apps Nqueens \
+		-frac 0.002 -measure-reps 2 -serve 127.0.0.1:0 -serve-linger 60s \
+		-o $(MONITOR_DIR)/smoke.csv 2> $(MONITOR_DIR)/stderr.txt & \
+	pid=$$!; \
+	addr=; for i in $$(seq 1 300); do \
+		addr=$$(sed -n 's#^ompsweep: monitor: serving on http://##p' $(MONITOR_DIR)/stderr.txt); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "monitor-smoke: no serving line"; cat $(MONITOR_DIR)/stderr.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -sf "http://$$addr/api/status" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p'); \
+		[ "$$state" = done ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = done ] || { echo "monitor-smoke: state=$$state, want done"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/healthz" | grep -qx ok; \
+	curl -sf "http://$$addr/metrics" > $(MONITOR_DIR)/metrics.txt; \
+	curl -sf "http://$$addr/api/status" > $(MONITOR_DIR)/status.json; \
+	kill $$pid; wait $$pid
+	grep -q '"state":"done"' $(MONITOR_DIR)/status.json
+	grep -q '"name":"region fork-join"' $(MONITOR_DIR)/status.json
+	grep -q '"arch":"a64fx"' $(MONITOR_DIR)/status.json
+	awk '/^#/ { next } \
+		!/^[A-Za-z_][A-Za-z0-9_]*(\{[^}]*\})? [-+0-9.eE]+$$/ { print "monitor-smoke: malformed exposition line: " $$0; exit 1 } \
+		/^omptune_sweep_settings_planned / { planned = $$2 } \
+		/^omptune_sweep_samples_done_total/ { samples += $$NF } \
+		/^omptune_runtime_region_seconds_count/ { regions = $$NF } \
+		/^omptune_sweep_setting_eval_seconds_count/ { evals += $$NF } \
+		END { \
+			if (planned + 0 <= 0) { print "monitor-smoke: settings_planned gauge is zero"; exit 1 } \
+			if (samples + 0 <= 0) { print "monitor-smoke: samples_done counter is zero"; exit 1 } \
+			if (regions + 0 <= 0) { print "monitor-smoke: region histogram empty"; exit 1 } \
+			if (evals + 0 <= 0) { print "monitor-smoke: eval histogram empty"; exit 1 } \
+			print "monitor-smoke: " planned " settings planned, " samples " samples, " regions " regions timed OK" }' \
+		$(MONITOR_DIR)/metrics.txt
+	awk -F, 'END { if (NR < 2) { print "monitor-smoke: empty campaign CSV"; exit 1 } }' $(MONITOR_DIR)/smoke.csv
+	rm -rf $(MONITOR_DIR)
+
+verify: race test smoke trace-smoke monitor-smoke

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: omptune/openmp
+cpu: AMD EPYC 7B13
+BenchmarkObserve-8   	75630135	        15.84 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelDispatch   	  123456	      9876.5 ns/op
+BenchmarkThroughput-4   	    1000	   1000000 ns/op	 512.00 MB/s
+some stray log line
+PASS
+ok  	omptune/openmp	2.345s
+`
+	doc, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.Pkg != "omptune/openmp" || doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkObserve" || b.Procs != 8 || b.Iterations != 75630135 || b.NsPerOp != 15.84 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("benchmark 0 must keep explicit zero B/op and allocs/op: %+v", b)
+	}
+
+	if b := doc.Benchmarks[1]; b.Name != "BenchmarkParallelDispatch" || b.Procs != 0 ||
+		b.NsPerOp != 9876.5 || b.BytesPerOp != nil {
+		t.Errorf("benchmark 1 = %+v", b)
+	}
+
+	if b := doc.Benchmarks[2]; b.MBPerSec == nil || *b.MBPerSec != 512 {
+		t.Errorf("benchmark 2 = %+v", b)
+	}
+}
+
+func TestParseBenchRejects(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                    // no fields
+		"BenchmarkBroken notanumber ns/op",   // bad iteration count
+		"BenchmarkBroken 100 fast ns/op",     // bad value
+		"BenchmarkNoUnit-8 100 12.5 widgets", // no ns/op pair
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("parseBench(%q) accepted", line)
+		}
+	}
+}

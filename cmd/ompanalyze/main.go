@@ -8,6 +8,15 @@
 //	           [-wilcoxon APP,SETTING] [-heatmap app|arch|apparch]
 //	           [-recommend APP] [-tune APP@ARCH] [-backend model|measured]
 //	           [-calibrate ARCH]
+//	ompanalyze -compare old.csv new.csv
+//
+// -compare is the variability-aware regression gate: it pairs the two
+// datasets per configuration, drops pairs whose repetition CoV exceeds
+// -compare-cov (too noisy to compare), and tests each arch/app group with
+// the Wilcoxon signed-rank test on the paired mean runtimes. Groups that are
+// both statistically significant and slower by more than the practical
+// floor are flagged, and the command exits nonzero — suitable as a CI gate
+// between a stored baseline sweep and a fresh one.
 //
 // -backend selects the measurement backend for the evaluation-driven
 // analyses (-tune, -random, -numa): model (the deterministic analytic
@@ -52,6 +61,10 @@ func main() {
 		calCfgs   = flag.Int("calibrate-configs", 12, "configurations per app for -calibrate")
 		mreps     = flag.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
 		mwarmup   = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
+		compareTo = flag.String("compare", "", "OLD.csv: regression-gate against NEW.csv given as the positional argument; exits 1 on significant slowdowns")
+		cmpAlpha  = flag.Float64("compare-alpha", 0, "-compare significance level (0 = 0.05)")
+		cmpCoV    = flag.Float64("compare-cov", 0, "-compare noise gate: exclude pairs whose repetition CoV exceeds this (0 = 0.10)")
+		cmpShift  = flag.Float64("compare-shift", 0, "-compare practical floor: flag only shifts beyond this fraction (0 = 0.02)")
 	)
 	flag.Parse()
 
@@ -248,6 +261,23 @@ func main() {
 		}
 		fmt.Print(rep.String())
 	}
+	if *compareTo != "" {
+		ran = true
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-compare %s needs the new dataset CSV as the positional argument", *compareTo))
+		}
+		rep, err := omptune.CompareSweeps(readCSV(*compareTo), readCSV(flag.Arg(0)), omptune.CompareOptions{
+			Alpha: *cmpAlpha, CoVThreshold: *cmpCoV, MinShift: *cmpShift,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== regression gate: %s vs %s ==\n", *compareTo, flag.Arg(0))
+		fmt.Print(rep.String())
+		if rep.Regressions() > 0 {
+			os.Exit(1)
+		}
+	}
 	if *drill != "" {
 		ran = true
 		app, m := appArch(*drill)
@@ -261,6 +291,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// readCSV loads one dataset CSV or dies.
+func readCSV(path string) *omptune.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ds, err := omptune.ReadDatasetCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+	return ds
 }
 
 // appArch parses an "APP@ARCH" selector.

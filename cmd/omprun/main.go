@@ -18,7 +18,8 @@
 // measured in ompsweep): -warmup untimed runs, then -reps timed repetitions
 // on the same runtime, so the hot team is reused across repetitions exactly
 // like a §IV-C campaign measurement. -json emits the series as one JSON
-// object for scripting.
+// object for scripting, including p50/p90/p99 per-rep duration percentiles
+// from the monitor's log-linear latency histogram.
 //
 // -trace enables the runtime's OMPT-style event tracing for the timed
 // repetitions and writes a Chrome trace-event JSON file loadable at
@@ -39,23 +40,30 @@ import (
 
 	"omptune"
 	"omptune/internal/measure"
+	"omptune/internal/obs"
 	"omptune/openmp"
 	"omptune/openmp/trace"
 )
 
 // runReport is the -json output shape.
 type runReport struct {
-	App         string         `json:"app"`
-	Scale       float64        `json:"scale"`
-	Runtime     string         `json:"runtime"`
-	Warmup      int            `json:"warmup"`
-	Reps        int            `json:"reps"`
-	RuntimesSec []float64      `json:"runtimes_sec"`
-	MeanSec     float64        `json:"mean_sec"`
-	MinSec      float64        `json:"min_sec"`
-	Checksum    float64        `json:"checksum"`
-	Stats       openmp.Stats   `json:"stats"`
-	RepStats    []openmp.Stats `json:"rep_stats,omitempty"`
+	App         string    `json:"app"`
+	Scale       float64   `json:"scale"`
+	Runtime     string    `json:"runtime"`
+	Warmup      int       `json:"warmup"`
+	Reps        int       `json:"reps"`
+	RuntimesSec []float64 `json:"runtimes_sec"`
+	MeanSec     float64   `json:"mean_sec"`
+	MinSec      float64   `json:"min_sec"`
+	// Per-rep duration percentiles from the monitor's log-linear histogram
+	// (≤ ~6.25% relative error) — stable summary numbers for scripted
+	// comparisons across runs with many repetitions.
+	P50Sec   float64        `json:"p50_sec"`
+	P90Sec   float64        `json:"p90_sec"`
+	P99Sec   float64        `json:"p99_sec"`
+	Checksum float64        `json:"checksum"`
+	Stats    openmp.Stats   `json:"stats"`
+	RepStats []openmp.Stats `json:"rep_stats,omitempty"`
 }
 
 func main() {
@@ -140,19 +148,25 @@ func main() {
 	}
 
 	mean, min := 0.0, series.Runtimes[0]
+	hist := obs.NewHistogram()
 	for _, t := range series.Runtimes {
 		mean += t
 		if t < min {
 			min = t
 		}
+		hist.Observe(time.Duration(t * float64(time.Second)))
 	}
 	mean /= float64(len(series.Runtimes))
+	snap := hist.Snapshot()
 
 	if *jsonOut {
 		rep := runReport{
 			App: app.Name, Scale: *scale, Runtime: rt.String(),
 			Warmup: series.Warmup, Reps: len(series.Runtimes),
 			RuntimesSec: series.Runtimes, MeanSec: mean, MinSec: min,
+			P50Sec:   snap.Quantile(0.50).Seconds(),
+			P90Sec:   snap.Quantile(0.90).Seconds(),
+			P99Sec:   snap.Quantile(0.99).Seconds(),
 			Checksum: series.Checksum, Stats: series.Stats,
 			RepStats: series.RepStats,
 		}
@@ -174,6 +188,10 @@ func main() {
 		}
 		fmt.Printf("mean       %s (min %s over %d reps, %d warmup)\n",
 			secondsDuration(mean), secondsDuration(min), len(series.Runtimes), series.Warmup)
+		fmt.Printf("p50/p90/p99  %s / %s / %s\n",
+			snap.Quantile(0.50).Round(time.Microsecond),
+			snap.Quantile(0.90).Round(time.Microsecond),
+			snap.Quantile(0.99).Round(time.Microsecond))
 	}
 	fmt.Printf("regions    %d\n", st.Regions)
 	fmt.Printf("chunks     %d\n", st.Chunks)

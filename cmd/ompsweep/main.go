@@ -8,6 +8,7 @@
 //	         [-backend model|measured] [-measure-reps n] [-measure-warmup n]
 //	         [-workers 8] [-checkpoint dir] [-o dataset.csv] [-progress]
 //	         [-telemetry run.jsonl] [-heartbeat 30s]
+//	         [-serve :8080] [-serve-linger 30s]
 //
 // Without flags it reproduces the full Table II dataset (~244k samples) on
 // stdout. Settings are evaluated on a bounded worker pool (-workers, default
@@ -28,6 +29,16 @@
 // completion, heartbeats with workers-busy and per-arch completion gauges,
 // terminal done/error record) — followable with tail -f and jq while the
 // sweep runs. -heartbeat sets the heartbeat period (default 30s).
+//
+// -serve starts the embedded live monitor on the given address while the
+// campaign runs: / is a self-contained HTML dashboard (completion heatmap,
+// throughput sparkline, latency percentiles), /metrics is a Prometheus
+// scrape endpoint, /api/status returns JSON campaign progress, /healthz
+// answers ok. The bound address is printed to stderr (use :0 for an
+// ephemeral port). With the measured backend the runtime's fork-join,
+// barrier-wait and task-run latency histograms are included. -serve-linger
+// keeps the monitor up after the campaign ends so the final state can still
+// be scraped; Ctrl-C cuts the linger short.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"omptune"
 )
@@ -61,11 +73,20 @@ func main() {
 		mwarmup    = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
 		telemetry  = flag.String("telemetry", "", "append a JSONL telemetry stream (plan/setting_done/heartbeat/done) to this file")
 		heartbeat  = flag.Duration("heartbeat", 0, "telemetry heartbeat period (0 = 30s)")
+		serve      = flag.String("serve", "", "serve the live monitor (/, /metrics, /api/status, /healthz) on this address, e.g. :8080 or 127.0.0.1:0")
+		linger     = flag.Duration("serve-linger", 0, "keep the monitor serving this long after the campaign ends (0 = shut down immediately)")
 	)
 	flag.Parse()
 
 	if *frac < 0 || *frac > 1 {
 		fatal(fmt.Errorf("-frac %v outside [0, 1]", *frac))
+	}
+
+	// The monitor exists before the backend so the measured evaluator can be
+	// built with the monitor's runtime-latency sinks attached.
+	var mon *omptune.SweepMonitor
+	if *serve != "" {
+		mon = omptune.NewSweepMonitor()
 	}
 
 	opt := omptune.CollectOptions{
@@ -79,9 +100,11 @@ func main() {
 	case "model":
 		// nil Backend: the deterministic default.
 	case "measured":
-		opt.Backend = omptune.NewMeasuredEvaluator(omptune.MeasureOptions{
-			Warmup: *mwarmup, TimedReps: *mreps,
-		})
+		mo := omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps}
+		if mon != nil {
+			mo.Metrics = mon.RuntimeMetrics()
+		}
+		opt.Backend = omptune.NewMeasuredEvaluator(mo)
 	default:
 		fatal(fmt.Errorf("-backend %q: want model or measured", *backend))
 	}
@@ -146,7 +169,34 @@ func main() {
 	defer stop()
 	opt.Context = ctx
 
+	var srv *omptune.MonitorServer
+	if mon != nil {
+		opt.Monitor = mon
+		srv = omptune.NewMonitorServer(mon)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		// The address line goes to stderr so scripts (make monitor-smoke) can
+		// scrape the bound port even with -serve :0.
+		fmt.Fprintf(os.Stderr, "ompsweep: monitor: serving on http://%s\n", addr)
+	}
+
 	ds, err := omptune.Collect(opt)
+	if srv != nil {
+		// Keep the monitor up for -serve-linger after the campaign ends (the
+		// dashboard shows the terminal state), then stop accepting scrapes.
+		// Ctrl-C cuts the linger short.
+		if *linger > 0 {
+			select {
+			case <-time.After(*linger):
+			case <-ctx.Done():
+			}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(sctx)
+		cancel()
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
 			fmt.Fprintln(os.Stderr, "ompsweep: interrupted; rerun with the same flags to resume from", *checkpoint)

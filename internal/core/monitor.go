@@ -1,0 +1,257 @@
+package core
+
+// Monitor is the live-observability sink of a sweep campaign: it owns an
+// obs.Registry holding the campaign gauges (workers busy, throughput,
+// per-arch completion), per-arch setting-evaluation latency histograms, and
+// the openmp runtime's fork-join / barrier-wait / task-run histograms, and
+// it assembles the /api/status payload the embedded dashboard polls. It is
+// the Prometheus-facing sibling of the JSONL telemetry sink: telemetry
+// writes history to a file, the monitor answers "now" over HTTP.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omptune/internal/obs"
+	"omptune/openmp"
+)
+
+// Monitor aggregates live campaign state. Create one with NewMonitor, put
+// it in SweepConfig.Monitor, and serve its Registry/Status with obs.Server.
+// A Monitor observes one campaign at a time; all methods are safe for
+// concurrent use by sweep workers and HTTP scrape handlers.
+type Monitor struct {
+	reg *obs.Registry
+
+	// Campaign gauges. workersBusy is atomic because workers bump it on the
+	// batch hot path, outside the mutex.
+	workersBusy atomic.Int64
+
+	mu            sync.Mutex
+	state         string // waiting | running | done | error
+	backend       string
+	workers       int
+	start         time.Time
+	planned       bool
+	settingsDone  int
+	settingsTotal int
+	samplesDone   int
+	samplesTotal  int
+	evaluated     int // rows evaluated this run (resumed batches excluded)
+	lastRate      float64
+	lastETA       float64
+	errMsg        string
+	cells         map[string]*obs.Cell
+	cellOrder     []string
+
+	// Registered instruments.
+	gSettingsPlanned *obs.Gauge
+	gSamplesPlanned  *obs.Gauge
+	gWorkers         *obs.Gauge
+
+	// Runtime latency histograms, fed through the openmp metrics seam.
+	hRegion  *obs.Histogram
+	hBarrier *obs.Histogram
+	hTask    *obs.Histogram
+	rtm      openmp.Metrics
+}
+
+// NewMonitor builds a monitor with its registry and runtime histograms
+// pre-registered, so /metrics exposes the full schema (at zero) before the
+// campaign starts.
+func NewMonitor() *Monitor {
+	m := &Monitor{
+		reg:   obs.NewRegistry(),
+		state: "waiting",
+		cells: make(map[string]*obs.Cell),
+	}
+	m.gSettingsPlanned = m.reg.Gauge("omptune_sweep_settings_planned",
+		"setting batches in the campaign plan")
+	m.gSamplesPlanned = m.reg.Gauge("omptune_sweep_samples_planned",
+		"dataset rows the campaign plan will produce")
+	m.gWorkers = m.reg.Gauge("omptune_sweep_workers",
+		"concurrent sweep workers")
+	m.reg.GaugeFunc("omptune_sweep_workers_busy",
+		"workers evaluating a setting batch right now",
+		func() float64 { return float64(m.workersBusy.Load()) })
+	m.reg.GaugeFunc("omptune_sweep_samples_per_second",
+		"evaluation throughput at the last completed batch",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return m.lastRate })
+	m.reg.GaugeFunc("omptune_sweep_eta_seconds",
+		"projected remaining campaign time at the current rate",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return m.lastETA })
+	m.reg.GaugeFunc("omptune_sweep_elapsed_seconds",
+		"wall-clock time since the campaign plan was recorded",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return m.elapsedLocked() })
+	m.hRegion = m.reg.Histogram("omptune_runtime_region_seconds",
+		"parallel-region fork-to-join latency (openmp runtime)")
+	m.hBarrier = m.reg.Histogram("omptune_runtime_barrier_wait_seconds",
+		"per-thread barrier wait latency (openmp runtime)")
+	m.hTask = m.reg.Histogram("omptune_runtime_task_run_seconds",
+		"explicit-task body execution latency (openmp runtime)")
+	m.rtm = openmp.Metrics{Region: m.hRegion, BarrierWait: m.hBarrier, TaskRun: m.hTask}
+	return m
+}
+
+// Registry exposes the monitor's metrics registry (for obs.Server or a
+// custom scrape endpoint).
+func (m *Monitor) Registry() *obs.Registry { return m.reg }
+
+// RuntimeMetrics returns the openmp metrics sinks backed by this monitor's
+// runtime histograms. Attach it with Runtime.SetMetrics — the measured
+// sweep backend does this for every runtime it builds when
+// measure.Options.Metrics carries this value.
+func (m *Monitor) RuntimeMetrics() *openmp.Metrics { return &m.rtm }
+
+func (m *Monitor) elapsedLocked() float64 {
+	if !m.planned {
+		return 0
+	}
+	return time.Since(m.start).Seconds()
+}
+
+// plan records the campaign shape: totals, per-cell grid, worker count.
+func (m *Monitor) plan(units []*sweepUnit, backend string, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = "running"
+	m.backend = backend
+	m.workers = workers
+	m.start = time.Now()
+	m.planned = true
+	m.settingsTotal = len(units)
+	for _, u := range units {
+		m.samplesTotal += u.cfgCount
+		key := string(u.arch) + "\x00" + u.app.Name
+		c := m.cells[key]
+		if c == nil {
+			c = &obs.Cell{Arch: string(u.arch), App: u.app.Name}
+			m.cells[key] = c
+			m.cellOrder = append(m.cellOrder, key)
+		}
+		c.SettingsTotal++
+		c.SamplesTotal += u.cfgCount
+	}
+	m.gSettingsPlanned.Set(float64(m.settingsTotal))
+	m.gSamplesPlanned.Set(float64(m.samplesTotal))
+	m.gWorkers.Set(float64(workers))
+	// Per-arch counters registered up front so the scrape schema is stable
+	// from the first poll.
+	archs := map[string]bool{}
+	for _, u := range units {
+		archs[string(u.arch)] = true
+	}
+	for a := range archs {
+		m.reg.Counter("omptune_sweep_settings_done_total",
+			"completed setting batches", "arch", a)
+		m.reg.Counter("omptune_sweep_samples_done_total",
+			"dataset rows produced", "arch", a)
+		m.reg.Histogram("omptune_sweep_setting_eval_seconds",
+			"wall-clock latency of one setting-batch evaluation", "arch", a)
+	}
+}
+
+// unitStart brackets the beginning of one batch evaluation.
+func (m *Monitor) unitStart() { m.workersBusy.Add(1) }
+
+// unitEnd closes the bracket and records the batch's evaluation latency in
+// the per-arch histogram.
+func (m *Monitor) unitEnd(arch string, d time.Duration) {
+	m.workersBusy.Add(-1)
+	m.reg.Histogram("omptune_sweep_setting_eval_seconds",
+		"wall-clock latency of one setting-batch evaluation", "arch", arch).Observe(d)
+}
+
+// unitDone folds one completed batch (evaluated or resumed) into the
+// campaign gauges.
+func (m *Monitor) unitDone(u *sweepUnit, ev ProgressEvent) {
+	arch := string(u.arch)
+	m.reg.Counter("omptune_sweep_settings_done_total",
+		"completed setting batches", "arch", arch).Inc()
+	m.reg.Counter("omptune_sweep_samples_done_total",
+		"dataset rows produced", "arch", arch).Add(uint64(ev.SettingSamples))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.settingsDone++
+	m.samplesDone += ev.SettingSamples
+	if !ev.Resumed {
+		m.evaluated += ev.SettingSamples
+	}
+	if ev.SamplesPerSec > 0 {
+		m.lastRate = ev.SamplesPerSec
+	}
+	m.lastETA = ev.ETA.Seconds()
+	if c := m.cells[arch+"\x00"+u.app.Name]; c != nil {
+		c.SettingsDone++
+		c.SamplesDone += ev.SettingSamples
+	}
+}
+
+// finish marks the campaign's terminal state.
+func (m *Monitor) finish(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.state = "error"
+		m.errMsg = err.Error()
+		return
+	}
+	m.state = "done"
+	m.lastETA = 0
+}
+
+// Status snapshots the campaign for /api/status. Cells come out in plan
+// order (arch then app); latencies cover the eval histograms per arch plus
+// the three runtime histograms, omitting empty ones.
+func (m *Monitor) Status() obs.Status {
+	m.mu.Lock()
+	st := obs.Status{
+		State:         m.state,
+		Backend:       m.backend,
+		Workers:       m.workers,
+		WorkersBusy:   m.workersBusy.Load(),
+		ElapsedSec:    m.elapsedLocked(),
+		SettingsDone:  m.settingsDone,
+		SettingsTotal: m.settingsTotal,
+		SamplesDone:   m.samplesDone,
+		SamplesTotal:  m.samplesTotal,
+		SamplesPerSec: m.lastRate,
+		ETASec:        m.lastETA,
+		Error:         m.errMsg,
+	}
+	archs := map[string]bool{}
+	for _, key := range m.cellOrder {
+		c := m.cells[key]
+		st.Cells = append(st.Cells, *c)
+		archs[c.Arch] = true
+	}
+	m.mu.Unlock()
+
+	archList := make([]string, 0, len(archs))
+	for a := range archs {
+		archList = append(archList, a)
+	}
+	sort.Strings(archList)
+	for _, a := range archList {
+		h := m.reg.Histogram("omptune_sweep_setting_eval_seconds",
+			"wall-clock latency of one setting-batch evaluation", "arch", a)
+		if h.Count() > 0 {
+			st.Latencies = append(st.Latencies, obs.LatencyOf("eval "+a, h.Snapshot()))
+		}
+	}
+	for _, rh := range []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"region fork-join", m.hRegion},
+		{"barrier wait", m.hBarrier},
+		{"task run", m.hTask},
+	} {
+		if rh.h.Count() > 0 {
+			st.Latencies = append(st.Latencies, obs.LatencyOf(rh.name, rh.h.Snapshot()))
+		}
+	}
+	return st
+}

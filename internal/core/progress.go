@@ -42,6 +42,7 @@ type reporter struct {
 	w            io.Writer
 	fn           func(ProgressEvent)
 	tel          *telemetry // optional JSONL telemetry sink
+	mon          *Monitor   // optional live HTTP monitor
 	start        time.Time
 	done         int
 	total        int
@@ -59,7 +60,7 @@ func newReporter(sc SweepConfig, totalUnits, totalSamples int) *reporter {
 
 // unitDone records one finished batch and emits the progress event.
 func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
-	if r.w == nil && r.fn == nil && r.tel == nil {
+	if r.w == nil && r.fn == nil && r.tel == nil && r.mon == nil {
 		return
 	}
 	r.mu.Lock()
@@ -85,6 +86,9 @@ func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
 	}
 	if r.tel != nil {
 		r.tel.settingDone(u, ev)
+	}
+	if r.mon != nil {
+		r.mon.unitDone(u, ev)
 	}
 	if r.fn != nil {
 		r.fn(ev)

@@ -71,6 +71,10 @@ type SweepConfig struct {
 	// TelemetryInterval is the heartbeat period; <= 0 means 30s. A first
 	// heartbeat is always emitted immediately after the plan record.
 	TelemetryInterval time.Duration
+	// Monitor, when non-nil, receives live campaign gauges and latency
+	// histograms for the embedded HTTP monitor (Prometheus /metrics and the
+	// dashboard's /api/status). One Monitor observes one campaign.
+	Monitor *Monitor
 }
 
 // DefaultFractions yields, with the sampling rule of keepConfig, dataset
@@ -250,6 +254,12 @@ func RunSweep(sc SweepConfig) (ds *dataset.Dataset, err error) {
 		ctx = context.Background()
 	}
 	ev := orModel(sc.Evaluator)
+	if sc.Monitor != nil {
+		// Registered before planning so even a plan-time failure (unknown
+		// app, bad shard spec) reaches the dashboard as a terminal error
+		// state. The deferred finish reads the named error result.
+		defer func() { sc.Monitor.finish(err) }()
+	}
 	units, err := planUnits(sc)
 	if err != nil {
 		return nil, err
@@ -269,23 +279,28 @@ func RunSweep(sc SweepConfig) (ds *dataset.Dataset, err error) {
 		totalSamples += u.cfgCount
 	}
 
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
 	var tel *telemetry
 	if sc.TelemetryLog != "" {
 		tel, err = newTelemetry(sc.TelemetryLog, sc.TelemetryInterval)
 		if err != nil {
 			return nil, err
 		}
-		workers := sc.Workers
-		if workers <= 0 {
-			workers = runtime.NumCPU()
-		}
 		tel.plan(units, ev.Name(), workers)
 		// The terminal record reflects how the sweep actually ended, so the
 		// deferred finish reads the named error result.
 		defer func() { tel.finish(err) }()
 	}
+	if sc.Monitor != nil {
+		sc.Monitor.plan(units, ev.Name(), workers)
+	}
 	rep := newReporter(sc, len(units), totalSamples)
 	rep.tel = tel
+	rep.mon = sc.Monitor
 
 	results := make([][]*dataset.Sample, len(units))
 	var pending []*sweepUnit
@@ -357,7 +372,14 @@ func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*swee
 				if rep.tel != nil {
 					rep.tel.unitStart()
 				}
+				if rep.mon != nil {
+					rep.mon.unitStart()
+				}
+				evalStart := time.Now()
 				samples, err := evalUnit(u, ev)
+				if rep.mon != nil {
+					rep.mon.unitEnd(string(u.arch), time.Since(evalStart))
+				}
 				if rep.tel != nil {
 					rep.tel.unitEnd()
 				}

@@ -72,6 +72,13 @@ type telemetry struct {
 	enc   *json.Encoder
 	start time.Time
 
+	// werr is the first write error; once set, no further records are
+	// written (a full disk would otherwise fail every record of a long
+	// campaign, once per batch). errw receives the single operator-facing
+	// diagnostic (os.Stderr in production, a buffer in tests).
+	werr error
+	errw io.Writer
+
 	workersBusy atomic.Int64
 
 	// campaign gauges, guarded by mu
@@ -99,6 +106,7 @@ func newTelemetry(path string, interval time.Duration) (*telemetry, error) {
 	}
 	t := &telemetry{
 		w: f, enc: json.NewEncoder(f), start: time.Now(),
+		errw:    os.Stderr,
 		perArch: make(map[string]*archProgress),
 		stop:    make(chan struct{}),
 	}
@@ -217,9 +225,30 @@ func (t *telemetry) finish(err error) {
 }
 
 // emitLocked stamps and writes one record. Caller holds mu.
+//
+// Write errors (disk full, closed file) must not kill a campaign —
+// telemetry is best-effort by design — but they must not be silent either:
+// the first failure is surfaced once on errw, a terminal error record is
+// attempted so a consumer tailing the file sees the stream died (it lands
+// whenever the failure was transient or partial), and the stream is then
+// disabled so a long campaign doesn't pay one failing write per batch.
 func (t *telemetry) emitLocked(rec telemetryRecord) {
+	if t.werr != nil {
+		return
+	}
 	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
-	// Encoding errors (disk full, closed file) must not kill a campaign;
-	// telemetry is best-effort by design.
-	_ = t.enc.Encode(rec)
+	err := t.enc.Encode(rec)
+	if err == nil {
+		return
+	}
+	t.werr = err
+	if t.errw != nil {
+		fmt.Fprintf(t.errw, "omptune: telemetry: write failed, disabling stream: %v\n", err)
+	}
+	_ = t.enc.Encode(telemetryRecord{
+		Type:       "error",
+		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		Error:      fmt.Sprintf("telemetry stream disabled after write error: %v", err),
+		ElapsedSec: time.Since(t.start).Seconds(),
+	})
 }

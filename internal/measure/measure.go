@@ -93,6 +93,11 @@ type Options struct {
 	// sim.Reps, the sweep's repetition slots cycle over the timed runs —
 	// useful for smoke campaigns where two reps suffice.
 	TimedReps int
+	// Metrics, when non-nil, is attached (Runtime.SetMetrics) to every
+	// runtime the evaluator builds, feeding region / barrier-wait / task-run
+	// latency histograms to a live monitor. The sinks must be safe for
+	// concurrent use — one Metrics value is shared by every measured series.
+	Metrics *openmp.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -194,5 +199,8 @@ func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, 
 		return Series{}, err
 	}
 	defer rt.Close()
+	if e.opt.Metrics != nil {
+		rt.SetMetrics(e.opt.Metrics)
+	}
 	return Run(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps), nil
 }

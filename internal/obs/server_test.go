@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, reg *Registry, status func() any) string {
+	t.Helper()
+	srv := NewServer(reg, status)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return "http://" + addr.String()
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("omptune_srv_total", "served").Add(7)
+	st := Status{State: "running", Workers: 2, SamplesDone: 3, SamplesTotal: 10}
+	base := startTestServer(t, reg, func() any { return st })
+
+	code, body, _ := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !containsLine(body, "omptune_srv_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get(t, base+"/api/status")
+	if code != http.StatusOK {
+		t.Errorf("/api/status status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/api/status content type = %q", ct)
+	}
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/api/status not JSON: %v\n%s", err, body)
+	}
+	if got.State != "running" || got.SamplesDone != 3 || got.SamplesTotal != 10 {
+		t.Errorf("/api/status = %+v, want %+v", got, st)
+	}
+
+	code, body, hdr = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "<html") {
+		t.Errorf("dashboard: status %d, body prefix %.60q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard content type = %q", ct)
+	}
+	// Self-contained: no external scripts, styles or fonts.
+	for _, needle := range []string{"src=\"http", "href=\"http", "url(http"} {
+		if strings.Contains(body, needle) {
+			t.Errorf("dashboard references an external asset (%s)", needle)
+		}
+	}
+
+	code, _, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestServerShutdown(t *testing.T) {
+	srv := NewServer(NewRegistry(), func() any { return Status{State: "done"} })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/healthz"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+}

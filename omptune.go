@@ -29,6 +29,7 @@ import (
 	"omptune/internal/env"
 	"omptune/internal/measure"
 	"omptune/internal/ml"
+	"omptune/internal/obs"
 	"omptune/internal/report"
 	"omptune/internal/sim"
 	"omptune/internal/stats"
@@ -226,6 +227,11 @@ type CollectOptions struct {
 	// TelemetryInterval is the heartbeat period of the telemetry stream;
 	// zero means 30 seconds.
 	TelemetryInterval time.Duration
+	// Monitor, when non-nil, receives live campaign gauges and latency
+	// histograms; serve it over HTTP with NewMonitorServer. Pair it with a
+	// measured Backend whose MeasureOptions.Metrics is Monitor.RuntimeMetrics()
+	// to include the openmp runtime's fork-join / barrier / task histograms.
+	Monitor *SweepMonitor
 }
 
 // ProgressEvent is the structured per-setting progress update of a sweep.
@@ -247,7 +253,50 @@ func Collect(opt CollectOptions) (*Dataset, error) {
 		Evaluator:         opt.Backend,
 		TelemetryLog:      opt.TelemetryLog,
 		TelemetryInterval: opt.TelemetryInterval,
+		Monitor:           opt.Monitor,
 	})
+}
+
+// ---- Live monitoring ----------------------------------------------------
+
+// SweepMonitor aggregates live campaign state: a metrics registry with
+// atomic gauges, counters and latency histograms, plus the structured
+// status payload behind the dashboard. Create one with NewSweepMonitor, set
+// it in CollectOptions.Monitor, and serve it with NewMonitorServer.
+type SweepMonitor = core.Monitor
+
+// NewSweepMonitor returns a monitor with its metric schema pre-registered.
+func NewSweepMonitor() *SweepMonitor { return core.NewMonitor() }
+
+// MonitorServer is the embedded HTTP monitor: /metrics (Prometheus text
+// exposition), /healthz, /api/status (JSON campaign progress) and / (a
+// self-contained HTML dashboard polling /api/status).
+type MonitorServer = obs.Server
+
+// NewMonitorServer builds the HTTP monitor for mon. Call Start(addr) to
+// bind and serve, Shutdown(ctx) for a graceful stop.
+func NewMonitorServer(mon *SweepMonitor) *MonitorServer {
+	return obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+}
+
+// CompareOptions tunes the sweep-vs-sweep regression gate (significance
+// level, repetition-CoV noise gate and practical-significance floor); the
+// zero value selects the defaults.
+type CompareOptions = core.CompareOptions
+
+// CompareReport is the result of CompareSweeps: one verdict per (arch, app)
+// group plus unpaired-row counts. Its String method renders the table, and
+// Regressions counts groups flagged as significantly slower.
+type CompareReport = core.CompareReport
+
+// CompareSweeps runs the variability-aware regression gate between two
+// datasets of the same campaign: samples are paired per configuration,
+// pairs whose repetition CoV exceeds the noise gate are excluded, and each
+// arch/app group gets a Wilcoxon signed-rank verdict on the paired mean
+// runtimes, flagged as regressed only when the shift also clears the
+// practical-significance floor.
+func CompareSweeps(oldDS, newDS *Dataset, opt CompareOptions) (*CompareReport, error) {
+	return core.CompareDatasets(oldDS, newDS, opt)
 }
 
 // Upshot summarizes the per-architecture tuning potential (§V-Q1).

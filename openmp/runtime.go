@@ -54,6 +54,11 @@ type Runtime struct {
 	// check, so the untraced hot path stays branch-predictable and
 	// allocation-free; see StartTrace.
 	tracer atomic.Pointer[trace.Tracer]
+
+	// metrics is the latency-histogram seam, nil while monitoring is
+	// disabled; same one-load-plus-nil-check discipline as tracer. See
+	// SetMetrics in metrics.go.
+	metrics atomic.Pointer[Metrics]
 }
 
 // Stats is a snapshot of runtime activity counters, useful for verifying
@@ -300,6 +305,15 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 		gen = rt.regionGen.Load() + 1
 		tr.Emit(0, trace.KindRegionFork, gen, int64(tm.n))
 	}
+	// Fork-to-join latency: the clock starts before the generation bump so
+	// the measured span covers the whole dispatch (wakes included), and
+	// stops after the primary passes the join barrier. One pointer load
+	// when monitoring is off.
+	mets := rt.metrics.Load()
+	var forkAt time.Time
+	if mets != nil && mets.Region != nil {
+		forkAt = time.Now()
+	}
 	// Publish the region: the regionGen bump is the release edge workers
 	// acquire tm.body through; parked workers additionally get a wake token.
 	rt.regionGen.Add(1)
@@ -310,6 +324,9 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 	// The end-of-region barrier doubles as the join: every worker has
 	// finished the body (its last tm accesses precede its barrier arrival,
 	// which precedes the primary's barrier pass).
+	if mets != nil && mets.Region != nil {
+		mets.Region.Observe(time.Since(forkAt))
+	}
 	if tr != nil {
 		tr.Emit(0, trace.KindRegionJoin, gen, 0)
 	}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"omptune/openmp/trace"
 )
@@ -160,7 +161,13 @@ func (th *Thread) runOneTask() bool {
 	if tr != nil {
 		tr.Emit(th.id, trace.KindTaskBegin, gen, 0)
 	}
-	t.fn(th)
+	if m := th.team.rt.metrics.Load(); m != nil && m.TaskRun != nil {
+		start := time.Now()
+		t.fn(th)
+		m.TaskRun.Observe(time.Since(start))
+	} else {
+		t.fn(th)
+	}
 	if tr != nil {
 		tr.Emit(th.id, trace.KindTaskEnd, gen, 0)
 	}

@@ -71,13 +71,28 @@ func (tm *Team) run(tid int) {
 		// The end-of-region barrier wait is a span of its own, closed before
 		// the implicit task ends so the B/E pairs nest per thread.
 		tr.Emit(tid, trace.KindBarrierEnter, gen, 0)
-		tm.bar.wait(th.stats)
+		tm.barrierWait(th)
 		tr.Emit(tid, trace.KindBarrierLeave, gen, 0)
 		tr.Emit(tid, trace.KindImplicitEnd, gen, 0)
 		return
 	}
 	tm.body(th)
 	th.drainTasks()
+	tm.barrierWait(th)
+}
+
+// barrierWait passes the team barrier, timing the wait when a BarrierWait
+// metrics sink is attached. All barrier entries (implicit end-of-region and
+// explicit Thread.Barrier) funnel through here so the monitor sees every
+// wait; the disabled path is one atomic load and a nil check on top of the
+// wait itself.
+func (tm *Team) barrierWait(th *Thread) {
+	if m := tm.rt.metrics.Load(); m != nil && m.BarrierWait != nil {
+		start := time.Now()
+		tm.bar.wait(th.stats)
+		m.BarrierWait.Observe(time.Since(start))
+		return
+	}
 	tm.bar.wait(th.stats)
 }
 
@@ -140,11 +155,11 @@ func (th *Thread) Barrier() {
 	if tr := th.team.rt.tracer.Load(); tr != nil {
 		gen := th.team.rt.regionGen.Load()
 		tr.Emit(th.id, trace.KindBarrierEnter, gen, 0)
-		th.team.bar.wait(th.stats)
+		th.team.barrierWait(th)
 		tr.Emit(th.id, trace.KindBarrierLeave, gen, 0)
 		return
 	}
-	th.team.bar.wait(th.stats)
+	th.team.barrierWait(th)
 }
 
 // Master runs fn on the primary thread only. No implied barrier.
