@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json smoke trace-smoke monitor-smoke verify
+.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke monitor-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,28 @@ BENCH ?= .
 bench:
 	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=300ms -count=5 -benchmem
 
-# bench-json runs a single-count pass of the same suite and converts the
-# text output to BENCH_openmp.json via cmd/benchjson — a machine-readable
-# artifact for CI trend tracking (see `go doc ./cmd/benchjson`).
+# bench-json refreshes the committed BENCH_openmp.json baseline: three
+# repetitions of the suite converted to JSON via cmd/benchjson (see
+# `go doc ./cmd/benchjson`). Re-run and commit the result whenever a change
+# legitimately moves the benchmarks; bench-gate compares against it.
 bench-json:
-	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=100ms -count=1 -benchmem \
+	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=100ms -count=3 -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_openmp.json
+
+# bench-gate is the perf-regression gate: it re-runs the suite with the
+# bench-json settings and compares against the committed baseline with
+# `ompanalyze -compare` in bench mode — median ns/op per benchmark within
+# 20%, allocs/op exactly no worse (the owner-path 0 allocs/op pin has no
+# tolerance). Exits nonzero on regression. Timing on shared hardware is too
+# noisy for the default `make verify`; run it when touching the runtime's
+# hot paths (openmp/task.go, construct.go, team.go, runtime.go).
+GATE_DIR := $(or $(TMPDIR),/tmp)/omptune-bench-gate
+bench-gate: build
+	rm -rf $(GATE_DIR) && mkdir -p $(GATE_DIR)
+	$(GO) test ./openmp -run '^$$' -bench '$(BENCH)' -benchtime=100ms -count=3 -benchmem \
+		| $(GO) run ./cmd/benchjson -o $(GATE_DIR)/current.json
+	$(GO) run ./cmd/ompanalyze -compare BENCH_openmp.json $(GATE_DIR)/current.json
+	rm -rf $(GATE_DIR)
 
 # smoke runs a real-execution micro-campaign through the measured backend:
 # one app per suite (NPB/BOTS/proxy) on one arch, a tiny slice of the space,
@@ -129,4 +145,7 @@ monitor-smoke: build
 	awk -F, 'END { if (NR < 2) { print "monitor-smoke: empty campaign CSV"; exit 1 } }' $(MONITOR_DIR)/smoke.csv
 	rm -rf $(MONITOR_DIR)
 
+# verify is the pre-merge gate. bench-gate is deliberately not in it (timing
+# noise would make the gate flaky on shared machines) — run `make bench-gate`
+# by hand when a change touches the runtime hot paths.
 verify: race test smoke trace-smoke monitor-smoke

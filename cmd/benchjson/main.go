@@ -1,52 +1,27 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document, so benchmark results can land in CI artifacts and be
-// diffed or plotted by machines instead of eyeballs. It understands the
-// standard benchmark line shape — name, iteration count, then
-// value/unit pairs (ns/op, B/op, allocs/op, MB/s) — plus the goos/goarch/pkg
-// header lines, and ignores everything else (PASS, ok, test log noise).
+// diffed or plotted by machines instead of eyeballs. The parsing and the
+// document shape live in internal/bench, shared with the `ompanalyze
+// -compare` bench-gate mode that consumes these files.
 //
 // Usage:
 //
 //	go test ./openmp -run '^$' -bench . -benchmem | benchjson -o BENCH_openmp.json
 //
 // With multiple -count repetitions the same benchmark name appears once per
-// run, preserving the repetition structure benchstat expects.
+// run, preserving the repetition structure benchstat (and the gate's
+// median) expects.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"omptune/internal/bench"
 )
-
-// benchLine is one parsed benchmark result.
-type benchLine struct {
-	// Name is the benchmark without the -P GOMAXPROCS suffix; Procs carries
-	// the suffix (0 when absent).
-	Name       string  `json:"name"`
-	Procs      int     `json:"procs,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// BytesPerOp / AllocsPerOp are present only under -benchmem (pointers so
-	// a genuine 0 allocs/op survives omitempty).
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
-}
-
-// document is the emitted JSON shape.
-type document struct {
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []benchLine `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "-", "output path ('-' = stdout)")
@@ -79,73 +54,10 @@ func main() {
 	}
 }
 
-// parse consumes the whole stream, collecting header metadata and benchmark
-// lines.
-func parse(r io.Reader) (*document, error) {
-	doc := &document{}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			b, ok := parseBench(line)
-			if ok {
-				doc.Benchmarks = append(doc.Benchmarks, b)
-			}
-		}
-	}
-	return doc, sc.Err()
-}
-
-// parseBench parses one result line, e.g.
-//
-//	BenchmarkObserve-8   75630135   15.84 ns/op   0 B/op   0 allocs/op
-//
-// ok is false for lines that merely start with "Benchmark" (a benchmark
-// that printed, or a name with no fields yet).
-func parseBench(line string) (benchLine, bool) {
-	f := strings.Fields(line)
-	if len(f) < 3 {
-		return benchLine{}, false
-	}
-	b := benchLine{Name: f[0]}
-	if i := strings.LastIndex(b.Name, "-"); i > 0 {
-		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
-			b.Name, b.Procs = b.Name[:i], p
-		}
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return benchLine{}, false
-	}
-	b.Iterations = iters
-	seen := false
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return benchLine{}, false
-		}
-		switch f[i+1] {
-		case "ns/op":
-			b.NsPerOp, seen = v, true
-		case "B/op":
-			b.BytesPerOp = &v
-		case "allocs/op":
-			b.AllocsPerOp = &v
-		case "MB/s":
-			b.MBPerSec = &v
-		}
-	}
-	return b, seen
-}
+// parse / parseBench delegate to internal/bench (kept as names so the
+// command's tests read naturally).
+func parse(r io.Reader) (*bench.Document, error) { return bench.Parse(r) }
+func parseBench(line string) (bench.Line, bool)  { return bench.ParseLine(line) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -18,6 +18,13 @@
 // floor are flagged, and the command exits nonzero — suitable as a CI gate
 // between a stored baseline sweep and a fresh one.
 //
+// When the -compare baseline ends in .json, both arguments are instead
+// cmd/benchjson microbenchmark documents and the command runs the bench
+// gate (internal/bench): per benchmark, the median ns/op ratio against a
+// tolerance (-compare-shift, default 20%) plus a hard gate on any allocs/op
+// increase. `make bench-gate` drives this against the committed
+// BENCH_openmp.json baseline.
+//
 // -backend selects the measurement backend for the evaluation-driven
 // analyses (-tune, -random, -numa): model (the deterministic analytic
 // model, default) or measured (real kernel execution on this host).
@@ -35,6 +42,7 @@ import (
 	"strings"
 
 	"omptune"
+	"omptune/internal/bench"
 	"omptune/internal/core"
 	"omptune/internal/ml"
 	"omptune/internal/report"
@@ -264,7 +272,28 @@ func main() {
 	if *compareTo != "" {
 		ran = true
 		if flag.NArg() != 1 {
-			fatal(fmt.Errorf("-compare %s needs the new dataset CSV as the positional argument", *compareTo))
+			fatal(fmt.Errorf("-compare %s needs the new dataset (CSV or bench JSON) as the positional argument", *compareTo))
+		}
+		// Baseline ending in .json selects the microbenchmark gate: both
+		// arguments are cmd/benchjson documents, compared per benchmark with
+		// the median-ratio rule and the allocs/op hard gate (internal/bench).
+		// -compare-shift doubles as the time threshold there.
+		if strings.HasSuffix(*compareTo, ".json") {
+			old, err := bench.ReadFile(*compareTo)
+			if err != nil {
+				fatal(err)
+			}
+			cur, err := bench.ReadFile(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			rep := bench.Compare(old, cur, bench.CompareOptions{Threshold: *cmpShift})
+			fmt.Printf("== bench gate: %s vs %s ==\n", *compareTo, flag.Arg(0))
+			fmt.Print(rep.String())
+			if rep.Regressions() > 0 {
+				os.Exit(1)
+			}
+			return
 		}
 		rep, err := omptune.CompareSweeps(readCSV(*compareTo), readCSV(flag.Arg(0)), omptune.CompareOptions{
 			Alpha: *cmpAlpha, CoVThreshold: *cmpCoV, MinShift: *cmpShift,

@@ -1,0 +1,315 @@
+// Package bench parses `go test -bench` output into a stable JSON document
+// and compares two such documents as a performance-regression gate.
+//
+// The parser understands the standard benchmark line shape — name, iteration
+// count, then value/unit pairs (ns/op, B/op, allocs/op, MB/s) — plus the
+// goos/goarch/pkg/cpu header lines, ignoring everything else (PASS, ok, test
+// log noise). With -count repetitions the same benchmark name appears once
+// per run; Compare folds repetitions with the median, which is what
+// benchstat does and what makes the gate robust to a single noisy run.
+//
+// Compare applies two rules per benchmark present in both documents:
+//
+//   - median ns/op ratio: new/old beyond 1+Threshold is a time regression.
+//     Time on shared CI hardware is noisy, so the threshold is generous by
+//     default (20%) — the gate exists to catch step changes (an accidental
+//     lock on a fast path, a lost fast path), not 2% drift.
+//   - allocs/op hard gate: allocations per op are deterministic, so ANY
+//     increase of the median is a regression regardless of Threshold. This
+//     is the teeth behind "the owner path stays at 0 allocs/op".
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Line is one parsed benchmark result.
+type Line struct {
+	// Name is the benchmark without the -P GOMAXPROCS suffix; Procs carries
+	// the suffix (0 when absent).
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present only under -benchmem (pointers so
+	// a genuine 0 allocs/op survives omitempty).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Key identifies a benchmark across documents: name plus GOMAXPROCS.
+func (l Line) Key() string {
+	if l.Procs == 0 {
+		return l.Name
+	}
+	return fmt.Sprintf("%s-%d", l.Name, l.Procs)
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	GoOS       string `json:"goos,omitempty"`
+	GoArch     string `json:"goarch,omitempty"`
+	Pkg        string `json:"pkg,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	Benchmarks []Line `json:"benchmarks"`
+}
+
+// Parse consumes a `go test -bench` text stream, collecting header metadata
+// and benchmark lines.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := ParseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// ParseLine parses one result line, e.g.
+//
+//	BenchmarkObserve-8   75630135   15.84 ns/op   0 B/op   0 allocs/op
+//
+// ok is false for lines that merely start with "Benchmark" (a benchmark
+// that printed, or a name with no fields yet).
+func ParseLine(line string) (Line, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Line{}, false
+	}
+	b := Line{Name: f[0]}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Line{}, false
+	}
+	b.Iterations = iters
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Line{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp, seen = v, true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerSec = &v
+		}
+	}
+	return b, seen
+}
+
+// ReadJSON decodes a Document previously written by cmd/benchjson.
+func ReadJSON(r io.Reader) (*Document, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bench: decode: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: document has no benchmarks")
+	}
+	return &doc, nil
+}
+
+// ReadFile loads a benchmark JSON document from disk.
+func ReadFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the tolerated fractional ns/op slowdown (0 = 0.20). A
+	// benchmark is a time regression when median(new)/median(old) exceeds
+	// 1+Threshold.
+	Threshold float64
+}
+
+// Delta is the comparison of one benchmark across the two documents.
+type Delta struct {
+	Key string
+	// OldNs/NewNs are median ns/op; Ratio = NewNs/OldNs.
+	OldNs, NewNs, Ratio float64
+	// OldAllocs/NewAllocs are median allocs/op, -1 when -benchmem was off.
+	OldAllocs, NewAllocs float64
+	// TimeRegressed / AllocsRegressed flag the two gate rules.
+	TimeRegressed   bool
+	AllocsRegressed bool
+}
+
+// CompareReport is the result of gating new against old.
+type CompareReport struct {
+	Threshold float64
+	Deltas    []Delta
+	// OnlyOld / OnlyNew are benchmarks present in one document only —
+	// reported (a silently vanished benchmark is worth a look) but never a
+	// gate failure.
+	OnlyOld, OnlyNew []string
+}
+
+// Regressions counts gate failures.
+func (r *CompareReport) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.TimeRegressed || d.AllocsRegressed {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the per-benchmark table with flagged rows marked.
+func (r *CompareReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %12s %12s %7s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.TimeRegressed {
+			mark = "  << time regression"
+		}
+		allocs := "-"
+		if d.OldAllocs >= 0 && d.NewAllocs >= 0 {
+			allocs = fmt.Sprintf("%g -> %g", d.OldAllocs, d.NewAllocs)
+			if d.AllocsRegressed {
+				mark += "  << allocs/op increased"
+			}
+		}
+		fmt.Fprintf(&b, "%-44s %12.1f %12.1f %7.3f %9s%s\n", d.Key, d.OldNs, d.NewNs, d.Ratio, allocs, mark)
+	}
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(&b, "%-44s only in baseline (removed?)\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(&b, "%-44s only in new run (no baseline)\n", k)
+	}
+	if n := r.Regressions(); n > 0 {
+		fmt.Fprintf(&b, "FAIL: %d benchmark(s) regressed (threshold %.0f%%)\n", n, r.Threshold*100)
+	} else {
+		fmt.Fprintf(&b, "ok: no regressions beyond %.0f%% (allocs/op exact)\n", r.Threshold*100)
+	}
+	return b.String()
+}
+
+// Compare gates new against old per the package rules.
+func Compare(old, new *Document, opts CompareOptions) *CompareReport {
+	th := opts.Threshold
+	if th <= 0 {
+		th = 0.20
+	}
+	rep := &CompareReport{Threshold: th}
+	oldG, oldKeys := group(old)
+	newG, _ := group(new)
+	for _, k := range oldKeys {
+		lines := newG[k]
+		if lines == nil {
+			rep.OnlyOld = append(rep.OnlyOld, k)
+			continue
+		}
+		d := Delta{
+			Key:       k,
+			OldNs:     medianNs(oldG[k]),
+			NewNs:     medianNs(lines),
+			OldAllocs: medianAllocs(oldG[k]),
+			NewAllocs: medianAllocs(lines),
+		}
+		if d.OldNs > 0 {
+			d.Ratio = d.NewNs / d.OldNs
+			d.TimeRegressed = d.Ratio > 1+th
+		}
+		d.AllocsRegressed = d.OldAllocs >= 0 && d.NewAllocs >= 0 && d.NewAllocs > d.OldAllocs
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for k := range newG {
+		if _, ok := oldG[k]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, k)
+		}
+	}
+	sort.Strings(rep.OnlyNew)
+	return rep
+}
+
+// group buckets a document's lines by benchmark key, keys in first-seen
+// order (the order `go test` ran them).
+func group(doc *Document) (map[string][]Line, []string) {
+	g := map[string][]Line{}
+	var keys []string
+	for _, l := range doc.Benchmarks {
+		k := l.Key()
+		if g[k] == nil {
+			keys = append(keys, k)
+		}
+		g[k] = append(g[k], l)
+	}
+	return g, keys
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	if n := len(v); n%2 == 1 {
+		return v[n/2]
+	} else {
+		return (v[n/2-1] + v[n/2]) / 2
+	}
+}
+
+func medianNs(lines []Line) float64 {
+	v := make([]float64, len(lines))
+	for i, l := range lines {
+		v[i] = l.NsPerOp
+	}
+	return median(v)
+}
+
+// medianAllocs returns -1 when any repetition lacks -benchmem data.
+func medianAllocs(lines []Line) float64 {
+	v := make([]float64, len(lines))
+	for i, l := range lines {
+		if l.AllocsPerOp == nil {
+			return -1
+		}
+		v[i] = *l.AllocsPerOp
+	}
+	return median(v)
+}

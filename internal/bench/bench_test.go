@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func doc(lines ...Line) *Document { return &Document{Benchmarks: lines} }
+
+func TestParseStream(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: omptune/openmp
+cpu: AMD EPYC 7B13
+BenchmarkObserve-8   	75630135	        15.84 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelDispatch   	  123456	      9876.5 ns/op
+BenchmarkThroughput-4   	    1000	   1000000 ns/op	 512.00 MB/s
+some stray log line
+PASS
+ok  	omptune/openmp	2.345s
+`
+	d, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GoOS != "linux" || d.Pkg != "omptune/openmp" || d.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %+v", d)
+	}
+	if len(d.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(d.Benchmarks))
+	}
+	b := d.Benchmarks[0]
+	if b.Name != "BenchmarkObserve" || b.Procs != 8 || b.NsPerOp != 15.84 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("explicit zero allocs/op lost: %+v", b)
+	}
+	if b.Key() != "BenchmarkObserve-8" {
+		t.Errorf("Key = %q", b.Key())
+	}
+	if k := d.Benchmarks[1].Key(); k != "BenchmarkParallelDispatch" {
+		t.Errorf("procless Key = %q", k)
+	}
+}
+
+func TestCompareMedianRatioGate(t *testing.T) {
+	mk := func(ns ...float64) []Line {
+		var out []Line
+		for _, v := range ns {
+			out = append(out, Line{Name: "BenchmarkX", Procs: 8, NsPerOp: v})
+		}
+		return out
+	}
+	old := doc(mk(100, 102, 98)...)
+
+	// 10% slower: within the 20% default threshold.
+	rep := Compare(old, doc(mk(110, 111, 109)...), CompareOptions{})
+	if rep.Regressions() != 0 {
+		t.Fatalf("10%% slowdown flagged at default threshold:\n%s", rep)
+	}
+	// 50% slower: flagged — and the median must shrug off one fast outlier.
+	rep = Compare(old, doc(mk(150, 152, 10)...), CompareOptions{})
+	if rep.Regressions() != 1 || !rep.Deltas[0].TimeRegressed {
+		t.Fatalf("50%% slowdown not flagged:\n%s", rep)
+	}
+	// Same run against a tighter threshold than the slowdown.
+	rep = Compare(old, doc(mk(110, 111, 109)...), CompareOptions{Threshold: 0.05})
+	if rep.Regressions() != 1 {
+		t.Fatalf("10%% slowdown not flagged at 5%% threshold:\n%s", rep)
+	}
+	// Improvements never flag.
+	rep = Compare(old, doc(mk(50, 51, 49)...), CompareOptions{})
+	if rep.Regressions() != 0 {
+		t.Fatalf("speedup flagged:\n%s", rep)
+	}
+}
+
+func TestCompareAllocsHardGate(t *testing.T) {
+	mk := func(allocs float64) Line {
+		return Line{Name: "BenchmarkPush", NsPerOp: 20, AllocsPerOp: fp(allocs)}
+	}
+	// 0 -> 1 allocs/op is a regression even though time is identical.
+	rep := Compare(doc(mk(0)), doc(mk(1)), CompareOptions{})
+	if rep.Regressions() != 1 || !rep.Deltas[0].AllocsRegressed {
+		t.Fatalf("allocs/op increase not flagged:\n%s", rep)
+	}
+	// Equal allocs pass; a decrease passes.
+	if rep := Compare(doc(mk(2)), doc(mk(2)), CompareOptions{}); rep.Regressions() != 0 {
+		t.Fatalf("equal allocs flagged:\n%s", rep)
+	}
+	if rep := Compare(doc(mk(2)), doc(mk(0)), CompareOptions{}); rep.Regressions() != 0 {
+		t.Fatalf("alloc decrease flagged:\n%s", rep)
+	}
+	// Missing -benchmem on either side disables the alloc rule, not the gate.
+	noMem := doc(Line{Name: "BenchmarkPush", NsPerOp: 20})
+	if rep := Compare(noMem, doc(mk(5)), CompareOptions{}); rep.Regressions() != 0 {
+		t.Fatalf("alloc rule fired without baseline data:\n%s", rep)
+	}
+}
+
+func TestCompareDisjointBenchmarks(t *testing.T) {
+	old := doc(Line{Name: "BenchmarkGone", NsPerOp: 10}, Line{Name: "BenchmarkKept", NsPerOp: 10})
+	new := doc(Line{Name: "BenchmarkKept", NsPerOp: 10}, Line{Name: "BenchmarkNew", NsPerOp: 10})
+	rep := Compare(old, new, CompareOptions{})
+	if rep.Regressions() != 0 {
+		t.Fatalf("disjoint sets flagged as regression:\n%s", rep)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "BenchmarkGone" {
+		t.Errorf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", rep.OnlyNew)
+	}
+	if !strings.Contains(rep.String(), "only in baseline") {
+		t.Errorf("report does not mention vanished benchmark:\n%s", rep)
+	}
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"benchmarks":[]}`)); err == nil {
+		t.Error("empty document accepted")
+	}
+	d, err := ReadJSON(strings.NewReader(`{"pkg":"omptune/openmp","benchmarks":[
+		{"name":"BenchmarkTaskSpawn","procs":8,"iterations":1000,"ns_per_op":250,"allocs_per_op":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Benchmarks[0].Key() != "BenchmarkTaskSpawn-8" || *d.Benchmarks[0].AllocsPerOp != 1 {
+		t.Errorf("decoded = %+v", d.Benchmarks[0])
+	}
+}

@@ -77,13 +77,13 @@ func TestEvalUnitDefaultMissingFromSpace(t *testing.T) {
 		}
 	}
 	u.space = filtered
-	if _, err := evalUnit(&u, ModelEvaluator{}); err == nil {
+	if _, _, err := evalUnit(&u, ModelEvaluator{}); err == nil {
 		t.Fatal("evalUnit accepted a space without the default configuration")
 	} else if !strings.Contains(err.Error(), "default configuration") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 	// And with the default present, every sample is enriched with its mean.
-	samples, err := evalUnit(units[0], ModelEvaluator{})
+	samples, _, err := evalUnit(units[0], ModelEvaluator{})
 	if err != nil {
 		t.Fatalf("evalUnit: %v", err)
 	}

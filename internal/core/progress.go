@@ -22,6 +22,10 @@ type ProgressEvent struct {
 	Arch, App, Setting string
 	// SettingSamples is the number of rows the batch contributed.
 	SettingSamples int
+	// SettingSkipped counts planned rows the batch dropped because their
+	// measurement failed (the whole batch when the default configuration
+	// failed); the campaign continues without them.
+	SettingSkipped int
 	// Resumed marks batches loaded from the checkpoint journal instead of
 	// being re-evaluated.
 	Resumed bool
@@ -59,7 +63,7 @@ func newReporter(sc SweepConfig, totalUnits, totalSamples int) *reporter {
 }
 
 // unitDone records one finished batch and emits the progress event.
-func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
+func (r *reporter) unitDone(u *sweepUnit, samples, skipped int, resumed bool) {
 	if r.w == nil && r.fn == nil && r.tel == nil && r.mon == nil {
 		return
 	}
@@ -74,7 +78,7 @@ func (r *reporter) unitDone(u *sweepUnit, samples int, resumed bool) {
 		SettingsDone: r.done, SettingsTotal: r.total,
 		SamplesDone: r.samplesDone, SamplesTotal: r.samplesTotal,
 		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
-		SettingSamples: samples, Resumed: resumed,
+		SettingSamples: samples, SettingSkipped: skipped, Resumed: resumed,
 		Elapsed: time.Since(r.start),
 	}
 	if secs := ev.Elapsed.Seconds(); secs > 0 && r.evaluated > 0 {
@@ -107,6 +111,9 @@ func (ev ProgressEvent) String() string {
 	line := fmt.Sprintf("[%d/%d] %s %s %s: %d configurations%s",
 		ev.SettingsDone, ev.SettingsTotal, ev.Arch, ev.App, ev.Setting,
 		ev.SettingSamples, tag)
+	if ev.SettingSkipped > 0 {
+		line += fmt.Sprintf(" (%d skipped: measurement failed)", ev.SettingSkipped)
+	}
 	if ev.SamplesPerSec > 0 {
 		line += fmt.Sprintf(" | %.0f samples/s", ev.SamplesPerSec)
 	}

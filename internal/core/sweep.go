@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -195,11 +196,28 @@ func countSampled(u *sweepUnit) int {
 	return n
 }
 
+// sampleOK reports whether every repetition of a sample actually measured:
+// a measurement-backend failure poisons its series with NaN (see
+// measure.Evaluator.Evaluate) rather than panicking the campaign.
+func sampleOK(s *dataset.Sample) bool {
+	for _, r := range s.Runtimes {
+		if math.IsNaN(r) {
+			return false
+		}
+	}
+	return true
+}
+
 // evalUnit runs one setting batch. The default configuration is evaluated
 // explicitly first — if it is missing from the space the batch fails loudly
 // rather than silently enriching every sample with DefaultRuntime = 0
 // (which would poison downstream speedups with Inf/NaN).
-func evalUnit(u *sweepUnit, ev Evaluator) ([]*dataset.Sample, error) {
+//
+// Configurations whose measurement failed (NaN samples) are skipped, not
+// fatal: skipped reports how many planned rows the batch dropped. A failed
+// default configuration skips the entire batch — without the default there
+// is nothing to enrich against — but the campaign continues.
+func evalUnit(u *sweepUnit, ev Evaluator) (out []*dataset.Sample, skipped int, err error) {
 	newSample := func(cfg env.Config) *dataset.Sample {
 		s := &dataset.Sample{
 			Arch: u.arch, App: u.app.Name, Suite: string(u.app.Suite),
@@ -220,11 +238,14 @@ func evalUnit(u *sweepUnit, ev Evaluator) ([]*dataset.Sample, error) {
 		}
 	}
 	if !defInSpace {
-		return nil, fmt.Errorf("core: default configuration absent from the sweep space for %s; cannot enrich (§IV-B)", u.key())
+		return nil, 0, fmt.Errorf("core: default configuration absent from the sweep space for %s; cannot enrich (§IV-B)", u.key())
 	}
 	defSample := newSample(u.defCfg)
+	if !sampleOK(defSample) {
+		return nil, u.cfgCount, nil
+	}
 	defMean := defSample.MeanRuntime()
-	out := make([]*dataset.Sample, 0, u.cfgCount)
+	out = make([]*dataset.Sample, 0, u.cfgCount)
 	for _, cfg := range u.space {
 		if cfg == u.defCfg {
 			out = append(out, defSample)
@@ -233,14 +254,19 @@ func evalUnit(u *sweepUnit, ev Evaluator) ([]*dataset.Sample, error) {
 		if !keepConfig(u.app.Name, u.arch, u.set.Label, cfg, u.frac) {
 			continue
 		}
-		out = append(out, newSample(cfg))
+		s := newSample(cfg)
+		if !sampleOK(s) {
+			skipped++
+			continue
+		}
+		out = append(out, s)
 	}
 	// Enrichment (§IV-B): attach the default's mean runtime to every sample
 	// of the setting.
 	for _, s := range out {
 		s.DefaultRuntime = defMean
 	}
-	return out, nil
+	return out, skipped, nil
 }
 
 // RunSweep executes the campaign and returns the enriched dataset. Setting
@@ -312,7 +338,7 @@ func RunSweep(sc SweepConfig) (ds *dataset.Dataset, err error) {
 			}
 			if ok {
 				results[u.index] = samples
-				rep.unitDone(u, len(samples), true)
+				rep.unitDone(u, len(samples), 0, true)
 				continue
 			}
 		}
@@ -376,7 +402,7 @@ func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*swee
 					rep.mon.unitStart()
 				}
 				evalStart := time.Now()
-				samples, err := evalUnit(u, ev)
+				samples, skipped, err := evalUnit(u, ev)
 				if rep.mon != nil {
 					rep.mon.unitEnd(string(u.arch), time.Since(evalStart))
 				}
@@ -396,7 +422,7 @@ func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*swee
 				mu.Lock()
 				results[u.index] = samples
 				mu.Unlock()
-				rep.unitDone(u, len(samples), false)
+				rep.unitDone(u, len(samples), skipped, false)
 			}
 		}()
 	}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// nanEvaluator wraps the model and poisons selected configurations with NaN,
+// imitating measure.Evaluator's behaviour after a measurement failure.
+type nanEvaluator struct {
+	ModelEvaluator
+	fail map[env.Config]bool
+}
+
+func (e nanEvaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting, rep int) float64 {
+	if e.fail[cfg] {
+		return math.NaN()
+	}
+	return e.ModelEvaluator.Evaluate(m, app, cfg, set, rep)
+}
+
+// sampledNonDefault returns a configuration that the unit's sampling rule
+// keeps and that is not the default.
+func sampledNonDefault(t *testing.T, u *sweepUnit) env.Config {
+	t.Helper()
+	for _, cfg := range u.space {
+		if cfg != u.defCfg && keepConfig(u.app.Name, u.arch, u.set.Label, cfg, u.frac) {
+			return cfg
+		}
+	}
+	t.Fatal("no sampled non-default configuration in unit")
+	return env.Config{}
+}
+
+// TestEvalUnitSkipsFailedSamples is the regression test for the
+// sweep-killing measurement panic: a NaN sample (how the measured backend
+// reports a failed series) must drop that row and keep the batch going.
+func TestEvalUnitSkipsFailedSamples(t *testing.T) {
+	units, err := planUnits(smallCampaign())
+	if err != nil {
+		t.Fatalf("planUnits: %v", err)
+	}
+	u := units[0]
+	bad := sampledNonDefault(t, u)
+	samples, skipped, err := evalUnit(u, nanEvaluator{fail: map[env.Config]bool{bad: true}})
+	if err != nil {
+		t.Fatalf("evalUnit failed instead of skipping: %v", err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(samples) != u.cfgCount-1 {
+		t.Errorf("got %d samples, want %d", len(samples), u.cfgCount-1)
+	}
+	for _, s := range samples {
+		if s.Config == bad {
+			t.Error("failed configuration still present in the batch")
+		}
+		if !sampleOK(s) {
+			t.Errorf("NaN sample leaked into the dataset: %s", s.Config)
+		}
+	}
+}
+
+// TestEvalUnitSkipsWholeBatchOnFailedDefault: without the default there is
+// nothing to enrich against, so the batch is dropped — but not fatal.
+func TestEvalUnitSkipsWholeBatchOnFailedDefault(t *testing.T) {
+	units, err := planUnits(smallCampaign())
+	if err != nil {
+		t.Fatalf("planUnits: %v", err)
+	}
+	u := units[0]
+	samples, skipped, err := evalUnit(u, nanEvaluator{fail: map[env.Config]bool{u.defCfg: true}})
+	if err != nil {
+		t.Fatalf("evalUnit failed instead of skipping: %v", err)
+	}
+	if len(samples) != 0 || skipped != u.cfgCount {
+		t.Errorf("got %d samples / %d skipped, want 0 / %d", len(samples), skipped, u.cfgCount)
+	}
+}
+
+// TestRunSweepSurvivesMeasurementFailure drives the full campaign path: a
+// failing configuration must cost its rows, not the sweep.
+func TestRunSweepSurvivesMeasurementFailure(t *testing.T) {
+	units, err := planUnits(smallCampaign())
+	if err != nil {
+		t.Fatalf("planUnits: %v", err)
+	}
+	bad := sampledNonDefault(t, units[0])
+	var skippedSeen int
+	sc := smallCampaign()
+	sc.Evaluator = nanEvaluator{fail: map[env.Config]bool{bad: true}}
+	sc.OnProgress = func(ev ProgressEvent) { skippedSeen += ev.SettingSkipped }
+	ds, err := RunSweep(sc)
+	if err != nil {
+		t.Fatalf("RunSweep died on a measurement failure: %v", err)
+	}
+	if len(ds.Samples) == 0 {
+		t.Fatal("sweep produced no samples")
+	}
+	for _, s := range ds.Samples {
+		if s.Config == bad {
+			t.Fatal("failed configuration leaked into the dataset")
+		}
+	}
+	if skippedSeen == 0 {
+		t.Error("progress events never reported the skipped rows")
+	}
+}

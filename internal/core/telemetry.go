@@ -24,7 +24,7 @@ import (
 // telemetryRecord is the JSONL record shape. Type discriminates; unused
 // fields are omitted per record type.
 type telemetryRecord struct {
-	Type string `json:"type"` // plan | heartbeat | setting_done | done | error
+	Type string `json:"type"` // plan | heartbeat | setting_done | eval_error | done | error
 	TS   string `json:"ts"`   // RFC3339Nano, UTC
 
 	// plan
@@ -34,12 +34,15 @@ type telemetryRecord struct {
 	SettingsTotal int      `json:"settings_total,omitempty"`
 	SamplesTotal  int      `json:"samples_total,omitempty"`
 
-	// setting_done
+	// setting_done / eval_error
 	Arch    string `json:"arch,omitempty"`
 	App     string `json:"app,omitempty"`
 	Setting string `json:"setting,omitempty"`
 	Samples int    `json:"samples,omitempty"`
-	Resumed bool   `json:"resumed,omitempty"`
+	// SamplesSkipped counts rows dropped from the batch because their
+	// measurement failed (also announced by a paired eval_error record).
+	SamplesSkipped int  `json:"samples_skipped,omitempty"`
+	Resumed        bool `json:"resumed,omitempty"`
 
 	// heartbeat / setting_done / done
 	ElapsedSec    float64                 `json:"elapsed_sec"`
@@ -151,7 +154,10 @@ func (t *telemetry) plan(units []*sweepUnit, backend string, workers int) {
 func (t *telemetry) unitStart() { t.workersBusy.Add(1) }
 func (t *telemetry) unitEnd()   { t.workersBusy.Add(-1) }
 
-// settingDone records one completed batch and updates the gauges.
+// settingDone records one completed batch and updates the gauges. A batch
+// that dropped rows to measurement failures additionally emits an
+// eval_error record, so a consumer grepping the stream for failures finds
+// them without reconstructing per-batch sample arithmetic.
 func (t *telemetry) settingDone(u *sweepUnit, ev ProgressEvent) {
 	t.mu.Lock()
 	t.settingsDone++
@@ -162,10 +168,19 @@ func (t *telemetry) settingDone(u *sweepUnit, ev ProgressEvent) {
 	}
 	t.lastRate = ev.SamplesPerSec
 	t.lastETA = ev.ETA.Seconds()
+	if ev.SettingSkipped > 0 {
+		t.emitLocked(telemetryRecord{
+			Type: "eval_error",
+			Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
+			SamplesSkipped: ev.SettingSkipped,
+			ElapsedSec:     time.Since(t.start).Seconds(),
+			Error:          fmt.Sprintf("%d of %d planned samples failed to measure and were skipped", ev.SettingSkipped, ev.SettingSamples+ev.SettingSkipped),
+		})
+	}
 	t.emitLocked(telemetryRecord{
 		Type: "setting_done",
 		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
-		Samples: ev.SettingSamples, Resumed: ev.Resumed,
+		Samples: ev.SettingSamples, SamplesSkipped: ev.SettingSkipped, Resumed: ev.Resumed,
 		ElapsedSec:   time.Since(t.start).Seconds(),
 		SettingsDone: t.settingsDone, SamplesDone: t.samplesDone,
 		SamplesPerSec: ev.SamplesPerSec, ETASec: ev.ETA.Seconds(),

@@ -39,6 +39,10 @@ func (c Config) RuntimeOptions(m *topology.Machine) openmp.Options {
 			copy(cores, p.Cores)
 			o.Places[i] = openmp.PlaceSpec{Cores: cores}
 		}
+		// Give the runtime the machine's place-distance model so task
+		// stealing can prefer NUMA-near victims (and classify steal
+		// locality in its stats).
+		o.PlaceDistances = m.PlaceDistanceMatrix(places)
 	}
 	return o
 }

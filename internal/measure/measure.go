@@ -14,6 +14,8 @@ package measure
 
 import (
 	"fmt"
+	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -133,6 +135,9 @@ type seriesEntry struct {
 	once     sync.Once
 	runtimes []float64
 	repStats []openmp.Stats
+	// err records a failed measurement: the series is poisoned and every
+	// Evaluate call for it returns NaN instead of a sample.
+	err error
 }
 
 // NewEvaluator returns a measured-backend evaluator with the given options.
@@ -149,6 +154,12 @@ func (e *Evaluator) Deterministic() bool { return false }
 
 // Evaluate measures app's kernel under cfg at the given setting and returns
 // the runtime, in seconds, of repetition rep.
+//
+// A failed measurement must not kill the campaign (a sweep is hours of
+// checkpointed work; one bad configuration is a data point, not a crash):
+// the error is recorded on the series entry, surfaced once on stderr, and
+// every repetition of the poisoned series returns NaN. Sweep drivers treat
+// NaN samples as skipped (see core.RunSweep); Err exposes the cause.
 func (e *Evaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting, rep int) float64 {
 	key := string(m.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
 	e.mu.Lock()
@@ -161,15 +172,31 @@ func (e *Evaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config,
 	ent.once.Do(func() {
 		s, err := e.measure(m, app, cfg, set)
 		if err != nil {
-			// The sweep space is pre-validated (env.Config.Validate and
-			// RuntimeOptions guarantee constructible options), so a failure
-			// here is programmer error, not data.
-			panic(fmt.Sprintf("measure: %s: %v", key, err))
+			ent.err = fmt.Errorf("measure: %s: %w", key, err)
+			fmt.Fprintf(os.Stderr, "measure: %s: %v (series skipped)\n", key, err)
+			return
 		}
 		ent.runtimes = s.Runtimes
 		ent.repStats = s.RepStats
 	})
+	if ent.err != nil {
+		return math.NaN()
+	}
 	return ent.runtimes[rep%len(ent.runtimes)]
+}
+
+// Err returns the measurement error poisoning the series for the given
+// arguments, or nil when the series measured cleanly (or has not been
+// attempted yet).
+func (e *Evaluator) Err(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) error {
+	key := string(m.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
+	e.mu.Lock()
+	ent := e.series[key]
+	e.mu.Unlock()
+	if ent == nil {
+		return nil
+	}
+	return ent.err
 }
 
 // RepStats returns the runtime-counter delta recorded alongside the sample
@@ -188,13 +215,17 @@ func (e *Evaluator) RepStats(m *topology.Machine, app *apps.App, cfg env.Config,
 	return ent.repStats[rep%len(ent.repStats)], true
 }
 
+// newRuntime builds the runtime a series measures on; a test seam for
+// forcing measurement failures without inventing an invalid configuration.
+var newRuntime = openmp.New
+
 // measure runs one full series for the key on a fresh runtime.
 func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) (Series, error) {
 	opts := cfg.RuntimeOptions(m)
 	if set.Threads > 0 {
 		opts.NumThreads = set.Threads
 	}
-	rt, err := openmp.New(opts)
+	rt, err := newRuntime(opts)
 	if err != nil {
 		return Series{}, err
 	}

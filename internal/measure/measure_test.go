@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"errors"
+	"math"
 	"sync"
 	"testing"
 
@@ -125,6 +127,50 @@ func TestEvaluatorConcurrentSameKey(t *testing.T) {
 		if got[w] != got[0] {
 			t.Fatalf("concurrent callers saw different series: %v", got)
 		}
+	}
+}
+
+// TestEvaluatorFailureDoesNotPanic is the regression test for the
+// sweep-killing panic: a kernel-measurement failure used to panic out of
+// Evaluate (and with it an hours-long checkpointed campaign). It must
+// instead poison the series — every rep returns NaN, Err reports the cause —
+// while other series keep measuring.
+func TestEvaluatorFailureDoesNotPanic(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected runtime failure")
+	orig := newRuntime
+	failing := true
+	newRuntime = func(opts openmp.Options) (*openmp.Runtime, error) {
+		if failing {
+			return nil, boom
+		}
+		return openmp.New(opts)
+	}
+	defer func() { newRuntime = orig }()
+
+	e := NewEvaluator(Options{Warmup: 0, TimedReps: 1})
+	cfg := env.Default(m)
+	set := testSetting()
+	for rep := 0; rep < sim.Reps; rep++ {
+		if got := e.Evaluate(m, app, cfg, set, rep); !math.IsNaN(got) {
+			t.Fatalf("rep %d of a failed series = %v, want NaN", rep, got)
+		}
+	}
+	if err := e.Err(m, app, cfg, set); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want wrapped injected failure", err)
+	}
+	// The poisoning is per series: a different setting measures normally.
+	failing = false
+	other := sim.Setting{Label: "t2", Threads: 2, Scale: 0.3}
+	if got := e.Evaluate(m, app, cfg, other, 0); !(got > 0) {
+		t.Fatalf("healthy series after a failed one = %v, want positive", got)
+	}
+	if err := e.Err(m, app, cfg, other); err != nil {
+		t.Fatalf("healthy series reports error: %v", err)
 	}
 }
 

@@ -171,6 +171,32 @@ func (m *Machine) NUMADistance(a, b int) float64 {
 	return 10 * m.CrossSocketFactor
 }
 
+// PlaceDistanceMatrix returns the pairwise NUMA distance between places:
+// out[i][j] is NUMADistance between the nodes of place i and place j, in the
+// same SLIT-style units (10 = local). A place's NUMA node is that of its
+// first core — places produced by Partition never straddle node boundaries
+// at granularities at or below numa_domains, and for coarser places
+// (sockets, the whole machine) the first core is the representative. The
+// matrix is what openmp.Options.PlaceDistances expects for NUMA-aware task
+// stealing. Empty places map to node 0.
+func (m *Machine) PlaceDistanceMatrix(places []Place) [][]float64 {
+	node := make([]int, len(places))
+	for i, p := range places {
+		if len(p.Cores) > 0 {
+			node[i] = m.NUMANodeOf(p.Cores[0])
+		}
+	}
+	out := make([][]float64, len(places))
+	for i := range places {
+		row := make([]float64, len(places))
+		for j := range places {
+			row[j] = m.NUMADistance(node[i], node[j])
+		}
+		out[i] = row
+	}
+	return out
+}
+
 // Place is a set of core IDs to which threads may be bound. Cores are kept
 // sorted and never aliased between places produced by Partition.
 type Place struct {

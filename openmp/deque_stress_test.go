@@ -1,0 +1,272 @@
+package openmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDequeStressEveryTaskClaimedOnce races the owner's push/popBack path
+// against concurrent half-batch thieves on a raw deque and checks the core
+// Chase–Lev invariant: every task is claimed exactly once — no losses, no
+// double executions. Each claimant bumps the task's children counter (free
+// for this purpose outside the scheduler); run under -race this also
+// exercises the slot/index memory-order protocol.
+func TestDequeStressEveryTaskClaimedOnce(t *testing.T) {
+	const total = 100_000
+	const thieves = 4
+	var victim taskDeque
+	victim.init(8) // small initial ring: growth happens under contention
+	tasks := make([]task, total)
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		own := &taskDeque{}
+		own.init(8)
+		wg.Add(1)
+		go func(own *taskDeque) {
+			defer wg.Done()
+			for {
+				first, _ := victim.stealBatch(own)
+				if first != nil {
+					first.children.Add(1)
+					// The thief owns its deque: drain the batch surplus.
+					for x := own.popBack(); x != nil; x = own.popBack() {
+						x.children.Add(1)
+					}
+					continue
+				}
+				if done.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(own)
+	}
+
+	for i := range tasks {
+		victim.push(&tasks[i])
+		if i%3 == 0 {
+			if x := victim.popBack(); x != nil {
+				x.children.Add(1)
+			}
+		}
+	}
+	for x := victim.popBack(); x != nil; x = victim.popBack() {
+		x.children.Add(1)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for i := range tasks {
+		if n := tasks[i].children.Load(); n != 1 {
+			t.Fatalf("task %d claimed %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+// TestDequeOwnerPathZeroAllocs pins the lock-free owner fast path at zero
+// allocations per operation: after the warmup run has grown the ring to its
+// steady-state capacity, push and popBack touch only preallocated slots.
+// (AllocsPerRun's warmup invocation absorbs the growth.)
+func TestDequeOwnerPathZeroAllocs(t *testing.T) {
+	var d taskDeque
+	d.init(initialDequeCap)
+	tk := &task{}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4*initialDequeCap; i++ {
+			d.push(tk)
+		}
+		for i := 0; i < 4*initialDequeCap; i++ {
+			d.popBack()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("owner push/popBack path allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// TestTaskLoopSteadyStateAllocs is the regression test for the popFront
+// memory churn: the old slice-backed deque front-sliced its backing array on
+// every steal, so steady producer/consumer phases re-grew the array each
+// region. The ring reuses its slots: a long spawn/steal region must cost
+// exactly its task structs (one allocation per spawn) plus nothing from the
+// deque.
+func TestTaskLoopSteadyStateAllocs(t *testing.T) {
+	const spawns = 512
+	rt := testRuntime(t, taskOpts(4))
+	var ran atomic.Int64
+	body := func(*Thread) { ran.Add(1) }
+	region := func() {
+		rt.Parallel(func(th *Thread) {
+			th.Master(func() {
+				for i := 0; i < spawns; i++ {
+					th.Task(body)
+				}
+			})
+		})
+	}
+	region() // grow rings to steady state
+	allocs := testing.AllocsPerRun(10, region)
+	// One &task{} per spawn is inherent; allow a little scheduler noise on
+	// top but nothing near a deque-regrowth signature.
+	if allocs > spawns+spawns/8 {
+		t.Errorf("spawn/steal region allocates %.0f, want ~%d (task structs only)", allocs, spawns)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("tasks never ran")
+	}
+}
+
+// TestTaskWaitParksUnderThroughputPolicy is the regression test for the
+// TaskWait/drainTasks busy-spin: under the passive wait policy (blocktime
+// 0) a thread whose child is executing elsewhere must park — counted in
+// Stats.Sleeps — and be woken by the task's completion, not burn the CPU in
+// a Gosched loop.
+func TestTaskWaitParksUnderThroughputPolicy(t *testing.T) {
+	rt := testRuntime(t, taskOpts(2))
+	prev := rt.Stats()
+	var started atomic.Bool
+	rt.Parallel(func(th *Thread) {
+		th.Master(func() {
+			th.Task(func(*Thread) {
+				started.Store(true)
+				time.Sleep(20 * time.Millisecond)
+			})
+			// Hold the spawned task out of our own popBack until the other
+			// thread has stolen and started it, so TaskWait finds no local
+			// work and its only options are spinning or parking.
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			th.TaskWait()
+		})
+	})
+	d := rt.Stats().Sub(prev)
+	if d.Sleeps == 0 {
+		t.Error("TaskWait with blocktime 0 never parked — busy-wait regression")
+	}
+	if d.Wakeups == 0 {
+		t.Error("parked TaskWait was never woken by the completion broadcast")
+	}
+}
+
+// TestTurnaroundTaskWaitNeverSleeps: the spin-forever policy must apply to
+// task waits exactly as it does to barriers — turnaround mode pays cycles,
+// never syscalls.
+func TestTurnaroundTaskWaitNeverSleeps(t *testing.T) {
+	o := taskOpts(2)
+	o.Library = LibTurnaround
+	rt := testRuntime(t, o)
+	var started atomic.Bool
+	rt.Parallel(func(th *Thread) {
+		th.Master(func() {
+			th.Task(func(*Thread) {
+				started.Store(true)
+				time.Sleep(5 * time.Millisecond)
+			})
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			th.TaskWait()
+		})
+	})
+	if s := rt.Stats(); s.Sleeps != 0 {
+		t.Errorf("turnaround mode slept %d times in task waits", s.Sleeps)
+	}
+}
+
+// fourPlaceOpts builds a 4-thread runtime bound over 4 places forming two
+// NUMA pairs: places {0,1} are near each other, {2,3} are near each other,
+// and the pairs are far apart.
+func fourPlaceOpts() Options {
+	o := taskOpts(4)
+	o.Places = []PlaceSpec{
+		{Cores: []int{0}}, {Cores: []int{1}}, {Cores: []int{2}}, {Cores: []int{3}},
+	}
+	o.Bind = BindSpread
+	o.PlaceDistances = [][]float64{
+		{10, 10, 40, 40},
+		{10, 10, 40, 40},
+		{40, 40, 10, 10},
+		{40, 40, 10, 10},
+	}
+	return o
+}
+
+// TestStealOrderPrefersNearPlaces checks the victim-order seam end to end
+// on synthetic distances: every thread's scan order must be non-decreasing
+// in distance from its own place, cover every other thread exactly once,
+// and put all NUMA-local victims ahead of every remote one.
+func TestStealOrderPrefersNearPlaces(t *testing.T) {
+	rt := testRuntime(t, fourPlaceOpts())
+	order := rt.StealOrder()
+	if order == nil {
+		t.Fatal("StealOrder is nil despite placement and distances")
+	}
+	placement := rt.Placement()
+	pd := rt.Options().PlaceDistances
+	for i, row := range order {
+		if len(row) != rt.NumThreads()-1 {
+			t.Fatalf("thread %d scan order has %d victims, want %d", i, len(row), rt.NumThreads()-1)
+		}
+		seen := map[int]bool{i: true}
+		prev := -1.0
+		for _, v := range row {
+			if seen[v] {
+				t.Fatalf("thread %d scan order repeats victim %d (or includes self)", i, v)
+			}
+			seen[v] = true
+			dist := pd[placement[i]][placement[v]]
+			if dist < prev {
+				t.Errorf("thread %d: victim %d at distance %v after distance %v", i, v, dist, prev)
+			}
+			prev = dist
+		}
+	}
+}
+
+// TestStealOrderNilWithoutDistances: without a distance model the runtime
+// must fall back to the rotating scan (nil order), not invent an ordering.
+func TestStealOrderNilWithoutDistances(t *testing.T) {
+	rt := testRuntime(t, taskOpts(4))
+	if rt.StealOrder() != nil {
+		t.Error("StealOrder non-nil without PlaceDistances")
+	}
+}
+
+// TestStealLocalityCountersSum: with a distance model every stolen task is
+// classified, so the locality split must account for exactly TasksStolen,
+// and batches never exceed steals.
+func TestStealLocalityCountersSum(t *testing.T) {
+	rt := testRuntime(t, fourPlaceOpts())
+	spin := func(*Thread) {
+		for i := 0; i < 2000; i++ {
+			_ = i * i
+		}
+	}
+	for region := 0; region < 3; region++ {
+		rt.Parallel(func(th *Thread) {
+			th.Master(func() {
+				for i := 0; i < 2000; i++ {
+					th.Task(spin)
+				}
+			})
+		})
+	}
+	st := rt.Stats()
+	if st.TasksStolen == 0 {
+		t.Skip("no steals observed this run (scheduling-dependent)")
+	}
+	if st.StealsLocal+st.StealsRemote != st.TasksStolen {
+		t.Errorf("locality split %d local + %d remote != %d stolen",
+			st.StealsLocal, st.StealsRemote, st.TasksStolen)
+	}
+	if st.StealBatches == 0 || st.StealBatches > st.TasksStolen {
+		t.Errorf("StealBatches = %d inconsistent with TasksStolen = %d",
+			st.StealBatches, st.TasksStolen)
+	}
+}

@@ -226,6 +226,14 @@ type Options struct {
 	// real runtime uses and is observable through Runtime.Placement.
 	Bind   BindPolicy
 	Places []PlaceSpec
+	// PlaceDistances optionally gives the pairwise distance between Places
+	// (PlaceDistances[i][j], in SLIT-style units where a place's
+	// self-distance is its minimum). When provided and threads are bound,
+	// task stealing tries NUMA-near victims before far ones and the Stats
+	// steal-locality breakdown becomes meaningful. Leave empty for uniform
+	// (rotating-scan) stealing; topology.Machine.PlaceDistanceMatrix builds
+	// one from a machine model.
+	PlaceDistances [][]float64
 	// Library selects the execution mode (see LibraryMode).
 	Library LibraryMode
 	// BlocktimeMS is how long, in milliseconds, a waiting thread spins
@@ -319,6 +327,18 @@ func (o Options) validate() error {
 	}
 	if o.ChunkSize < 0 {
 		return fmt.Errorf("openmp: ChunkSize %d < 0", o.ChunkSize)
+	}
+	if len(o.PlaceDistances) > 0 {
+		if len(o.PlaceDistances) != len(o.Places) {
+			return fmt.Errorf("openmp: PlaceDistances is %d×…, want %d×%d to match Places",
+				len(o.PlaceDistances), len(o.Places), len(o.Places))
+		}
+		for i, row := range o.PlaceDistances {
+			if len(row) != len(o.Places) {
+				return fmt.Errorf("openmp: PlaceDistances row %d has %d entries, want %d",
+					i, len(row), len(o.Places))
+			}
+		}
 	}
 	return nil
 }

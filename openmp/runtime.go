@@ -71,21 +71,31 @@ type Runtime struct {
 // workers are still winding down their between-region waits can mix counter
 // values from different instants. Two guarantees bound the tearing:
 //
-//   - Region quiescence: when Parallel returns, Regions, Chunks, TasksRun
-//     and TasksStolen are exact — every increment of those counters
-//     happens-before the end-of-region barrier the primary thread passed.
-//     Sleeps and Wakeups may still trail, because a worker can exhaust its
-//     blocktime and park after the region that released it has ended.
-//   - Close: after Close returns, every worker has exited, all six counters
+//   - Region quiescence: when Parallel returns, Regions, Chunks, TasksRun,
+//     TasksStolen and the steal breakdown counters are exact — every
+//     increment of those counters happens-before the end-of-region barrier
+//     the primary thread passed. Sleeps and Wakeups may still trail, because
+//     a worker can exhaust its blocktime and park after the region that
+//     released it has ended.
+//   - Close: after Close returns, every worker has exited, all counters
 //     are final and exact, and Sleeps == Wakeups (each counted sleep was
 //     matched by a wake, including the shutdown wake).
 type Stats struct {
 	Regions     uint64 // parallel regions executed
-	Sleeps      uint64 // times an idle worker or barrier waiter exhausted its blocktime and slept
-	Wakeups     uint64 // times a slept worker or barrier waiter was woken
+	Sleeps      uint64 // times an idle worker, barrier waiter or task waiter exhausted its blocktime and slept
+	Wakeups     uint64 // times a slept worker, barrier waiter or task waiter was woken
 	TasksRun    uint64 // explicit tasks executed
 	TasksStolen uint64 // tasks taken from another thread's deque
 	Chunks      uint64 // worksharing chunks dispatched
+
+	// StealBatches counts steal visits (one KindTaskSteal trace event each);
+	// TasksStolen / StealBatches is the mean half-batch size. StealsLocal and
+	// StealsRemote split TasksStolen by the victim's NUMA distance from the
+	// thief's bound place; both stay zero when the runtime has no placement
+	// or no Options.PlaceDistances model (locality unknown).
+	StealBatches uint64 // batch steal visits that claimed at least one task
+	StealsLocal  uint64 // stolen tasks whose victim was NUMA-local to the thief
+	StealsRemote uint64 // stolen tasks whose victim was on a farther NUMA node
 }
 
 // Sub returns the counter-wise difference s − prev: the activity between
@@ -93,26 +103,32 @@ type Stats struct {
 // quiescence (see the Stats contract).
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Regions:     s.Regions - prev.Regions,
-		Sleeps:      s.Sleeps - prev.Sleeps,
-		Wakeups:     s.Wakeups - prev.Wakeups,
-		TasksRun:    s.TasksRun - prev.TasksRun,
-		TasksStolen: s.TasksStolen - prev.TasksStolen,
-		Chunks:      s.Chunks - prev.Chunks,
+		Regions:      s.Regions - prev.Regions,
+		Sleeps:       s.Sleeps - prev.Sleeps,
+		Wakeups:      s.Wakeups - prev.Wakeups,
+		TasksRun:     s.TasksRun - prev.TasksRun,
+		TasksStolen:  s.TasksStolen - prev.TasksStolen,
+		Chunks:       s.Chunks - prev.Chunks,
+		StealBatches: s.StealBatches - prev.StealBatches,
+		StealsLocal:  s.StealsLocal - prev.StealsLocal,
+		StealsRemote: s.StealsRemote - prev.StealsRemote,
 	}
 }
 
 // statShard is one thread's private slice of the runtime counters, padded to
-// a cache line so two threads bumping their own counters never false-share.
-// 6 words of counters + 16 bytes of padding = 64 bytes.
+// a whole number of cache lines so two threads bumping their own counters
+// never false-share. 9 words of counters + 56 bytes of padding = 128 bytes.
 type statShard struct {
-	regions     atomic.Uint64
-	sleeps      atomic.Uint64
-	wakeups     atomic.Uint64
-	tasksRun    atomic.Uint64
-	tasksStolen atomic.Uint64
-	chunks      atomic.Uint64
-	_           [cacheLineSize - 48]byte
+	regions      atomic.Uint64
+	sleeps       atomic.Uint64
+	wakeups      atomic.Uint64
+	tasksRun     atomic.Uint64
+	tasksStolen  atomic.Uint64
+	chunks       atomic.Uint64
+	stealBatches atomic.Uint64
+	stealsLocal  atomic.Uint64
+	stealsRemote atomic.Uint64
+	_            [2*cacheLineSize - 72]byte
 }
 
 // rtStats shards the activity counters per thread: shard i belongs to team
@@ -198,6 +214,29 @@ func (rt *Runtime) Stats() Stats {
 		out.TasksRun += sh.tasksRun.Load()
 		out.TasksStolen += sh.tasksStolen.Load()
 		out.Chunks += sh.chunks.Load()
+		out.StealBatches += sh.stealBatches.Load()
+		out.StealsLocal += sh.stealsLocal.Load()
+		out.StealsRemote += sh.stealsRemote.Load()
+	}
+	return out
+}
+
+// StealOrder returns, per thread, the victim scan order task stealing uses:
+// the other thread ids sorted by NUMA distance from the thread's bound
+// place, nearest first (ring order within a distance class). It returns nil
+// when the runtime has no placement or no Options.PlaceDistances model, in
+// which case stealing uses a rotating uniform scan instead.
+func (rt *Runtime) StealOrder() [][]int {
+	if rt.hot == nil || rt.hot.stealOrder == nil {
+		return nil
+	}
+	out := make([][]int, len(rt.hot.stealOrder))
+	for i, row := range rt.hot.stealOrder {
+		r := make([]int, len(row))
+		for j, v := range row {
+			r[j] = int(v)
+		}
+		out[i] = r
 	}
 	return out
 }

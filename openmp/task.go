@@ -20,54 +20,253 @@ type task struct {
 	group *taskGroup
 }
 
-// taskPool is the team's work-stealing task scheduler: one deque per
-// thread, LIFO for the owner (depth-first, cache-friendly) and FIFO for
-// thieves (steals the oldest, largest-granularity work).
+// taskPool is the team's work-stealing task scheduler: one Chase–Lev deque
+// per thread, LIFO for the owner (depth-first, cache-friendly) and FIFO for
+// thieves (steals the oldest, largest-granularity work, in half-batches).
+// Idle threads waiting for task activity follow the same KMP_BLOCKTIME
+// spin-then-park discipline as the team barrier: spin within the budget,
+// then park on the pool's broadcast until a task is pushed or completes.
 type taskPool struct {
 	deques  []taskDeque
 	pending atomic.Int64
+
+	spinForever bool
+	blocktime   time.Duration
+
+	mu   sync.Mutex
+	cond sync.Cond
+	// waiters counts threads parked (or about to park) in cond.Wait. It is
+	// written only under mu but read with an atomic load on the push and
+	// completion paths, so producers skip the lock entirely while nobody
+	// waits.
+	waiters atomic.Int32
 }
 
-func newTaskPool(n int) *taskPool {
-	return &taskPool{deques: make([]taskDeque, n)}
+func newTaskPool(n, blocktimeMS int) *taskPool {
+	p := &taskPool{deques: make([]taskDeque, n)}
+	for i := range p.deques {
+		p.deques[i].init(initialDequeCap)
+	}
+	if blocktimeMS == BlocktimeInfinite {
+		p.spinForever = true
+	} else {
+		p.blocktime = time.Duration(blocktimeMS) * time.Millisecond
+	}
+	p.cond.L = &p.mu
+	return p
 }
 
+// wakeWaiters wakes every thread parked for task activity. Called after a
+// task is pushed (new work to steal) and after a task completes (a TaskWait
+// or drain condition may now hold). The fast path is one atomic load: while
+// nobody is parked, producers never touch the lock.
+//
+// Pairing argument (no lost wakeups): a parker increments waiters under mu
+// and then re-checks its exit condition and every deque before blocking.
+// Both sides use sequentially consistent atomics, so either the parker's
+// re-check observes the producer's push/completion (and does not block), or
+// the producer's waiters load observes the parker (and broadcasts — under
+// mu, so the broadcast cannot slip between the parker's re-check and its
+// Wait).
+func (p *taskPool) wakeWaiters() {
+	if p.waiters.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// anyQueued reports whether any deque currently holds a stealable task.
+// Cold-path only (the park re-check); a transiently negative size during an
+// owner's popBack reads as empty, which is correct — that element is taken.
+func (p *taskPool) anyQueued() bool {
+	for i := range p.deques {
+		d := &p.deques[i]
+		if d.bottom.Load()-d.top.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// initialDequeCap is the starting ring capacity of each per-thread deque,
+// allocated once at team construction so the owner path never allocates in
+// steady state. A deque holding more than this many outstanding tasks grows
+// by doubling (amortized O(1), and the old ring is simply garbage).
+const initialDequeCap = 64
+
+// maxStealBatch bounds how many tasks one steal visit may transfer,
+// keeping a thief's time-to-first-execution bounded on very deep deques.
+const maxStealBatch = 32
+
+// dequeRing is one power-of-two circular array of a Chase–Lev deque. Logical
+// index i lives in slots[i&mask]; the indexes themselves (bottom, top) grow
+// without bound. Slots are atomic because a thief's read of slot top races
+// the owner's store of a new task into the same physical slot one
+// revolution later — the thief's subsequent CAS on top fails in exactly the
+// interleavings where that race occurs, so the stale value is discarded.
+type dequeRing struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newDequeRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, slots: make([]atomic.Pointer[task], capacity)}
+}
+
+func (r *dequeRing) get(i int64) *task    { return r.slots[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, t *task) { r.slots[i&r.mask].Store(t) }
+
+// taskDeque is a Chase–Lev work-stealing deque (Chase & Lev, SPAA'05, in
+// the formulation of Lê et al., PPoPP'13): a growable circular array with
+// two indexes. The owner pushes and pops at bottom; thieves claim at top
+// with a CAS. The owner path is lock-free and allocation-free: push is two
+// loads and two stores, popBack needs a CAS only when racing a thief for
+// the last element. Replaces the previous mutex-guarded slice deque, whose
+// popFront front-sliced the backing array and churned memory in steady
+// producer/consumer phases — the ring reuses its slots by construction.
+//
+// The hot words live on separate cache lines: bottom is written by the
+// owner on every push/pop, top by thieves on every steal, and the ring
+// pointer only changes on growth.
 type taskDeque struct {
-	mu    sync.Mutex
-	items []*task
+	_      [cacheLineSize]byte
+	bottom atomic.Int64
+	_      [cacheLineSize - 8]byte
+	top    atomic.Int64
+	_      [cacheLineSize - 8]byte
+	ring   atomic.Pointer[dequeRing]
+	_      [cacheLineSize - 8]byte
 }
 
+func (d *taskDeque) init(capacity int64) {
+	d.ring.Store(newDequeRing(capacity))
+}
+
+// push appends t at the bottom (owner side). Owner-only.
 func (d *taskDeque) push(t *task) {
-	d.mu.Lock()
-	d.items = append(d.items, t)
-	d.mu.Unlock()
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.ring.Load()
+	if b-tp >= int64(len(r.slots)) {
+		r = d.grow(r, b, tp)
+	}
+	r.put(b, t)
+	// The seq-cst store publishes the slot write to thieves.
+	d.bottom.Store(b + 1)
 }
 
-// popBack removes the newest task (owner side).
+// grow doubles the ring, copying the live range. Thieves still holding the
+// old ring read the same values at the same logical indexes (growth never
+// moves or removes elements below bottom), so a stale read stays valid for
+// exactly as long as its claiming CAS can still succeed.
+func (d *taskDeque) grow(r *dequeRing, b, tp int64) *dequeRing {
+	nr := newDequeRing(int64(len(r.slots)) * 2)
+	for i := tp; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	d.ring.Store(nr)
+	return nr
+}
+
+// popBack removes the newest task (owner side). Owner-only. The only
+// synchronization on the fast path is the bottom store/top load pair; a CAS
+// on top is needed only when the popped element is the last one, where a
+// concurrent thief may be claiming it.
 func (d *taskDeque) popBack() *task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b) // reserve index b; thieves now see size <= b-top
+	t := d.top.Load()
+	if t > b {
+		// Empty (or a thief claimed the last element first): undo.
+		d.bottom.Store(b + 1)
 		return nil
 	}
-	t := d.items[n-1]
-	d.items[n-1] = nil
-	d.items = d.items[:n-1]
-	return t
+	x := r.get(b)
+	if t == b {
+		// Last element: race thieves for it with one CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			x = nil
+		}
+		d.bottom.Store(b + 1)
+	}
+	if x != nil {
+		// Release the claimed slot to the GC. Safe only for the owner: once
+		// index b is claimed here, no thief can observe a positive size that
+		// includes it (see the steal ordering below), and the owner's own
+		// future pushes to this physical slot are program-ordered after this
+		// store. Thieves must NOT clear claimed slots — after a successful
+		// steal the owner may immediately reuse the physical slot for a new
+		// push, which a late thief-side clear would destroy.
+		r.put(b, nil)
+	}
+	return x
 }
 
-// popFront removes the oldest task (thief side).
-func (d *taskDeque) popFront() *task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
+// stealOne claims the oldest task (thief side) with one CAS on top. A nil
+// result means the caller should give up on this victim for now: the deque
+// was empty, or another claimant (thief or owner-on-last-element) won the
+// CAS race.
+//
+// The load order is what makes the unsynchronized slot read sound: top is
+// read before bottom (both seq-cst), so if a positive size is observed, the
+// owner cannot have reserved index top without this thief's CAS failing —
+// the owner's bottom store precedes its top load, which would force a later
+// thief bottom read to see the reservation.
+func (d *taskDeque) stealOne() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b-t <= 0 {
 		return nil
 	}
-	t := d.items[0]
-	d.items[0] = nil
-	d.items = d.items[1:]
-	return t
+	x := d.ring.Load().get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return x
+}
+
+// stealBatch transfers up to half of the victim's observed work to the
+// thief in one visit: the first claimed task is returned for immediate
+// execution and the rest are pushed onto own (the thief's deque, whose
+// owner the caller must be). Taking half per visit empties a loaded victim
+// in O(log size) visits instead of one task per scan, and the transferred
+// tasks become stealable from the thief in turn, diffusing load through
+// the team.
+//
+// Each task in the batch is claimed by its own CAS on top. A single CAS
+// claiming a [top, top+k) range would be unsound against the owner's
+// protocol: the owner takes index bottom-1 without any CAS whenever its top
+// read says more than one element remains, so a range claim computed from a
+// stale bottom could overlap elements the owner is already running. The
+// per-element CAS chain keeps the standard Chase–Lev ownership proof intact
+// while still amortizing victim selection over the whole batch.
+func (d *taskDeque) stealBatch(own *taskDeque) (first *task, n int) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	size := b - t
+	if size <= 0 {
+		return nil, 0
+	}
+	want := (size + 1) / 2
+	if want > maxStealBatch {
+		want = maxStealBatch
+	}
+	for int64(n) < want {
+		x := d.stealOne()
+		if x == nil {
+			break
+		}
+		if first == nil {
+			first = x
+		} else {
+			own.push(x)
+		}
+		n++
+	}
+	return first, n
 }
 
 // Task spawns an explicit task executing fn. The task becomes a child of
@@ -82,8 +281,10 @@ func (th *Thread) Task(fn func(*Thread)) {
 	if t.group != nil {
 		t.group.pending.Add(1)
 	}
-	th.team.pool.pending.Add(1)
-	th.team.pool.deques[th.id].push(t)
+	pool := th.team.pool
+	pool.pending.Add(1)
+	pool.deques[th.id].push(t)
+	pool.wakeWaiters()
 	if tr := th.team.rt.tracer.Load(); tr != nil {
 		tr.Emit(th.id, trace.KindTaskCreate, th.team.rt.regionGen.Load(), 0)
 	}
@@ -102,59 +303,95 @@ func (th *Thread) Task(fn func(*Thread)) {
 // TaskWait blocks until all child tasks of the current task have completed,
 // executing queued tasks (its own or stolen) while it waits.
 func (th *Thread) TaskWait() {
-	for th.curTask.children.Load() > 0 {
-		if !th.runOneTask() {
-			runtime.Gosched()
-		}
-	}
+	th.taskWaitLoop(func() bool { return th.curTask.children.Load() <= 0 })
 }
 
 // drainTasks participates in task execution until the team has no pending
 // tasks; called before the implicit end-of-region barrier.
 func (th *Thread) drainTasks() {
-	for th.team.pool.pending.Load() > 0 {
-		if !th.runOneTask() {
-			runtime.Gosched()
+	th.taskWaitLoop(func() bool { return th.team.pool.pending.Load() <= 0 })
+}
+
+// taskWaitLoop executes queued tasks until done holds, applying the
+// KMP_BLOCKTIME wait-policy discipline to idle gaps exactly like the team
+// barrier: after a failed scan the thread spins (yielding) within the
+// blocktime budget, then parks on the pool's broadcast until a task is
+// pushed or completes. Turnaround mode and KMP_BLOCKTIME=infinite spin
+// forever; a zero blocktime parks after the first failed scan. Parks and
+// wakes are charged to the thread's stats shard, so Stats.Sleeps/Wakeups
+// reflect task waits exactly like barrier and between-region waits.
+func (th *Thread) taskWaitLoop(done func() bool) {
+	pool := th.team.pool
+	var deadline time.Time
+	spinning := false
+	for !done() {
+		if th.runOneTask() {
+			spinning = false
+			continue
 		}
+		if pool.spinForever {
+			runtime.Gosched()
+			continue
+		}
+		if pool.blocktime > 0 {
+			if !spinning {
+				spinning = true
+				deadline = time.Now().Add(pool.blocktime)
+			}
+			if time.Now().Before(deadline) {
+				runtime.Gosched()
+				continue
+			}
+		}
+		th.parkForTasks(done)
+		spinning = false
 	}
 }
 
-// runOneTask executes one queued task if any is available: first the
-// thread's own newest task, then a task stolen from another thread's deque
-// (round-robin starting position so thieves don't all hammer deque 0).
-func (th *Thread) runOneTask() bool {
+// parkForTasks blocks the thread until task activity (a push or a
+// completion) is broadcast. The re-check after advertising the park is what
+// prevents lost wakeups — see taskPool.wakeWaiters.
+func (th *Thread) parkForTasks(done func() bool) {
 	pool := th.team.pool
+	pool.mu.Lock()
+	pool.waiters.Add(1)
+	if done() || pool.anyQueued() {
+		pool.waiters.Add(-1)
+		pool.mu.Unlock()
+		return
+	}
 	tr := th.team.rt.tracer.Load()
 	var gen uint64
 	if tr != nil {
 		gen = th.team.rt.regionGen.Load()
+		tr.Emit(th.id, trace.KindPark, gen, 0)
 	}
+	th.stats.sleeps.Add(1)
+	pool.cond.Wait()
+	th.stats.wakeups.Add(1)
+	if tr != nil {
+		tr.Emit(th.id, trace.KindWake, gen, 0)
+	}
+	pool.waiters.Add(-1)
+	pool.mu.Unlock()
+}
+
+// runOneTask executes one queued task if any is available: first the
+// thread's own newest task, then a batch stolen from another thread's
+// deque (near victims first when the team has a place-distance model).
+func (th *Thread) runOneTask() bool {
+	pool := th.team.pool
 	t := pool.deques[th.id].popBack()
 	if t == nil {
-		// Scan every other deque, starting from the last successful victim
-		// (stealAt) and wrapping across all n slots with self skipped. The
-		// previous formulation offset the scan by th.id+stealAt and skipped
-		// self mid-window, which left one victim permanently untried for
-		// some stealAt values — after a few steals rotated stealAt, a
-		// thread could go blind to a loaded deque and never steal again.
-		n := th.team.n
-		for k := 0; k < n; k++ {
-			victim := (th.stealAt + k) % n
-			if victim == th.id {
-				continue
-			}
-			if t = pool.deques[victim].popFront(); t != nil {
-				th.stealAt = victim // keep stealing from a productive victim
-				th.stats.tasksStolen.Add(1)
-				if tr != nil {
-					tr.Emit(th.id, trace.KindTaskSteal, gen, int64(victim))
-				}
-				break
-			}
-		}
+		t = th.stealTask()
 	}
 	if t == nil {
 		return false
+	}
+	tr := th.team.rt.tracer.Load()
+	var gen uint64
+	if tr != nil {
+		gen = th.team.rt.regionGen.Load()
 	}
 	prevTask, prevGroup := th.curTask, th.curGroup
 	th.curTask, th.curGroup = t, t.group
@@ -178,5 +415,82 @@ func (th *Thread) runOneTask() bool {
 	}
 	pool.pending.Add(-1)
 	th.stats.tasksRun.Add(1)
+	pool.wakeWaiters()
 	return true
+}
+
+// stealTask scans the other deques for work and transfers a half-batch from
+// the first loaded victim (see taskDeque.stealBatch). With a place-distance
+// model (placement set and Options.PlaceDistances provided), victims are
+// tried in NUMA-distance order from the thief's bound place — after first
+// revisiting the last productive victim, which likely still holds work.
+// Without one, the scan falls back to the rotating uniform walk: all n
+// slots from the last successful victim, self skipped.
+func (th *Thread) stealTask() *task {
+	tm := th.team
+	n := tm.n
+	if tm.stealOrder == nil {
+		for k := 0; k < n; k++ {
+			victim := (th.stealAt + k) % n
+			if victim == th.id {
+				continue
+			}
+			if t := th.stealFrom(victim); t != nil {
+				th.stealAt = victim // keep stealing from a productive victim
+				return t
+			}
+		}
+		return nil
+	}
+	last := th.stealAt
+	if last != th.id {
+		if t := th.stealFrom(last); t != nil {
+			return t
+		}
+	}
+	for _, v := range tm.stealOrder[th.id] {
+		victim := int(v)
+		if victim == last {
+			continue // already tried above
+		}
+		if t := th.stealFrom(victim); t != nil {
+			th.stealAt = victim
+			return t
+		}
+	}
+	return nil
+}
+
+// stealFrom attempts one half-batch steal from victim, accounting the
+// transferred tasks in the thread's stats shard (total, batch count and
+// NUMA locality class) and emitting one KindTaskSteal event per batch with
+// victim, batch size and locality packed into Arg.
+func (th *Thread) stealFrom(victim int) *task {
+	tm := th.team
+	pool := tm.pool
+	first, n := pool.deques[victim].stealBatch(&pool.deques[th.id])
+	if first == nil {
+		return nil
+	}
+	th.stats.tasksStolen.Add(uint64(n))
+	th.stats.stealBatches.Add(1)
+	loc := trace.StealLocalityUnknown
+	if tm.stealLocal != nil {
+		if tm.stealLocal[th.id][victim] {
+			loc = trace.StealLocalityLocal
+			th.stats.stealsLocal.Add(uint64(n))
+		} else {
+			loc = trace.StealLocalityRemote
+			th.stats.stealsRemote.Add(uint64(n))
+		}
+	}
+	if n > 1 {
+		// The surplus landed on this thread's deque: other idle threads can
+		// steal it in turn.
+		pool.wakeWaiters()
+	}
+	if tr := tm.rt.tracer.Load(); tr != nil {
+		tr.Emit(th.id, trace.KindTaskSteal, tm.rt.regionGen.Load(), trace.StealArg(victim, n, loc))
+	}
+	return first
 }

@@ -167,6 +167,7 @@ func TestTaskSpawningInsideLoop(t *testing.T) {
 
 func TestDequeOrdering(t *testing.T) {
 	var d taskDeque
+	d.init(4)
 	t1, t2, t3 := &task{}, &task{}, &task{}
 	d.push(t1)
 	d.push(t2)
@@ -174,14 +175,78 @@ func TestDequeOrdering(t *testing.T) {
 	if got := d.popBack(); got != t3 {
 		t.Error("popBack should return newest")
 	}
-	if got := d.popFront(); got != t1 {
-		t.Error("popFront should return oldest")
+	if got := d.stealOne(); got != t1 {
+		t.Error("stealOne should return oldest")
 	}
 	if got := d.popBack(); got != t2 {
 		t.Error("popBack should return remaining")
 	}
-	if d.popBack() != nil || d.popFront() != nil {
+	if d.popBack() != nil || d.stealOne() != nil {
 		t.Error("empty deque should return nil")
+	}
+}
+
+func TestDequeGrowPreservesOrder(t *testing.T) {
+	var d taskDeque
+	d.init(4)
+	var tasks []*task
+	for i := 0; i < 100; i++ { // forces several doublings
+		tk := &task{}
+		tasks = append(tasks, tk)
+		d.push(tk)
+	}
+	for i := 0; i < 40; i++ { // FIFO from the top
+		if got := d.stealOne(); got != tasks[i] {
+			t.Fatalf("stealOne #%d returned wrong task", i)
+		}
+	}
+	for i := 99; i >= 40; i-- { // LIFO from the bottom
+		if got := d.popBack(); got != tasks[i] {
+			t.Fatalf("popBack for slot %d returned wrong task", i)
+		}
+	}
+	if d.popBack() != nil || d.stealOne() != nil {
+		t.Error("deque should be empty")
+	}
+}
+
+func TestDequeBatchStealTakesHalf(t *testing.T) {
+	var victim, own taskDeque
+	victim.init(4)
+	own.init(4)
+	for i := 0; i < 10; i++ {
+		victim.push(&task{})
+	}
+	first, n := victim.stealBatch(&own)
+	if first == nil || n != 5 {
+		t.Fatalf("stealBatch took %d of 10, want half (5)", n)
+	}
+	// first is returned directly; the surplus must sit on the thief's deque.
+	got := 0
+	for own.popBack() != nil {
+		got++
+	}
+	if got != n-1 {
+		t.Errorf("thief deque holds %d tasks, want %d", got, n-1)
+	}
+	left := 0
+	for victim.stealOne() != nil {
+		left++
+	}
+	if left != 5 {
+		t.Errorf("victim retains %d tasks, want 5", left)
+	}
+}
+
+func TestDequeBatchStealCapped(t *testing.T) {
+	var victim, own taskDeque
+	victim.init(4)
+	own.init(4)
+	for i := 0; i < 4*maxStealBatch; i++ {
+		victim.push(&task{})
+	}
+	if _, n := victim.stealBatch(&own); n != maxStealBatch {
+		t.Errorf("stealBatch took %d, want cap %d", n, maxStealBatch)
 	}
 }
 

@@ -2,6 +2,7 @@ package openmp
 
 import (
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,14 @@ type Team struct {
 
 	pool     *taskPool
 	rootTask task
+
+	// stealOrder[i] is thread i's victim scan order, sorted by the NUMA
+	// distance from i's bound place (ring order within a distance class);
+	// stealLocal[i][j] classifies victim j as NUMA-local to thread i. Both
+	// are nil when the runtime has no placement or no place-distance model,
+	// in which case stealing falls back to the rotating uniform scan.
+	stealOrder [][]int32
+	stealLocal [][]bool
 }
 
 // newTeam builds a team shell; the region body is assigned per region by the
@@ -39,7 +48,7 @@ func newTeam(rt *Runtime, n int) *Team {
 		rt:      rt,
 		n:       n,
 		threads: make([]Thread, n),
-		pool:    newTaskPool(n),
+		pool:    newTaskPool(n, rt.opts.effectiveBlocktimeMS()),
 	}
 	for i := range tm.threads {
 		th := &tm.threads[i]
@@ -47,8 +56,49 @@ func newTeam(rt *Runtime, n int) *Team {
 		th.id = i
 		th.stats = rt.stats.shard(i)
 	}
+	tm.stealOrder, tm.stealLocal = buildStealOrder(rt.placement, rt.opts.PlaceDistances, n)
 	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
 	return tm
+}
+
+// buildStealOrder precomputes each thread's distance-sorted victim order
+// from the thread→place assignment and the pairwise place distances. Within
+// one distance class victims keep ring order (i+1, i+2, … mod n), so
+// equidistant victims are still scanned fairly rather than all threads
+// hammering the same lowest-numbered one. A victim is classified local when
+// its place is no farther than the thief's own place's self-distance (same
+// place, or another place on the same NUMA node).
+func buildStealOrder(placement []int, dist [][]float64, n int) ([][]int32, [][]bool) {
+	if placement == nil || len(dist) == 0 || n < 2 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		if placement[i] < 0 || placement[i] >= len(dist) {
+			return nil, nil
+		}
+	}
+	order := make([][]int32, n)
+	local := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		row := dist[placement[i]]
+		self := row[placement[i]]
+		victims := make([]int32, 0, n-1)
+		for k := 1; k < n; k++ { // ring order seeds the within-class tiebreak
+			victims = append(victims, int32((i+k)%n))
+		}
+		sort.SliceStable(victims, func(a, b int) bool {
+			return row[placement[victims[a]]] < row[placement[victims[b]]]
+		})
+		loc := make([]bool, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				loc[j] = row[placement[j]] <= self
+			}
+		}
+		order[i] = victims
+		local[i] = loc
+	}
+	return order, local
 }
 
 // run executes the region body as thread tid, drains leftover explicit
@@ -120,7 +170,7 @@ type Thread struct {
 	seq      int64 // worksharing constructs encountered, team-lifetime monotonic
 	curTask  *task
 	curGroup *taskGroup // innermost active taskgroup, nil outside one
-	stealAt  int        // rotating steal start position
+	stealAt  int        // last productive steal victim (scan start position)
 	spawns   int        // tasks spawned; every 32nd spawn is a yield point
 	stats    *statShard // this thread's stats shard
 }

@@ -35,7 +35,7 @@ var chromeSpec = [kindMax]struct {
 	KindTaskCreate:    {"i", "task create", ""},
 	KindTaskBegin:     {"B", "task", ""},
 	KindTaskEnd:       {"E", "", ""},
-	KindTaskSteal:     {"i", "task steal", "victim"},
+	KindTaskSteal:     {"i", "task steal", ""}, // packed Arg: unpacked inline below
 	KindPark:          {"i", "park", ""},
 	KindWake:          {"i", "wake", ""},
 }
@@ -91,7 +91,13 @@ func WriteChrome(w io.Writer, d Data) error {
 		}
 		if spec.ph != "E" {
 			ce.Args = map[string]int64{"region": int64(e.Region)}
-			if spec.argName != "" {
+			if e.Kind == KindTaskSteal {
+				// Packed payload (see StealArg): unpack into separate args so
+				// Perfetto shows victim/batch/locality as distinct fields.
+				ce.Args["victim"] = int64(e.StealVictim())
+				ce.Args["batch"] = int64(e.StealBatch())
+				ce.Args["locality"] = int64(e.StealLocality())
+			} else if spec.argName != "" {
 				ce.Args[spec.argName] = e.Arg
 			}
 		}

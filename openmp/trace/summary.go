@@ -33,6 +33,10 @@ type RegionMetrics struct {
 	ChunksPerThread []int
 	// TasksCreated / TasksRun / TasksStolen count explicit-task activity.
 	TasksCreated, TasksRun, TasksStolen int
+	// StealBatches counts steal visits (TasksStolen/StealBatches is the
+	// mean half-batch size); StealsLocal/StealsRemote split TasksStolen by
+	// the victim's NUMA locality (both zero when locality was unknown).
+	StealBatches, StealsLocal, StealsRemote int
 }
 
 // Summary is the reduction of a trace to per-region metrics plus
@@ -55,6 +59,10 @@ type Summary struct {
 	TasksRun         int
 	TasksStolen      int
 	StealRate        float64 // TasksStolen / TasksRun
+	StealBatches     int
+	StealsLocal      int
+	StealsRemote     int
+	AvgStealBatch    float64 // TasksStolen / StealBatches
 	Parks, Wakes     int
 }
 
@@ -74,6 +82,9 @@ type regionAcc struct {
 	created      int
 	run          int
 	stolen       int
+	stealBatches int
+	stealsLocal  int
+	stealsRemote int
 }
 
 func newRegionAcc(gen uint64) *regionAcc {
@@ -128,7 +139,16 @@ func Summarize(d Data) *Summary {
 		case KindTaskBegin:
 			acc(e.Region).run++
 		case KindTaskSteal:
-			acc(e.Region).stolen++
+			a := acc(e.Region)
+			batch := e.StealBatch()
+			a.stolen += batch
+			a.stealBatches++
+			switch e.StealLocality() {
+			case StealLocalityLocal:
+				a.stealsLocal += batch
+			case StealLocalityRemote:
+				a.stealsRemote += batch
+			}
 		case KindPark:
 			s.Parks++
 		case KindWake:
@@ -155,6 +175,9 @@ func Summarize(d Data) *Summary {
 			TasksCreated: a.created,
 			TasksRun:     a.run,
 			TasksStolen:  a.stolen,
+			StealBatches: a.stealBatches,
+			StealsLocal:  a.stealsLocal,
+			StealsRemote: a.stealsRemote,
 		}
 		if m.Threads == 0 {
 			m.Threads = len(a.implicit)
@@ -202,6 +225,9 @@ func Summarize(d Data) *Summary {
 		s.TasksCreated += m.TasksCreated
 		s.TasksRun += m.TasksRun
 		s.TasksStolen += m.TasksStolen
+		s.StealBatches += m.StealBatches
+		s.StealsLocal += m.StealsLocal
+		s.StealsRemote += m.StealsRemote
 		s.Regions = append(s.Regions, m)
 	}
 	if aggThreadTime > 0 {
@@ -212,6 +238,9 @@ func Summarize(d Data) *Summary {
 	}
 	if s.TasksRun > 0 {
 		s.StealRate = float64(s.TasksStolen) / float64(s.TasksRun)
+	}
+	if s.StealBatches > 0 {
+		s.AvgStealBatch = float64(s.TasksStolen) / float64(s.StealBatches)
 	}
 	return s
 }
@@ -225,6 +254,13 @@ func (s *Summary) String() string {
 		s.Threads, s.Events, s.Dropped, len(s.Regions))
 	fmt.Fprintf(&b, "tasks: created %d, run %d, stolen %d (steal rate %.1f%%)\n",
 		s.TasksCreated, s.TasksRun, s.TasksStolen, 100*s.StealRate)
+	if s.StealBatches > 0 {
+		fmt.Fprintf(&b, "steals: %d batches (avg %.1f tasks/batch)", s.StealBatches, s.AvgStealBatch)
+		if s.StealsLocal+s.StealsRemote > 0 {
+			fmt.Fprintf(&b, ", locality %d local / %d remote", s.StealsLocal, s.StealsRemote)
+		}
+		b.WriteString("\n")
+	}
 	fmt.Fprintf(&b, "chunks: %d dispatched%s\n", s.Chunks, perThread(s.ChunksPerThread))
 	fmt.Fprintf(&b, "barriers: total wait %s (share %.1f%% of aggregate thread-time); end-barrier imbalance avg %s, max %s\n",
 		round(s.TotalBarrierWait), 100*s.WaitShare, round(s.AvgImbalance), round(s.MaxImbalance))
@@ -246,8 +282,9 @@ func (s *Summary) String() string {
 			fmt.Fprintf(&b, "… %d more regions\n", n-maxRows)
 		}
 	}
-	fmt.Fprintf(&b, "summary: regions=%d events=%d dropped=%d tasks_run=%d tasks_stolen=%d steal_rate=%.3f barrier_wait_ns=%d wait_share=%.4f imbalance_avg_ns=%d chunks=%d parks=%d wakes=%d\n",
+	fmt.Fprintf(&b, "summary: regions=%d events=%d dropped=%d tasks_run=%d tasks_stolen=%d steal_rate=%.3f steal_batches=%d steals_local=%d steals_remote=%d barrier_wait_ns=%d wait_share=%.4f imbalance_avg_ns=%d chunks=%d parks=%d wakes=%d\n",
 		len(s.Regions), s.Events, s.Dropped, s.TasksRun, s.TasksStolen, s.StealRate,
+		s.StealBatches, s.StealsLocal, s.StealsRemote,
 		int64(s.TotalBarrierWait), s.WaitShare, int64(s.AvgImbalance), s.Chunks, s.Parks, s.Wakes)
 	return b.String()
 }

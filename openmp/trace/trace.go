@@ -58,8 +58,10 @@ const (
 	// KindTaskBegin/End bracket the execution of one explicit task.
 	KindTaskBegin
 	KindTaskEnd
-	// KindTaskSteal marks a task taken from another thread's deque; Arg is
-	// the victim thread id.
+	// KindTaskSteal marks one steal visit that claimed at least one task
+	// from another thread's deque; Arg packs the victim thread id, the
+	// batch size (how many tasks the visit transferred) and the victim's
+	// NUMA-locality class — see StealArg.
 	KindTaskSteal
 	// KindPark/Wake mark a worker exhausting its blocktime budget between
 	// regions and being woken for the next one; Region is the awaited
@@ -109,6 +111,61 @@ type Event struct {
 	Tid int32
 	// Kind is the event kind.
 	Kind Kind
+}
+
+// StealLocality classifies a steal victim's NUMA distance from the thief.
+type StealLocality int64
+
+const (
+	// StealLocalityUnknown: the runtime had no placement or place-distance
+	// model, so locality was not classified.
+	StealLocalityUnknown StealLocality = 0
+	// StealLocalityLocal: the victim's place is no farther than the thief's
+	// own place's self-distance (same place or same NUMA node).
+	StealLocalityLocal StealLocality = 1
+	// StealLocalityRemote: the victim sits on a farther NUMA node.
+	StealLocalityRemote StealLocality = 2
+)
+
+// String names the locality class.
+func (l StealLocality) String() string {
+	switch l {
+	case StealLocalityLocal:
+		return "local"
+	case StealLocalityRemote:
+		return "remote"
+	}
+	return "unknown"
+}
+
+// StealArg packs a KindTaskSteal payload into Event.Arg: the victim thread
+// id in bits 0–15, the batch size in bits 16–31, and the locality class in
+// bits 32–33. Decoded by Event.StealVictim, StealBatch and StealLocality.
+func StealArg(victim, batch int, loc StealLocality) int64 {
+	return int64(victim)&0xffff | (int64(batch)&0xffff)<<16 | int64(loc)<<32
+}
+
+// StealVictim returns the victim thread id of a KindTaskSteal event.
+func (e Event) StealVictim() int { return int(e.Arg & 0xffff) }
+
+// StealBatch returns how many tasks a KindTaskSteal event transferred.
+// Events written before batch stealing carried only the victim id; their
+// zero batch field decodes as 1 (one event was one stolen task).
+func (e Event) StealBatch() int {
+	b := int(e.Arg >> 16 & 0xffff)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// StealLocality returns the NUMA-locality class of a KindTaskSteal event.
+func (e Event) StealLocality() StealLocality {
+	l := StealLocality(e.Arg >> 32 & 0x3)
+	if l > StealLocalityRemote {
+		l = StealLocalityUnknown
+	}
+	return l
 }
 
 // cacheLine is the padding granularity separating independently written hot
