@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke monitor-smoke verify
+.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke verify
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,31 @@ trace-smoke: build
 		$(TRACE_DIR)/summary.txt
 	rm -rf $(TRACE_DIR)
 
+# nested-smoke runs a real nested-parallel application (blocked LU with a
+# depth-2 region per trailing update) under a per-level thread list and
+# asserts, from the traced per-region summary, that nesting actually happened:
+# two active levels, nested regions observed, the configured widths at each
+# level (4 outer, 2 inner), and no dropped events. The warmup run matters —
+# it creates the inner teams before tracing starts, so their threads have
+# rings when the timed repetitions are traced.
+NESTED_DIR := $(or $(TMPDIR),/tmp)/omptune-nested-smoke
+nested-smoke: build
+	rm -rf $(NESTED_DIR) && mkdir -p $(NESTED_DIR)
+	$(GO) run ./cmd/omprun -app LUNest -scale 0.5 \
+		-set "OMP_NUM_THREADS=4,2,OMP_MAX_ACTIVE_LEVELS=2,KMP_BLOCKTIME=0" \
+		-warmup 1 -reps 2 -trace-summary 2> $(NESTED_DIR)/summary.txt
+	awk '/^summary: / { found = 1; \
+		for (i = 2; i <= NF; i++) { split($$i, kv, "="); v[kv[1]] = kv[2] } \
+		if (v["levels"] + 0 < 2) { print "nested-smoke: levels=" v["levels"] ", want >= 2"; exit 1 } \
+		if (v["nested_regions"] + 0 <= 0) { print "nested-smoke: no nested regions"; exit 1 } \
+		if (v["level0_threads"] + 0 != 4) { print "nested-smoke: level0_threads=" v["level0_threads"] ", want 4"; exit 1 } \
+		if (v["level1_threads"] + 0 != 2) { print "nested-smoke: level1_threads=" v["level1_threads"] ", want 2"; exit 1 } \
+		if (v["dropped"] + 0 != 0) { print "nested-smoke: dropped events"; exit 1 } \
+		print "nested-smoke: " $$0 } \
+		END { if (!found) { print "nested-smoke: summary line missing"; exit 1 } }' \
+		$(NESTED_DIR)/summary.txt
+	rm -rf $(NESTED_DIR)
+
 # monitor-smoke proves the live monitor end to end on a real measured
 # micro-campaign: ompsweep runs with -serve on an ephemeral port, the bound
 # address is scraped from its stderr line, and while the server lingers the
@@ -148,4 +173,4 @@ monitor-smoke: build
 # verify is the pre-merge gate. bench-gate is deliberately not in it (timing
 # noise would make the gate flaky on shared machines) — run `make bench-gate`
 # by hand when a change touches the runtime hot paths.
-verify: race test smoke trace-smoke monitor-smoke
+verify: race test smoke trace-smoke nested-smoke monitor-smoke

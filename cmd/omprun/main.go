@@ -106,12 +106,7 @@ func main() {
 		fatal(fmt.Errorf("-warmup %d: want >= 0", *warmup))
 	}
 
-	environ := os.Environ()
-	if *setFlag != "" {
-		for _, kv := range strings.Split(*setFlag, ",") {
-			environ = append(environ, strings.TrimSpace(kv))
-		}
-	}
+	environ := append(os.Environ(), splitSetFlag(*setFlag)...)
 	opts, err := openmp.OptionsFromEnviron(environ)
 	if err != nil {
 		fatal(err)
@@ -226,6 +221,28 @@ func emitTrace(data trace.Data, path string, summary bool) error {
 		fmt.Fprint(os.Stderr, trace.Summarize(data).String())
 	}
 	return nil
+}
+
+// splitSetFlag splits the -set value into KEY=VALUE entries. Commas are the
+// entry separator, but a segment without '=' belongs to the previous entry's
+// value — so list-valued variables pass through unquoted:
+//
+//	-set "OMP_NUM_THREADS=4,2,OMP_MAX_ACTIVE_LEVELS=2"
+//
+// yields OMP_NUM_THREADS=4,2 and OMP_MAX_ACTIVE_LEVELS=2.
+func splitSetFlag(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, seg := range strings.Split(s, ",") {
+		if !strings.Contains(seg, "=") && len(out) > 0 {
+			out[len(out)-1] += "," + strings.TrimSpace(seg)
+			continue
+		}
+		out = append(out, strings.TrimSpace(seg))
+	}
+	return out
 }
 
 func secondsDuration(s float64) time.Duration {

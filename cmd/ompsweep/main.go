@@ -65,6 +65,7 @@ func main() {
 		out        = flag.String("o", "-", "output CSV path ('-' = stdout)")
 		progress   = flag.Bool("progress", false, "print one line per completed setting to stderr")
 		extended   = flag.Bool("extended", false, "include numa_domains places and six thread counts (future-work coverage)")
+		nested     = flag.Bool("nested", false, "sweep the nesting axis: per-level OMP_NUM_THREADS lists, OMP_MAX_ACTIVE_LEVELS, OMP_THREAD_LIMIT, plus the nested apps")
 		shard      = flag.String("shard", "", "K/N: collect only the K-th of N application shards (merge CSVs afterwards)")
 		workers    = flag.Int("workers", 0, "concurrent setting batches (0 = one per CPU)")
 		checkpoint = flag.String("checkpoint", "", "journal completed settings here; rerun with the same flags to resume")
@@ -140,6 +141,11 @@ func main() {
 			for _, a := range omptune.Applications() {
 				pool = append(pool, a.Name)
 			}
+			if *nested {
+				for _, a := range omptune.NestedApplications() {
+					pool = append(pool, a.Name)
+				}
+			}
 		}
 		var mine []string
 		for i, name := range pool {
@@ -162,6 +168,7 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	opt.Extended = *extended
+	opt.Nested = *nested
 
 	// A first Ctrl-C cancels the sweep between settings — in-flight settings
 	// finish and checkpoint — a second one kills the process the usual way.

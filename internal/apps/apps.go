@@ -76,9 +76,46 @@ func All() []*App {
 	return out
 }
 
-// ByName returns the named application.
+// nestedRegistry holds the nested-parallelism applications this repo adds
+// beyond the paper's fifteen. They live in their own registry so All() —
+// and every dataset shape pinned on it — stays exactly the study's set;
+// nesting sweeps opt in through NestedApps/NestedOnArch.
+var nestedRegistry []*App
+
+func registerNested(a *App) *App {
+	nestedRegistry = append(nestedRegistry, a)
+	return a
+}
+
+// NestedApps returns the nested-parallelism applications in name order.
+func NestedApps() []*App {
+	out := make([]*App, len(nestedRegistry))
+	copy(out, nestedRegistry)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NestedOnArch returns the nested applications available on arch (all of
+// them — the nesting study has no per-architecture exclusions).
+func NestedOnArch(arch topology.Arch) []*App {
+	var out []*App
+	for _, a := range NestedApps() {
+		if a.RunsOn(arch) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName returns the named application, searching the study set first and
+// the nested-parallelism set second.
 func ByName(name string) (*App, error) {
 	for _, a := range registry {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	for _, a := range nestedRegistry {
 		if a.Name == name {
 			return a, nil
 		}

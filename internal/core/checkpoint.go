@@ -33,7 +33,11 @@ type sweepManifest struct {
 	Arches    []string           `json:"arches"`
 	Fractions map[string]float64 `json:"fractions"`
 	Extended  bool               `json:"extended"`
-	Shard     string             `json:"shard,omitempty"`
+	// Nested records whether the campaign swept the nesting axis. Manifests
+	// written before the axis existed carry no field and read back as false —
+	// exactly the space those campaigns used.
+	Nested bool   `json:"nested,omitempty"`
+	Shard  string `json:"shard,omitempty"`
 	// Backend is the measurement backend's identity (Evaluator.Name). Model
 	// and measured runtimes must never mix inside one campaign, so resuming
 	// under a different backend is rejected. Manifests written before the
@@ -58,6 +62,7 @@ func manifestFor(sc SweepConfig, ev Evaluator, units []*sweepUnit) sweepManifest
 	man := sweepManifest{
 		Version:   manifestVersion,
 		Extended:  sc.Extended,
+		Nested:    sc.Nested,
 		Shard:     sc.ShardSpec,
 		Backend:   orModel(ev).Name(),
 		Fractions: map[string]float64{},
@@ -87,6 +92,8 @@ func (m sweepManifest) diff(other sweepManifest) string {
 		return fmt.Sprintf("shard spec %q vs %q", other.Shard, m.Shard)
 	case m.Extended != other.Extended:
 		return fmt.Sprintf("extended space %v vs %v", other.Extended, m.Extended)
+	case m.Nested != other.Nested:
+		return fmt.Sprintf("nested axis %v vs %v", other.Nested, m.Nested)
 	case strings.Join(m.Arches, ",") != strings.Join(other.Arches, ","):
 		return fmt.Sprintf("architectures %v vs %v", other.Arches, m.Arches)
 	case len(m.Units) != len(other.Units):

@@ -43,6 +43,12 @@ type SweepConfig struct {
 	// places in the configuration space and six thread counts instead of
 	// three for the thread-varied applications.
 	Extended bool
+	// Nested enables the nesting tunable axis: the configuration space
+	// gains per-level OMP_NUM_THREADS lists, OMP_MAX_ACTIVE_LEVELS and
+	// OMP_THREAD_LIMIT variants (see NestedSpace), and the nested-parallel
+	// applications (LUNest, TreeNest) join the campaign when AppNames is
+	// nil. Composable with Extended (the nested variants are added on top).
+	Nested bool
 	// Workers bounds the number of setting batches evaluated concurrently;
 	// <= 0 means runtime.NumCPU(). The merged sample order is independent
 	// of the worker count (byte-identical CSV output).
@@ -161,9 +167,15 @@ func planUnits(sc SweepConfig) ([]*sweepUnit, error) {
 		if err != nil {
 			return nil, err
 		}
+		if sc.Nested && sc.AppNames == nil {
+			appList = append(appList, apps.NestedOnArch(arch)...)
+		}
 		space := env.Space(m)
 		if sc.Extended {
 			space = ExtendedSpace(m)
+		}
+		if sc.Nested {
+			space = append(append([]env.Config(nil), space...), nestedVariants(m)...)
 		}
 		defCfg := env.Default(m)
 		for _, app := range appList {

@@ -28,6 +28,12 @@ var headerV1 = []string{
 
 var headerV2 = append(append([]string{}, headerV1...), "source")
 
+// headerV3 appends the nesting-axis configuration columns. Like the source
+// column, they are emitted only when a sample actually carries a nested
+// configuration, so flat campaigns stay byte-identical with earlier files.
+var headerV3 = append(append([]string{}, headerV2...),
+	"omp_num_threads", "omp_max_active_levels", "omp_thread_limit")
+
 // hasNonModelSource reports whether any sample needs the provenance column.
 func (d *Dataset) hasNonModelSource() bool {
 	for _, s := range d.Samples {
@@ -38,15 +44,35 @@ func (d *Dataset) hasNonModelSource() bool {
 	return false
 }
 
+// hasNestedConfig reports whether any sample needs the nesting columns —
+// dropping them would collapse configurations that differ only in the
+// nesting axis into indistinguishable rows.
+func (d *Dataset) hasNestedConfig() bool {
+	for _, s := range d.Samples {
+		c := s.Config
+		if c.NumThreadsList != "" || c.MaxActiveLevels != 0 || c.ThreadLimit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteCSV streams the dataset in the study's tabular format. Datasets whose
 // samples all come from the model backend use the legacy V1 header
 // (byte-identical with pre-provenance files); any measured sample switches
-// the file to the V2 header with the trailing "source" column.
+// the file to the V2 header with the trailing "source" column, and any
+// nested configuration to the V3 header with the nesting columns (which
+// include source — a single linear version order keeps reading simple).
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	header := headerV1
 	withSource := d.hasNonModelSource()
+	withNested := d.hasNestedConfig()
 	if withSource {
 		header = headerV2
+	}
+	if withNested {
+		header = headerV3
+		withSource = true
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
@@ -76,6 +102,11 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		if withSource {
 			row[20] = s.SourceName()
 		}
+		if withNested {
+			row[21] = s.Config.NumThreadsList
+			row[22] = itoaOrEmpty(s.Config.MaxActiveLevels)
+			row[23] = itoaOrEmpty(s.Config.ThreadLimit)
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -97,11 +128,13 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("dataset: empty file")
 	}
-	withSource := false
+	withSource, withNested := false, false
 	switch {
 	case len(rows[0]) == len(headerV1) && rows[0][0] == "arch":
 	case len(rows[0]) == len(headerV2) && rows[0][0] == "arch" && rows[0][len(headerV2)-1] == "source":
 		withSource = true
+	case len(rows[0]) == len(headerV3) && rows[0][0] == "arch" && rows[0][len(headerV3)-1] == "omp_thread_limit":
+		withSource, withNested = true, true
 	default:
 		return nil, fmt.Errorf("dataset: unrecognized header %v", rows[0])
 	}
@@ -138,6 +171,17 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if row[11] != string(env.ReductionUnset) {
 			environ = append(environ, "KMP_FORCE_REDUCTION="+row[11])
 		}
+		if withNested {
+			if row[21] != "" {
+				environ = append(environ, "OMP_NUM_THREADS="+row[21])
+			}
+			if row[22] != "" {
+				environ = append(environ, "OMP_MAX_ACTIVE_LEVELS="+row[22])
+			}
+			if row[23] != "" {
+				environ = append(environ, "OMP_THREAD_LIMIT="+row[23])
+			}
+		}
 		if s.Config, err = env.Parse(m, environ); err != nil {
 			return nil, fmt.Errorf("dataset: row %d config: %w", ln+2, err)
 		}
@@ -161,3 +205,11 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 }
 
 func fmt1(f float64) string { return strconv.FormatFloat(f, 'g', 10, 64) }
+
+// itoaOrEmpty renders an optional integer column: zero (unset) stays empty.
+func itoaOrEmpty(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return strconv.Itoa(n)
+}

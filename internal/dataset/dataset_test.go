@@ -354,6 +354,73 @@ func TestCSVLegacyFileReadsWithModelSource(t *testing.T) {
 	}
 }
 
+func TestCSVNestedConfigRoundTrip(t *testing.T) {
+	// A dataset with nesting-axis configurations writes the V3 header and
+	// round-trips the nested fields — without them, configurations differing
+	// only in the nesting axis would collapse into duplicate rows.
+	nested := mkSample(topology.Milan, "LUNest", "small", 1.3)
+	nested.Config.NumThreadsList = "4,2"
+	nested.Config.MaxActiveLevels = 2
+	nested.Config.ThreadLimit = 16
+	flat := mkSample(topology.Milan, "LUNest", "small", 1.1)
+	ds := &Dataset{Samples: []*Sample{nested, flat}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(head, ",source,omp_num_threads,omp_max_active_levels,omp_thread_limit") {
+		t.Fatalf("V3 header missing nesting columns: %q", head)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got := back.Samples[0].Config; got != nested.Config {
+		t.Errorf("nested config round-trip = %+v, want %+v", got, nested.Config)
+	}
+	if got := back.Samples[1].Config; got != flat.Config {
+		t.Errorf("flat config round-trip = %+v, want %+v", got, flat.Config)
+	}
+	if back.Samples[0].Config.Key() == back.Samples[1].Config.Key() {
+		t.Error("nested and flat configs collapsed to the same key after round-trip")
+	}
+	// Byte-identical on a second pass, the property checkpoint resume needs.
+	var buf2 bytes.Buffer
+	if err := back.WriteCSV(&buf2); err != nil {
+		t.Fatalf("WriteCSV(back): %v", err)
+	}
+	if buf2.String() == "" || !bytes.Equal(buf2.Bytes(), regenerate(t, ds)) {
+		t.Error("nested CSV not byte-stable across write-read-write")
+	}
+}
+
+// regenerate re-serializes ds for byte-comparison.
+func regenerate(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCSVFlatDatasetOmitsNestedColumns(t *testing.T) {
+	// Flat campaigns must stay byte-identical with pre-nesting files even
+	// when measured (V2): the nesting columns appear only when used.
+	measured := mkSample(topology.A64FX, "CG", "small", 1.2)
+	measured.Source = SourceMeasured
+	ds := &Dataset{Samples: []*Sample{measured}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if strings.Contains(head, "omp_num_threads") {
+		t.Fatalf("flat dataset wrote nesting columns: %q", head)
+	}
+}
+
 func TestCSVSourceColumnErrors(t *testing.T) {
 	// An empty source cell in a V2 file is a corruption signal, not a default.
 	bad := "arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal,source\n" +

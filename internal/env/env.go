@@ -107,7 +107,11 @@ func PlaceKinds() []topology.PlaceKind {
 	}
 }
 
-// Config is one assignment to the seven studied environment variables.
+// Config is one assignment to the seven studied environment variables, plus
+// the optional nesting axis (per-level thread lists, active-level and
+// thread-limit bounds). The nesting fields are scalars with zero meaning
+// "unset" so Config stays comparable (IsDefault, dataset join keys) and a
+// flat Config renders byte-identically to the pre-nesting format.
 type Config struct {
 	Places         topology.PlaceKind // OMP_PLACES
 	ProcBind       ProcBind           // OMP_PROC_BIND
@@ -116,6 +120,17 @@ type Config struct {
 	BlocktimeMS    int                // KMP_BLOCKTIME; BlocktimeInfinite = never sleep
 	ForceReduction Reduction          // KMP_FORCE_REDUCTION
 	AlignAlloc     int                // KMP_ALIGN_ALLOC in bytes
+
+	// NumThreadsList is the OMP_NUM_THREADS per-level list as its canonical
+	// comma-separated string ("4,2"); empty means unset (the machine-wide
+	// flat default). Kept as a string so Config remains comparable.
+	NumThreadsList string
+	// MaxActiveLevels is OMP_MAX_ACTIVE_LEVELS; 0 means unset (nesting depth
+	// then follows the NumThreadsList length, or stays serialized).
+	MaxActiveLevels int
+	// ThreadLimit is OMP_THREAD_LIMIT, bounding the whole contention group
+	// across nesting levels; 0 means unset (unlimited).
+	ThreadLimit int
 }
 
 // Default returns the runtime's default configuration on machine m (§III):
@@ -196,18 +211,72 @@ func (c Config) Validate(m *topology.Machine) error {
 	if !containsInt(m.AlignAllocValues(), c.AlignAlloc) {
 		return fmt.Errorf("env: invalid KMP_ALIGN_ALLOC %d for %s", c.AlignAlloc, m.Arch)
 	}
+	if c.NumThreadsList != "" {
+		if _, err := ParseNumThreadsList(c.NumThreadsList); err != nil {
+			return err
+		}
+	}
+	if c.MaxActiveLevels < 0 {
+		return fmt.Errorf("env: invalid OMP_MAX_ACTIVE_LEVELS %d", c.MaxActiveLevels)
+	}
+	if c.ThreadLimit < 0 {
+		return fmt.Errorf("env: invalid OMP_THREAD_LIMIT %d", c.ThreadLimit)
+	}
 	return nil
+}
+
+// ParseNumThreadsList parses an OMP_NUM_THREADS value list ("4,2"): one
+// positive integer per nesting level, comma-separated. Malformed lists —
+// empty entries, non-integers, values below one — are rejected with an
+// error naming the offending entry.
+func ParseNumThreadsList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("env: OMP_NUM_THREADS list %q has an empty entry", s)
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("env: OMP_NUM_THREADS entry %q: want a positive integer", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// formatThreadList renders a parsed list back to canonical comma-separated
+// form (no spaces), the representation stored in Config.NumThreadsList.
+func formatThreadList(list []int) string {
+	parts := make([]string, len(list))
+	for i, n := range list {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
 }
 
 // IsDefault reports whether c equals the default configuration on m.
 func (c Config) IsDefault(m *topology.Machine) bool { return c == Default(m) }
 
 // Key returns a stable, human-readable identifier for the configuration,
-// used as the dataset join key.
+// used as the dataset join key. Nesting fields are appended only when set,
+// so flat configurations keep their pre-nesting keys (existing datasets
+// stay joinable).
 func (c Config) Key() string {
-	return fmt.Sprintf("places=%s|bind=%s|sched=%s|lib=%s|blocktime=%s|red=%s|align=%d",
+	k := fmt.Sprintf("places=%s|bind=%s|sched=%s|lib=%s|blocktime=%s|red=%s|align=%d",
 		c.Places, c.ProcBind, c.Schedule, c.Library, blocktimeString(c.BlocktimeMS),
 		c.ForceReduction, c.AlignAlloc)
+	if c.NumThreadsList != "" {
+		k += "|nthreads=" + c.NumThreadsList
+	}
+	if c.MaxActiveLevels != 0 {
+		k += "|maxlevels=" + strconv.Itoa(c.MaxActiveLevels)
+	}
+	if c.ThreadLimit != 0 {
+		k += "|threadlimit=" + strconv.Itoa(c.ThreadLimit)
+	}
+	return k
 }
 
 // String implements fmt.Stringer with the Key representation.
@@ -218,6 +287,15 @@ func (c Config) String() string { return c.Key() }
 // matching how the study drives the real runtime.
 func (c Config) Environ() []string {
 	var out []string
+	if c.NumThreadsList != "" {
+		out = append(out, "OMP_NUM_THREADS="+c.NumThreadsList)
+	}
+	if c.MaxActiveLevels != 0 {
+		out = append(out, "OMP_MAX_ACTIVE_LEVELS="+strconv.Itoa(c.MaxActiveLevels))
+	}
+	if c.ThreadLimit != 0 {
+		out = append(out, "OMP_THREAD_LIMIT="+strconv.Itoa(c.ThreadLimit))
+	}
 	if c.Places != topology.PlaceUnset {
 		out = append(out, "OMP_PLACES="+string(c.Places))
 	}
@@ -247,6 +325,24 @@ func Parse(m *topology.Machine, environ []string) (Config, error) {
 		}
 		val = strings.TrimSpace(strings.ToLower(val))
 		switch strings.ToUpper(strings.TrimSpace(key)) {
+		case "OMP_NUM_THREADS":
+			list, err := ParseNumThreadsList(val)
+			if err != nil {
+				return Config{}, err
+			}
+			c.NumThreadsList = formatThreadList(list)
+		case "OMP_MAX_ACTIVE_LEVELS":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Config{}, fmt.Errorf("env: invalid OMP_MAX_ACTIVE_LEVELS %q", val)
+			}
+			c.MaxActiveLevels = n
+		case "OMP_THREAD_LIMIT":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Config{}, fmt.Errorf("env: invalid OMP_THREAD_LIMIT %q", val)
+			}
+			c.ThreadLimit = n
 		case "OMP_PLACES":
 			c.Places = topology.PlaceKind(val)
 		case "OMP_PROC_BIND":
@@ -332,11 +428,54 @@ const (
 	VarAlignAlloc     VarName = "KMP_ALIGN_ALLOC"
 )
 
+// The nesting-axis variables. They are deliberately NOT part of Names():
+// the canonical seven-variable feature order (and every dataset keyed on
+// it) is pinned; nesting sweeps opt in through NestedNames.
+const (
+	VarNumThreads      VarName = "OMP_NUM_THREADS"
+	VarMaxActiveLevels VarName = "OMP_MAX_ACTIVE_LEVELS"
+	VarThreadLimit     VarName = "OMP_THREAD_LIMIT"
+)
+
 // Names returns the canonical variable order.
 func Names() []VarName {
 	return []VarName{VarPlaces, VarProcBind, VarSchedule, VarLibrary,
 		VarBlocktime, VarForceReduction, VarAlignAlloc}
 }
+
+// NestedNames returns the nesting-axis variable order, appended after
+// Names() when a sweep enables the nesting dimension.
+func NestedNames() []VarName {
+	return []VarName{VarNumThreads, VarMaxActiveLevels, VarThreadLimit}
+}
+
+// NumThreadsLists returns the OMP_NUM_THREADS per-level lists swept when
+// the nesting axis is enabled on machine m: unset (flat full-machine
+// default), a depth-2 split forking 2-wide inner teams from a full-width
+// outer team, and a depth-3 split halving the outer team to leave headroom
+// for two threaded inner levels.
+func NumThreadsLists(m *topology.Machine) []string {
+	half := m.Cores / 2
+	if half < 1 {
+		half = 1
+	}
+	return []string{
+		"",
+		fmt.Sprintf("%d,2", m.Cores),
+		fmt.Sprintf("%d,2,2", half),
+	}
+}
+
+// MaxActiveLevelsValues returns the OMP_MAX_ACTIVE_LEVELS domain swept on
+// the nesting axis: unset (list-depth default), nesting capped at two
+// active levels, and at three.
+func MaxActiveLevelsValues() []int { return []int{0, 2, 3} }
+
+// ThreadLimits returns the OMP_THREAD_LIMIT domain swept on the nesting
+// axis: unset (unlimited), the core count (inner forks must serialize once
+// the outer team fills the machine), and twice the core count
+// (oversubscription headroom for nested teams).
+func ThreadLimits(m *topology.Machine) []int { return []int{0, m.Cores, 2 * m.Cores} }
 
 // Feature returns the naive ordinal encoding of variable v in c (§IV-D uses
 // a naive numeric scheme). The encoding is the index within the swept
@@ -357,6 +496,17 @@ func (c Config) Feature(v VarName) float64 {
 		return float64(indexOf(Reductions(), c.ForceReduction))
 	case VarAlignAlloc:
 		return log2i(c.AlignAlloc)
+	case VarNumThreads:
+		// Encoded as the list depth: 0 = unset/flat, 2 = depth-2 split, …
+		// roughly monotone in how much nesting the list enables.
+		if c.NumThreadsList == "" {
+			return 0
+		}
+		return float64(strings.Count(c.NumThreadsList, ",") + 1)
+	case VarMaxActiveLevels:
+		return float64(c.MaxActiveLevels)
+	case VarThreadLimit:
+		return log2i(c.ThreadLimit) // 0 = unset; log keeps the scale comparable
 	default:
 		return -1
 	}
@@ -393,6 +543,28 @@ func (c Config) Set(v VarName, value string) (Config, error) {
 			return c, fmt.Errorf("env: bad alignment %q", value)
 		}
 		c.AlignAlloc = n
+	case VarNumThreads:
+		if value == "" || value == "unset" {
+			c.NumThreadsList = ""
+			break
+		}
+		list, err := ParseNumThreadsList(value)
+		if err != nil {
+			return c, err
+		}
+		c.NumThreadsList = formatThreadList(list)
+	case VarMaxActiveLevels:
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("env: bad max active levels %q", value)
+		}
+		c.MaxActiveLevels = n
+	case VarThreadLimit:
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("env: bad thread limit %q", value)
+		}
+		c.ThreadLimit = n
 	default:
 		return c, fmt.Errorf("env: unknown variable %q", v)
 	}
@@ -425,6 +597,20 @@ func Values(m *topology.Machine, v VarName) []string {
 			out = append(out, strconv.Itoa(a))
 		}
 		return out
+	case VarNumThreads:
+		return NumThreadsLists(m)
+	case VarMaxActiveLevels:
+		out := make([]string, 0, 3)
+		for _, v := range MaxActiveLevelsValues() {
+			out = append(out, strconv.Itoa(v))
+		}
+		return out
+	case VarThreadLimit:
+		out := make([]string, 0, 3)
+		for _, v := range ThreadLimits(m) {
+			out = append(out, strconv.Itoa(v))
+		}
+		return out
 	default:
 		return nil
 	}
@@ -447,6 +633,12 @@ func (c Config) Value(v VarName) string {
 		return string(c.ForceReduction)
 	case VarAlignAlloc:
 		return strconv.Itoa(c.AlignAlloc)
+	case VarNumThreads:
+		return c.NumThreadsList
+	case VarMaxActiveLevels:
+		return strconv.Itoa(c.MaxActiveLevels)
+	case VarThreadLimit:
+		return strconv.Itoa(c.ThreadLimit)
 	default:
 		return ""
 	}

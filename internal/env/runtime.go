@@ -18,13 +18,25 @@ import (
 // override it with the setting's thread count.
 func (c Config) RuntimeOptions(m *topology.Machine) openmp.Options {
 	o := openmp.Options{
-		NumThreads:  m.Cores,
-		Schedule:    runtimeSchedule(c.Schedule),
-		Bind:        runtimeBind(c.ProcBind),
-		Library:     runtimeLibrary(c.Library),
-		BlocktimeMS: c.BlocktimeMS,
-		Reduction:   runtimeReduction(c.ForceReduction),
-		AlignAlloc:  c.AlignAlloc,
+		NumThreads:      m.Cores,
+		Schedule:        runtimeSchedule(c.Schedule),
+		Bind:            runtimeBind(c.ProcBind),
+		Library:         runtimeLibrary(c.Library),
+		BlocktimeMS:     c.BlocktimeMS,
+		Reduction:       runtimeReduction(c.ForceReduction),
+		AlignAlloc:      c.AlignAlloc,
+		MaxActiveLevels: c.MaxActiveLevels,
+		ThreadLimit:     c.ThreadLimit,
+	}
+	if c.NumThreadsList != "" {
+		// Validate guarantees the list parses; level 0 overrides the
+		// machine-wide default and the full list drives nested widths.
+		if list, err := ParseNumThreadsList(c.NumThreadsList); err == nil {
+			o.NumThreads = list[0]
+			if len(list) > 1 {
+				o.ThreadsPerLevel = list
+			}
+		}
 	}
 	if c.Places != topology.PlaceUnset {
 		// Resolve the place kind against the machine model, falling back to

@@ -1,0 +1,89 @@
+package sim
+
+// Tests for the model's nested-parallelism term: flat profiles are
+// unaffected (byte-identical pre-nesting behaviour), nested profiles gain
+// from inner width only while idle cores exist, and the width resolution
+// mirrors the runtime's serialization rules.
+
+import (
+	"testing"
+
+	"omptune/internal/env"
+	"omptune/internal/topology"
+)
+
+func nestedProfile() *Profile {
+	return &Profile{
+		Name: "nested", Class: LoopParallel,
+		SerialFrac: 0.01, CPUWorkGOps: 50, WorkGrowth: 1.0,
+		Regions: 100, ItersPerRegion: 1000, Imbalance: 0.02,
+		NestedRegions: 2000, NestedFrac: 0.6,
+	}
+}
+
+func TestFlatProfileIgnoresNestingConfig(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	p := nestedProfile()
+	p.NestedRegions, p.NestedFrac = 0, 0
+	set := Setting{Label: "t16", Threads: 16, Scale: 1}
+	flat := env.Default(m)
+	nested := flat
+	nested.NumThreadsList = "16,4"
+	nested.MaxActiveLevels = 2
+	if a, b := EvaluateExact(m, p, flat, set), EvaluateExact(m, p, nested, set); a != b {
+		t.Errorf("flat profile changed under nesting config: %v vs %v", a, b)
+	}
+}
+
+func TestNestedWidthSpeedsUpWithIdleCores(t *testing.T) {
+	m := topology.MustGet(topology.Milan) // 64 cores
+	p := nestedProfile()
+	set := Setting{Label: "t8", Threads: 8, Scale: 1}
+	flat := env.Default(m)
+	nested := flat
+	nested.NumThreadsList = "8,4"
+	nested.MaxActiveLevels = 2
+	tFlat := EvaluateExact(m, p, flat, set)
+	tNested := EvaluateExact(m, p, nested, set)
+	if tNested >= tFlat {
+		t.Errorf("threaded inner teams with idle cores did not help: nested %v >= flat %v", tNested, tFlat)
+	}
+}
+
+func TestNestedWidthNoGainWhenMachineFull(t *testing.T) {
+	m := topology.MustGet(topology.Milan)
+	p := nestedProfile()
+	set := Setting{Label: "full", Threads: m.Cores, Scale: 1}
+	flat := env.Default(m)
+	nested := flat
+	nested.NumThreadsList = itoa(m.Cores) + ",4"
+	nested.MaxActiveLevels = 2
+	tFlat := EvaluateExact(m, p, flat, set)
+	tNested := EvaluateExact(m, p, nested, set)
+	// The outer team fills the machine: inner width buys nothing, and the
+	// wider forks cost more, so nesting must not come out ahead.
+	if tNested < tFlat {
+		t.Errorf("oversubscribed nesting came out ahead: nested %v < flat %v", tNested, tFlat)
+	}
+}
+
+func TestNestedInnerWidthResolution(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     env.Config
+		threads int
+		want    float64
+	}{
+		{"flat default serializes", env.Config{}, 8, 1},
+		{"list implies depth", env.Config{NumThreadsList: "8,4"}, 8, 4},
+		{"last entry extends", env.Config{NumThreadsList: "8,4", MaxActiveLevels: 3}, 8, 4},
+		{"max levels 1 serializes", env.Config{NumThreadsList: "8,4", MaxActiveLevels: 1}, 8, 1},
+		{"thread limit clamps", env.Config{NumThreadsList: "8,4", ThreadLimit: 16}, 8, 2},
+		{"exhausted limit serializes", env.Config{NumThreadsList: "8,4", ThreadLimit: 8}, 8, 1},
+	}
+	for _, c := range cases {
+		if got := nestedInnerWidth(c.cfg, c.threads); got != c.want {
+			t.Errorf("%s: nestedInnerWidth = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

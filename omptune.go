@@ -100,6 +100,11 @@ func RegisterMachine(m *Machine) error { return topology.Register(m) }
 // Applications returns the fifteen benchmark applications in suite order.
 func Applications() []*App { return apps.All() }
 
+// NestedApplications returns the nested-parallelism applications (LUNest,
+// TreeNest) this repo adds beyond the study set; they join a campaign via
+// CollectOptions.Nested or an explicit Apps list.
+func NestedApplications() []*App { return apps.NestedApps() }
+
 // ApplicationByName looks an application up by its table name
 // (e.g. "Nqueens", "XSbench").
 func ApplicationByName(name string) (*App, error) { return apps.ByName(name) }
@@ -198,6 +203,12 @@ type CollectOptions struct {
 	// Extended enables the future-work coverage: numa_domains places and
 	// six thread counts for the thread-varied applications.
 	Extended bool
+	// Nested enables the nesting tunable axis: per-level OMP_NUM_THREADS
+	// lists, OMP_MAX_ACTIVE_LEVELS and OMP_THREAD_LIMIT join the swept
+	// configuration space (see NestedConfigSpace) and the nested-parallel
+	// applications (LUNest, TreeNest) join the campaign when Apps is nil.
+	// Composable with Extended.
+	Nested bool
 	// Workers bounds how many setting batches are evaluated concurrently;
 	// <= 0 means runtime.NumCPU(). The sample order — and therefore the CSV
 	// output — is identical for every worker count.
@@ -246,6 +257,7 @@ func Collect(opt CollectOptions) (*Dataset, error) {
 		Progress:          opt.Progress,
 		OnProgress:        opt.OnProgress,
 		Extended:          opt.Extended,
+		Nested:            opt.Nested,
 		Workers:           opt.Workers,
 		CheckpointDir:     opt.CheckpointDir,
 		ShardSpec:         opt.Shard,
@@ -423,6 +435,11 @@ func RandomSearchWith(backend Evaluator, m *Machine, app *App, set Setting, budg
 // ExtendedConfigSpace includes the numa_domains place kind the paper
 // deferred for lack of hwloc.
 func ExtendedConfigSpace(m *Machine) []Config { return core.ExtendedSpace(m) }
+
+// NestedConfigSpace extends the sweep space along the nesting axis this repo
+// adds beyond the paper's seven variables: per-level OMP_NUM_THREADS lists,
+// OMP_MAX_ACTIVE_LEVELS and OMP_THREAD_LIMIT.
+func NestedConfigSpace(m *Machine) []Config { return core.NestedSpace(m) }
 
 // ExtendedThreadSettings widens the thread-count exploration the paper
 // lists as a limitation.

@@ -1,13 +1,11 @@
 package openmp
 
 // Tests for the hot-team fork–join paths: steady-state allocation-freedom,
-// nested-region detection, the lock-free construct ring (including its
-// overflow fallback), the wait-policy-aware barrier, sharded stats
-// aggregation, and critical-section lock caching.
+// the lock-free construct ring (including its overflow fallback), the
+// wait-policy-aware barrier, sharded stats aggregation, and critical-section
+// lock caching. Nested-parallelism behaviour is covered in nested_test.go.
 
 import (
-	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -50,33 +48,6 @@ func TestParallelStaticForZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(100, func() { rt.Parallel(body) }); allocs != 0 {
 		t.Errorf("static-for region: %.1f allocs/op, want 0", allocs)
-	}
-}
-
-func TestNestedParallelPanics(t *testing.T) {
-	rt := testRuntime(t, optsN(2))
-	var msg any
-	rt.Parallel(func(th *Thread) {
-		if th.ID() != 0 {
-			return
-		}
-		func() {
-			defer func() { msg = recover() }()
-			rt.Parallel(func(*Thread) {})
-		}()
-	})
-	if msg == nil {
-		t.Fatal("nested Parallel did not panic")
-	}
-	if s := fmt.Sprint(msg); !strings.Contains(s, "nested Parallel") {
-		t.Errorf("panic message %q does not mention nested Parallel", s)
-	}
-	// The recover happened inside the region body, so the runtime must
-	// still be fully usable.
-	var ran atomic.Int32
-	rt.Parallel(func(*Thread) { ran.Add(1) })
-	if ran.Load() != 2 {
-		t.Errorf("region after recovered nested panic ran %d threads, want 2", ran.Load())
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // mid-loop is simply picked up.
 func (th *Thread) traceChunk(iters int) {
 	if tr := th.team.rt.tracer.Load(); tr != nil {
-		tr.Emit(th.id, trace.KindChunk, th.team.rt.regionGen.Load(), int64(iters))
+		tr.Emit(int(th.gtid), th.team.level, trace.KindChunk, th.team.regionID, int64(iters))
 	}
 }
 

@@ -247,6 +247,24 @@ type Options struct {
 	// AlignAlloc is the byte alignment of Runtime-allocated buffers
 	// (KMP_ALIGN_ALLOC). Must be a power of two >= 8. Defaults to 64.
 	AlignAlloc int
+	// ThreadsPerLevel is the per-nesting-level team width list from an
+	// OMP_NUM_THREADS value list ("4,2"): level 0 regions use entry 0,
+	// their inner regions entry 1, and deeper levels reuse the last entry.
+	// Empty means every level uses NumThreads. When set, entry 0 should
+	// match NumThreads (OptionsFromEnviron keeps them consistent).
+	ThreadsPerLevel []int
+	// MaxActiveLevels is OMP_MAX_ACTIVE_LEVELS: how many nesting levels may
+	// run with more than one thread. 0 (unset) derives the default from
+	// ThreadsPerLevel — a multi-entry list enables as many levels as it has
+	// entries, otherwise only level 0 is active and inner regions
+	// serialize, matching the disabled-nesting default of the real runtime.
+	MaxActiveLevels int
+	// ThreadLimit is OMP_THREAD_LIMIT: an upper bound on the live threads
+	// of the whole contention group (outer team plus every nested team).
+	// 0 means unlimited. The outer team is clamped to it; nested forks
+	// draw from the remaining budget and serialize gracefully when it runs
+	// out.
+	ThreadLimit int
 }
 
 // DefaultOptions returns the library defaults used when a variable is unset:
@@ -265,9 +283,11 @@ func DefaultOptions() Options {
 }
 
 // OptionsFromEnviron builds Options from KEY=VALUE entries, starting from
-// DefaultOptions. Recognized keys: OMP_NUM_THREADS, OMP_SCHEDULE,
-// OMP_PROC_BIND, OMP_PLACES, KMP_LIBRARY, KMP_BLOCKTIME,
-// KMP_FORCE_REDUCTION, KMP_ALIGN_ALLOC. Unknown keys are ignored.
+// DefaultOptions. Recognized keys: OMP_NUM_THREADS (a single count or a
+// per-nesting-level comma list like "4,2"), OMP_MAX_ACTIVE_LEVELS,
+// OMP_THREAD_LIMIT, OMP_SCHEDULE, OMP_PROC_BIND, OMP_PLACES, KMP_LIBRARY,
+// KMP_BLOCKTIME, KMP_FORCE_REDUCTION, KMP_ALIGN_ALLOC. Unknown keys are
+// ignored.
 func OptionsFromEnviron(environ []string) (Options, error) {
 	o := DefaultOptions()
 	for _, kv := range environ {
@@ -278,9 +298,24 @@ func OptionsFromEnviron(environ []string) (Options, error) {
 		var err error
 		switch strings.ToUpper(strings.TrimSpace(key)) {
 		case "OMP_NUM_THREADS":
-			o.NumThreads, err = strconv.Atoi(strings.TrimSpace(val))
-			if err == nil && o.NumThreads < 1 {
-				err = fmt.Errorf("openmp: OMP_NUM_THREADS must be positive")
+			var list []int
+			list, err = ParseThreadList(val)
+			if err == nil {
+				o.NumThreads = list[0]
+				o.ThreadsPerLevel = nil
+				if len(list) > 1 {
+					o.ThreadsPerLevel = list
+				}
+			}
+		case "OMP_MAX_ACTIVE_LEVELS":
+			o.MaxActiveLevels, err = strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || o.MaxActiveLevels < 1 {
+				err = fmt.Errorf("openmp: OMP_MAX_ACTIVE_LEVELS %q: want a positive integer", val)
+			}
+		case "OMP_THREAD_LIMIT":
+			o.ThreadLimit, err = strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || o.ThreadLimit < 1 {
+				err = fmt.Errorf("openmp: OMP_THREAD_LIMIT %q: want a positive integer", val)
 			}
 		case "OMP_SCHEDULE":
 			o.Schedule, o.ChunkSize, err = ParseSchedule(val)
@@ -315,9 +350,41 @@ func OptionsFromEnviron(environ []string) (Options, error) {
 	return o, nil
 }
 
+// ParseThreadList parses an OMP_NUM_THREADS value: a single thread count or
+// a comma-separated per-nesting-level list ("4,2"). Every entry must be a
+// positive integer; empty entries ("4,,2", a trailing comma) are rejected
+// with a clear error.
+func ParseThreadList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("openmp: OMP_NUM_THREADS list %q has an empty entry", s)
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("openmp: OMP_NUM_THREADS entry %q: want a positive integer", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func (o Options) validate() error {
 	if o.NumThreads < 1 {
 		return fmt.Errorf("openmp: NumThreads %d < 1", o.NumThreads)
+	}
+	for _, n := range o.ThreadsPerLevel {
+		if n < 1 {
+			return fmt.Errorf("openmp: ThreadsPerLevel entry %d < 1", n)
+		}
+	}
+	if o.MaxActiveLevels < 0 {
+		return fmt.Errorf("openmp: MaxActiveLevels %d < 0", o.MaxActiveLevels)
+	}
+	if o.ThreadLimit < 0 {
+		return fmt.Errorf("openmp: ThreadLimit %d < 0", o.ThreadLimit)
 	}
 	if o.AlignAlloc < 8 || o.AlignAlloc&(o.AlignAlloc-1) != 0 {
 		return fmt.Errorf("openmp: AlignAlloc %d is not a power of two >= 8", o.AlignAlloc)
@@ -362,6 +429,33 @@ func (o Options) effectiveBlocktimeMS() int {
 		return BlocktimeInfinite
 	}
 	return o.BlocktimeMS
+}
+
+// effectiveMaxActiveLevels resolves MaxActiveLevels 0: a multi-entry
+// OMP_NUM_THREADS list opts into as many active levels as it has entries;
+// otherwise nesting stays serialized (one active level), the same default
+// as the real runtime with nesting disabled.
+func (o Options) effectiveMaxActiveLevels() int {
+	if o.MaxActiveLevels > 0 {
+		return o.MaxActiveLevels
+	}
+	if len(o.ThreadsPerLevel) > 1 {
+		return len(o.ThreadsPerLevel)
+	}
+	return 1
+}
+
+// widthForLevel is the requested team width for a region at the given
+// nesting level (before budget clamping): the level's ThreadsPerLevel
+// entry, the last entry for deeper levels, or NumThreads without a list.
+func (o Options) widthForLevel(level int) int {
+	if len(o.ThreadsPerLevel) == 0 {
+		return o.NumThreads
+	}
+	if level < len(o.ThreadsPerLevel) {
+		return o.ThreadsPerLevel[level]
+	}
+	return o.ThreadsPerLevel[len(o.ThreadsPerLevel)-1]
 }
 
 // effectiveReduction resolves ReductionDefault with the runtime heuristic.

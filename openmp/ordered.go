@@ -60,6 +60,12 @@ func (rt *Runtime) ParallelN(n int, body func(th *Thread)) {
 		seq := th.nextSeq()
 		st, h := th.team.instance(seq, func() any {
 			sub := newTeam(rt, n)
+			// The sub-team runs inside the enclosing region on the same
+			// goroutines (gtids 0..n-1 match the outer threads), so its
+			// events belong to the enclosing region and level.
+			sub.level = th.team.level
+			sub.activeLevels = th.team.activeLevels
+			sub.regionID = th.team.regionID
 			sub.body = body
 			return sub
 		})

@@ -236,6 +236,49 @@ func BenchmarkOverheadTracing(b *testing.B) {
 	})
 }
 
+// BenchmarkNestedForkJoin measures a full depth-2 fork–join: a 2-thread
+// outer region in which each thread forks a 2-thread inner region through
+// its cached hot team. Steady state must be 0 allocs/op — the nested
+// headline criterion. Turnaround keeps all waits on the spin path.
+func BenchmarkNestedForkJoin(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) {
+		o.NumThreads = 2
+		o.ThreadsPerLevel = []int{2, 2}
+		o.MaxActiveLevels = 2
+		o.Library = LibTurnaround
+	})
+	innerBody := func(*Thread) {}
+	body := func(th *Thread) { th.Parallel(innerBody) }
+	for i := 0; i < 10; i++ {
+		rt.Parallel(body) // warm the outer and per-thread inner hot teams
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(body)
+	}
+}
+
+// BenchmarkOuterOnlyRegression guards the outer-region fast path: nesting
+// is fully configured (width list, active levels, thread limit) but never
+// used, and the bare outer dispatch must cost the same as
+// BenchmarkOverheadParallel — the nesting machinery may not tax flat code.
+func BenchmarkOuterOnlyRegression(b *testing.B) {
+	rt := benchRuntime(b, func(o *Options) {
+		o.ThreadsPerLevel = []int{4, 2}
+		o.MaxActiveLevels = 2
+		o.ThreadLimit = 16
+		o.Library = LibTurnaround
+	})
+	body := func(*Thread) {}
+	rt.Parallel(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Parallel(body)
+	}
+}
+
 // BenchmarkOverheadStats measures the Stats() snapshot itself, which now
 // walks the per-thread shards.
 func BenchmarkOverheadStats(b *testing.B) {

@@ -11,39 +11,78 @@ import (
 	"omptune/openmp/trace"
 )
 
+// budgetUnlimited is the contention-group thread budget used when
+// OMP_THREAD_LIMIT is unset: large enough that no realistic nesting depth
+// exhausts it, small enough that the int64 arithmetic can never wrap.
+const budgetUnlimited = 1 << 30
+
 // Runtime owns a pool of worker goroutines and executes fork–join parallel
 // regions over them. Create one with New, use it from a single orchestrating
-// goroutine, and release the workers with Close. Parallel regions may not be
-// nested: calling Parallel from inside a region panics (OpenMP nested
-// parallelism is disabled in this runtime, exactly as with OMP_NESTED=false).
+// goroutine, and release the workers with Close.
 //
 // The runtime keeps a hot team (libomp's KMP_HOT_TEAMS): the Team, Thread
 // structs, construct ring and task pool are allocated once at New and reused
-// by every region. Regions are dispatched to workers through a generation
-// counter — the dispatcher bumps rt.regionGen and workers observe the new
-// generation on their spin path, so a steady-state Parallel call performs no
-// allocations and no channel operations.
+// by every region. Regions are dispatched to workers through a per-team
+// generation counter — the dispatcher bumps the team's gen and workers
+// observe the new generation on their spin path, so a steady-state Parallel
+// call performs no allocations and no channel operations.
+//
+// Nested parallelism is real: Thread.Parallel forks an inner region whose
+// team comes from a per-level hot-team cache (each Thread caches the inner
+// team it last forked, so steady-state nested fork–join reuses goroutines
+// and allocates nothing). Every team is its own contention group — inner
+// barriers, construct rings, task deques and steal scans touch only the
+// team's own threads. Widths follow the OMP_NUM_THREADS per-level list,
+// OMP_MAX_ACTIVE_LEVELS bounds how deep teams stay wider than one thread,
+// and OMP_THREAD_LIMIT is enforced by an atomic global budget: a fork the
+// budget cannot cover runs with whatever width was granted, down to
+// serialized width 1 — never an error. Calling Runtime.Parallel (rather
+// than Thread.Parallel) from inside an active region is the no-context
+// nested entry; it serializes to width 1.
 type Runtime struct {
 	opts      Options
 	bind      BindPolicy
 	placement []int // thread -> place index; nil when unbound
 
 	regionMu sync.Mutex
-	workers  []*worker
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // every worker of every team, for Close
 	closed   bool
 
-	// regionActive guards against nested Parallel: it is set for the
-	// duration of a region, and any Parallel call observing it panics
-	// instead of deadlocking on regionMu.
+	// regionActive is set for the duration of an outer region; a
+	// Runtime.Parallel call observing it runs as a serialized nested region
+	// instead of deadlocking on regionMu (which the outer region holds).
 	regionActive atomic.Bool
 
 	// shutdown tells workers returning from await to exit instead of
-	// running a region; Close raises it and bumps regionGen to release them.
+	// running a region; Close raises it and bumps every live team's gen to
+	// release them.
 	shutdown atomic.Bool
 
-	hot       *Team
-	regionGen atomic.Uint64
+	hot *Team
+
+	// regionSeq hands out globally unique region ids across all nesting
+	// levels — trace events from an inner region must not collapse into
+	// their enclosing region's records.
+	regionSeq atomic.Uint64
+
+	// nextGtid hands out global thread ids to inner-team workers. Outer
+	// threads own ids 0..n-1; an inner team's thread 0 is its parent's
+	// goroutine and reuses the parent's gtid (one goroutine = one trace
+	// ring), while inner workers draw fresh ids here.
+	nextGtid atomic.Int64
+
+	// budget is the remaining OMP_THREAD_LIMIT headroom for nested-team
+	// workers: ThreadLimit minus the outer team, budgetUnlimited when the
+	// limit is unset. Nested forks reserve from it with CAS
+	// (reserveThreads) and cached teams keep their reservation until
+	// retired, so steady-state nested dispatch touches no global atomics.
+	budget atomic.Int64
+
+	// teams registers every live team (the hot team and all cached nested
+	// teams) so Close can release their workers and StartTrace can size
+	// its rings.
+	teamsMu sync.Mutex
+	teams   []*Team
 
 	criticals sync.Map // name -> *sync.Mutex
 
@@ -71,17 +110,18 @@ type Runtime struct {
 // workers are still winding down their between-region waits can mix counter
 // values from different instants. Two guarantees bound the tearing:
 //
-//   - Region quiescence: when Parallel returns, Regions, Chunks, TasksRun,
-//     TasksStolen and the steal breakdown counters are exact — every
-//     increment of those counters happens-before the end-of-region barrier
-//     the primary thread passed. Sleeps and Wakeups may still trail, because
-//     a worker can exhaust its blocktime and park after the region that
-//     released it has ended.
+//   - Region quiescence: when Parallel returns, Regions, NestedRegions,
+//     Chunks, TasksRun, TasksStolen and the steal breakdown counters are
+//     exact — every increment of those counters happens-before the
+//     end-of-region barrier the primary thread passed (nested regions
+//     complete strictly inside their enclosing region). Sleeps and Wakeups
+//     may still trail, because a worker can exhaust its blocktime and park
+//     after the region that released it has ended.
 //   - Close: after Close returns, every worker has exited, all counters
 //     are final and exact, and Sleeps == Wakeups (each counted sleep was
 //     matched by a wake, including the shutdown wake).
 type Stats struct {
-	Regions     uint64 // parallel regions executed
+	Regions     uint64 // parallel regions executed (all nesting levels)
 	Sleeps      uint64 // times an idle worker, barrier waiter or task waiter exhausted its blocktime and slept
 	Wakeups     uint64 // times a slept worker, barrier waiter or task waiter was woken
 	TasksRun    uint64 // explicit tasks executed
@@ -96,6 +136,10 @@ type Stats struct {
 	StealBatches uint64 // batch steal visits that claimed at least one task
 	StealsLocal  uint64 // stolen tasks whose victim was NUMA-local to the thief
 	StealsRemote uint64 // stolen tasks whose victim was on a farther NUMA node
+
+	// NestedRegions counts the subset of Regions that ran at nesting level
+	// >= 1 (threaded inner teams and serialized width-1 fallbacks alike).
+	NestedRegions uint64
 }
 
 // Sub returns the counter-wise difference s − prev: the activity between
@@ -103,41 +147,68 @@ type Stats struct {
 // quiescence (see the Stats contract).
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Regions:      s.Regions - prev.Regions,
-		Sleeps:       s.Sleeps - prev.Sleeps,
-		Wakeups:      s.Wakeups - prev.Wakeups,
-		TasksRun:     s.TasksRun - prev.TasksRun,
-		TasksStolen:  s.TasksStolen - prev.TasksStolen,
-		Chunks:       s.Chunks - prev.Chunks,
-		StealBatches: s.StealBatches - prev.StealBatches,
-		StealsLocal:  s.StealsLocal - prev.StealsLocal,
-		StealsRemote: s.StealsRemote - prev.StealsRemote,
+		Regions:       s.Regions - prev.Regions,
+		Sleeps:        s.Sleeps - prev.Sleeps,
+		Wakeups:       s.Wakeups - prev.Wakeups,
+		TasksRun:      s.TasksRun - prev.TasksRun,
+		TasksStolen:   s.TasksStolen - prev.TasksStolen,
+		Chunks:        s.Chunks - prev.Chunks,
+		StealBatches:  s.StealBatches - prev.StealBatches,
+		StealsLocal:   s.StealsLocal - prev.StealsLocal,
+		StealsRemote:  s.StealsRemote - prev.StealsRemote,
+		NestedRegions: s.NestedRegions - prev.NestedRegions,
 	}
 }
 
 // statShard is one thread's private slice of the runtime counters, padded to
 // a whole number of cache lines so two threads bumping their own counters
-// never false-share. 9 words of counters + 56 bytes of padding = 128 bytes.
+// never false-share. 10 words of counters + 48 bytes of padding = 128 bytes.
 type statShard struct {
-	regions      atomic.Uint64
-	sleeps       atomic.Uint64
-	wakeups      atomic.Uint64
-	tasksRun     atomic.Uint64
-	tasksStolen  atomic.Uint64
-	chunks       atomic.Uint64
-	stealBatches atomic.Uint64
-	stealsLocal  atomic.Uint64
-	stealsRemote atomic.Uint64
-	_            [2*cacheLineSize - 72]byte
+	regions       atomic.Uint64
+	sleeps        atomic.Uint64
+	wakeups       atomic.Uint64
+	tasksRun      atomic.Uint64
+	tasksStolen   atomic.Uint64
+	chunks        atomic.Uint64
+	stealBatches  atomic.Uint64
+	stealsLocal   atomic.Uint64
+	stealsRemote  atomic.Uint64
+	nestedRegions atomic.Uint64
+	_             [2*cacheLineSize - 80]byte
 }
 
-// rtStats shards the activity counters per thread: shard i belongs to team
-// thread i, and one extra trailing shard absorbs sources not tied to a team
-// thread (runtime locks). Stats() aggregates across shards, trading a
-// slightly costlier snapshot for uncontended hot-path increments — the old
-// single atomic.Uint64 per counter put every dispatched chunk of every
-// thread on the same cache line.
+// addInto accumulates the shard into out with atomic loads.
+func (sh *statShard) addInto(out *Stats) {
+	out.Regions += sh.regions.Load()
+	out.Sleeps += sh.sleeps.Load()
+	out.Wakeups += sh.wakeups.Load()
+	out.TasksRun += sh.tasksRun.Load()
+	out.TasksStolen += sh.tasksStolen.Load()
+	out.Chunks += sh.chunks.Load()
+	out.StealBatches += sh.stealBatches.Load()
+	out.StealsLocal += sh.stealsLocal.Load()
+	out.StealsRemote += sh.stealsRemote.Load()
+	out.NestedRegions += sh.nestedRegions.Load()
+}
+
+// rtStats shards the activity counters per thread: shard i of the base
+// block belongs to outer-team thread i, and one extra trailing shard
+// absorbs sources not tied to a team thread (runtime locks, serialized
+// nested fallbacks). Each nested team contributes its own level-tagged
+// shard block, registered once at team construction (mutex-guarded append —
+// construction is the cold path; the per-thread increments stay
+// uncontended). Stats() aggregates across all blocks.
 type rtStats struct {
+	shards []statShard
+
+	mu     sync.Mutex
+	nested []*nestedShards
+}
+
+// nestedShards is one nested team's counter block, tagged with the team's
+// nesting level for LevelStats.
+type nestedShards struct {
+	level  int
 	shards []statShard
 }
 
@@ -146,11 +217,33 @@ func (s *rtStats) shard(i int) *statShard { return &s.shards[i] }
 // misc returns the shard for accounting outside any team thread.
 func (s *rtStats) misc() *statShard { return &s.shards[len(s.shards)-1] }
 
+// registerNested adds a nested team's shard block to the aggregation set.
+func (s *rtStats) registerNested(b *nestedShards) {
+	s.mu.Lock()
+	s.nested = append(s.nested, b)
+	s.mu.Unlock()
+}
+
+// nestedBlocks snapshots the registered block list. The slice header is
+// copied under the mutex; blocks already in it are never mutated, so the
+// caller may read them lock-free.
+func (s *rtStats) nestedBlocks() []*nestedShards {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nested
+}
+
 // New validates opts and starts NumThreads-1 worker goroutines (the caller
-// of Parallel acts as thread 0). Serial mode starts no workers.
+// of Parallel acts as thread 0). Serial mode starts no workers. When
+// OMP_THREAD_LIMIT is smaller than the requested team, the team is clamped
+// to it — the spec's thread-limit-var bounds the whole contention group,
+// outer team included.
 func New(opts Options) (*Runtime, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
+	}
+	if opts.ThreadLimit > 0 && opts.NumThreads > opts.ThreadLimit {
+		opts.NumThreads = opts.ThreadLimit
 	}
 	rt := &Runtime{
 		opts: opts,
@@ -159,14 +252,18 @@ func New(opts Options) (*Runtime, error) {
 	n := rt.NumThreads()
 	rt.stats.shards = make([]statShard, n+1)
 	rt.placement = AssignPlaces(len(opts.Places), rt.bind, opts.NumThreads, 0)
-	rt.hot = newTeam(rt, n)
-	rt.workers = make([]*worker, n-1)
-	for i := range rt.workers {
-		w := &worker{rt: rt, id: i, wake: make(chan struct{}, 1)}
-		rt.workers[i] = w
-		rt.wg.Add(1)
-		go w.loop()
+	rt.nextGtid.Store(int64(n))
+	if opts.ThreadLimit > 0 {
+		rt.budget.Store(int64(opts.ThreadLimit - n))
+	} else {
+		rt.budget.Store(budgetUnlimited)
 	}
+	rt.hot = newTeam(rt, n)
+	if n > 1 {
+		rt.hot.activeLevels = 1
+	}
+	rt.registerTeam(rt.hot)
+	rt.hot.spawnWorkers()
 	return rt, nil
 }
 
@@ -182,7 +279,8 @@ func MustNew(opts Options) *Runtime {
 // Options returns the configuration the runtime was built with.
 func (rt *Runtime) Options() Options { return rt.opts }
 
-// NumThreads returns the team size of parallel regions (1 in serial mode).
+// NumThreads returns the team size of outer parallel regions (1 in serial
+// mode).
 func (rt *Runtime) NumThreads() int {
 	if rt.opts.Library == LibSerial {
 		return 1
@@ -201,22 +299,82 @@ func (rt *Runtime) Placement() []int {
 	return out
 }
 
+// registerTeam adds a team to the live-team registry (Close, StartTrace).
+func (rt *Runtime) registerTeam(tm *Team) {
+	rt.teamsMu.Lock()
+	rt.teams = append(rt.teams, tm)
+	rt.teamsMu.Unlock()
+}
+
+// liveTeams snapshots the registry.
+func (rt *Runtime) liveTeams() []*Team {
+	rt.teamsMu.Lock()
+	defer rt.teamsMu.Unlock()
+	return rt.teams
+}
+
+// reserveThreads claims up to want workers from the contention-group thread
+// budget and returns how many it got (possibly 0). A single CAS loop on one
+// atomic counter keeps concurrent nested forks from different threads from
+// collectively overshooting OMP_THREAD_LIMIT.
+func (rt *Runtime) reserveThreads(want int) int {
+	for {
+		cur := rt.budget.Load()
+		grant := int64(want)
+		if grant > cur {
+			grant = cur
+		}
+		if grant <= 0 {
+			return 0
+		}
+		if rt.budget.CompareAndSwap(cur, cur-grant) {
+			return int(grant)
+		}
+	}
+}
+
+// releaseThreads returns a reservation to the budget (team retirement).
+func (rt *Runtime) releaseThreads(n int) {
+	if n > 0 {
+		rt.budget.Add(int64(n))
+	}
+}
+
 // Stats returns a snapshot of the activity counters, aggregated across the
-// per-thread shards. See the Stats type for when the snapshot is exact and
-// when it may be torn.
+// per-thread shards of every team (outer and nested). See the Stats type
+// for when the snapshot is exact and when it may be torn.
 func (rt *Runtime) Stats() Stats {
 	var out Stats
 	for i := range rt.stats.shards {
-		sh := &rt.stats.shards[i]
-		out.Regions += sh.regions.Load()
-		out.Sleeps += sh.sleeps.Load()
-		out.Wakeups += sh.wakeups.Load()
-		out.TasksRun += sh.tasksRun.Load()
-		out.TasksStolen += sh.tasksStolen.Load()
-		out.Chunks += sh.chunks.Load()
-		out.StealBatches += sh.stealBatches.Load()
-		out.StealsLocal += sh.stealsLocal.Load()
-		out.StealsRemote += sh.stealsRemote.Load()
+		rt.stats.shards[i].addInto(&out)
+	}
+	for _, b := range rt.stats.nestedBlocks() {
+		for i := range b.shards {
+			b.shards[i].addInto(&out)
+		}
+	}
+	return out
+}
+
+// LevelStats returns the counters attributable to one nesting level: level
+// 0 is the outer team (including the runtime-misc shard, which also absorbs
+// serialized width-1 nested fallbacks), level 1 the teams forked from
+// inside level-0 regions, and so on. The same torn-read contract as Stats
+// applies.
+func (rt *Runtime) LevelStats(level int) Stats {
+	var out Stats
+	if level == 0 {
+		for i := range rt.stats.shards {
+			rt.stats.shards[i].addInto(&out)
+		}
+	}
+	for _, b := range rt.stats.nestedBlocks() {
+		if b.level != level {
+			continue
+		}
+		for i := range b.shards {
+			b.shards[i].addInto(&out)
+		}
 	}
 	return out
 }
@@ -243,7 +401,11 @@ func (rt *Runtime) StealOrder() [][]int {
 
 // StartTrace enables OMPT-style event tracing with the given per-thread
 // ring capacity in events (0 means trace.DefaultBufferSize). Rings are
-// preallocated here; once tracing is on, emitting an event costs one
+// preallocated here, one per global thread id live at this point — outer
+// threads plus every cached inner-team worker. Inner-team workers created
+// *after* StartTrace have no ring and trace nothing (their emits are
+// silently ignored); fork the nested regions once (a warmup run) before
+// tracing to capture them. Once tracing is on, emitting an event costs one
 // timestamp read and one ring store, and a full ring drops new events
 // rather than blocking. Tracing a runtime that is already tracing or
 // closed is an error.
@@ -256,7 +418,7 @@ func (rt *Runtime) StartTrace(eventsPerThread int) error {
 	if rt.tracer.Load() != nil {
 		return errors.New("openmp: StartTrace while already tracing")
 	}
-	rt.tracer.Store(trace.New(rt.NumThreads(), eventsPerThread))
+	rt.tracer.Store(trace.New(int(rt.nextGtid.Load()), eventsPerThread))
 	return nil
 }
 
@@ -267,9 +429,10 @@ func (rt *Runtime) StartTrace(eventsPerThread int) error {
 // primary thread has already passed the join barrier, so those records can
 // still be in flight when Parallel returns. StopTrace therefore first swaps
 // the tracer out (new events stop) and then dispatches one untraced no-op
-// flush region: each worker's pending emits precede its flush-barrier
-// arrival, which precedes the primary's barrier pass, so by the time the
-// flush returns every traced event has been published to its ring. Workers
+// flush region that recurses into every cached inner team: each worker's
+// pending emits precede its flush-barrier arrival, which precedes its
+// dispatcher's barrier pass, so by the time the flush returns every traced
+// event — inner teams included — has been published to its ring. Workers
 // parking after the flush may race the drain with park/wake instants, which
 // the rings' single-producer single-consumer protocol permits; such
 // stragglers are simply not collected.
@@ -281,25 +444,28 @@ func (rt *Runtime) StopTrace() trace.Data {
 		return trace.Data{}
 	}
 	if !rt.closed {
-		// Inline no-op region (Parallel minus the stats bump, invisible to
-		// the Regions counter): purely a synchronization flush.
+		// No-op flush region (invisible to the Regions counter and the
+		// metrics seam): purely a synchronization flush, recursing into each
+		// thread's cached inner team.
 		rt.regionActive.Store(true)
-		tm := rt.hot
-		tm.body = func(*Thread) {}
-		rt.regionGen.Add(1)
-		for _, w := range rt.workers {
-			w.wakeIfParked()
-		}
-		tm.run(0)
-		tm.body = nil
+		rt.hot.dispatchRegion(func(th *Thread) { th.flushNested() }, false)
 		rt.regionActive.Store(false)
 	}
 	rt.regionMu.Unlock()
 	return tr.Collect()
 }
 
-// Close shuts the worker pool down and waits for the goroutines to exit.
-// The runtime must not be used afterwards. Close is idempotent.
+// flushNested dispatches the recursive no-op flush through this thread's
+// cached inner team, if any (see StopTrace).
+func (th *Thread) flushNested() {
+	if th.inner != nil {
+		th.inner.dispatchRegion(func(ith *Thread) { ith.flushNested() }, false)
+	}
+}
+
+// Close shuts every worker pool down — the outer team and all cached nested
+// teams — and waits for the goroutines to exit. The runtime must not be
+// used afterwards. Close is idempotent.
 //
 // Close is the exact-snapshot point of the Stats contract: a Stats() call
 // after Close returns final counter values, with Sleeps == Wakeups.
@@ -310,10 +476,16 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
+	// Order matters: shutdown is raised before the gen bumps, so any worker
+	// released by a bump observes it and exits. regionMu being free means
+	// no outer region is active, hence every inner worker is idle in await
+	// too — the bumps release all of them exactly once.
 	rt.shutdown.Store(true)
-	rt.regionGen.Add(1)
-	for _, w := range rt.workers {
-		w.wakeIfParked()
+	for _, tm := range rt.liveTeams() {
+		tm.gen.Add(1)
+		for _, w := range tm.workers {
+			w.wakeIfParked()
+		}
 	}
 	rt.wg.Wait()
 }
@@ -322,9 +494,18 @@ func (rt *Runtime) Close() {
 // after the implicit end-of-region barrier (which first drains any
 // outstanding explicit tasks). The calling goroutine participates as thread
 // 0, exactly like the primary thread of an OpenMP team.
+//
+// Calling Parallel from inside an active region (any goroutine) is the
+// nested entry without a Thread context: the body runs as a serialized
+// width-1 nested region on the calling goroutine. Thread.Parallel is the
+// threaded nested fork — prefer it inside region bodies.
 func (rt *Runtime) Parallel(body func(th *Thread)) {
 	if rt.regionActive.Load() {
-		panic("openmp: nested Parallel: Parallel called while a region is active (nested parallelism is disabled; use ParallelN or restructure the region)")
+		// The outer region holds regionMu for its whole duration, so the
+		// nested path must not touch it. This cold fallback allocates a
+		// transient width-1 team per call; counters land on the misc shard.
+		rt.nestedSerial(body)
+		return
 	}
 	rt.regionMu.Lock()
 	defer rt.regionMu.Unlock()
@@ -332,45 +513,17 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 		panic("openmp: Parallel called on closed Runtime")
 	}
 	rt.regionActive.Store(true)
-	tm := rt.hot
-	tm.threads[0].stats.regions.Add(1)
-	tm.body = body
-	// The fork event is emitted before the generation bump (only the
-	// dispatcher advances regionGen, so Load()+1 is the region about to
-	// run), guaranteeing it precedes every worker event of the region.
-	tr := rt.tracer.Load()
-	var gen uint64
-	if tr != nil {
-		gen = rt.regionGen.Load() + 1
-		tr.Emit(0, trace.KindRegionFork, gen, int64(tm.n))
-	}
-	// Fork-to-join latency: the clock starts before the generation bump so
-	// the measured span covers the whole dispatch (wakes included), and
-	// stops after the primary passes the join barrier. One pointer load
-	// when monitoring is off.
-	mets := rt.metrics.Load()
-	var forkAt time.Time
-	if mets != nil && mets.Region != nil {
-		forkAt = time.Now()
-	}
-	// Publish the region: the regionGen bump is the release edge workers
-	// acquire tm.body through; parked workers additionally get a wake token.
-	rt.regionGen.Add(1)
-	for _, w := range rt.workers {
-		w.wakeIfParked()
-	}
-	tm.run(0)
-	// The end-of-region barrier doubles as the join: every worker has
-	// finished the body (its last tm accesses precede its barrier arrival,
-	// which precedes the primary's barrier pass).
-	if mets != nil && mets.Region != nil {
-		mets.Region.Observe(time.Since(forkAt))
-	}
-	if tr != nil {
-		tr.Emit(0, trace.KindRegionJoin, gen, 0)
-	}
-	tm.body = nil
+	rt.hot.dispatchRegion(body, true)
 	rt.regionActive.Store(false)
+}
+
+// nestedSerial runs body as a width-1 nested region on the calling
+// goroutine. The transient team keeps the full Thread surface usable
+// (worksharing, tasks, reductions all collapse to serial execution); its
+// events are not traced (the goroutine owns no trace ring).
+func (rt *Runtime) nestedSerial(body func(th *Thread)) {
+	tm := newTransientTeam(rt, 1)
+	tm.dispatchRegion(body, true)
 }
 
 // ParallelFor is shorthand for a region containing a single worksharing
@@ -405,41 +558,44 @@ func (rt *Runtime) criticalFor(name string) *sync.Mutex {
 	return mu.(*sync.Mutex)
 }
 
-// worker is one pooled thread. Between regions it waits for the region
-// generation to advance according to the wait policy: spin while the
-// blocktime budget lasts, then park on the wake channel until the
-// dispatcher posts a token.
+// worker is one pooled thread of one team (outer or nested). Between
+// regions it waits for its team's region generation to advance according to
+// the wait policy: spin while the blocktime budget lasts, then park on the
+// wake channel until the dispatcher posts a token.
 type worker struct {
-	rt     *Runtime
-	id     int    // team thread id is id+1
-	seen   uint64 // last region generation executed
+	tm     *Team
+	slot   int    // index into tm.threads
+	seen   uint64 // last team generation executed
 	parked atomic.Bool
 	wake   chan struct{} // 1-buffered wake tokens
 }
 
 func (w *worker) loop() {
-	defer w.rt.wg.Done()
+	rt := w.tm.rt
+	defer w.tm.wg.Done()
+	defer rt.wg.Done()
 	for {
 		w.await()
-		if w.rt.shutdown.Load() {
+		if rt.shutdown.Load() || w.tm.retired.Load() {
 			return
 		}
-		w.rt.hot.run(w.id + 1)
+		w.tm.run(w.slot)
 	}
 }
 
-// await blocks until the region generation advances past the last region
-// this worker executed, per the KMP_BLOCKTIME / KMP_LIBRARY wait policy.
-// With an infinite budget (turnaround mode or KMP_BLOCKTIME=infinite) the
-// worker spins — yielding the processor but never blocking. With a zero
-// budget it parks immediately. Otherwise it spins until the budget expires
-// and then parks; being woken from a park is the expensive path the paper's
-// turnaround-mode findings hinge on.
+// await blocks until the team's region generation advances past the last
+// region this worker executed, per the KMP_BLOCKTIME / KMP_LIBRARY wait
+// policy. With an infinite budget (turnaround mode or
+// KMP_BLOCKTIME=infinite) the worker spins — yielding the processor but
+// never blocking. With a zero budget it parks immediately. Otherwise it
+// spins until the budget expires and then parks; being woken from a park is
+// the expensive path the paper's turnaround-mode findings hinge on.
 //
 // A worker can lag at most one generation behind: a region's end barrier
-// cannot pass without every worker, so regionGen is at most seen+1 here.
+// cannot pass without every worker, so tm.gen is at most seen+1 here.
 func (w *worker) await() {
-	rt := w.rt
+	tm := w.tm
+	rt := tm.rt
 	next := w.seen + 1
 	bt := rt.opts.effectiveBlocktimeMS()
 	if bt != 0 {
@@ -448,7 +604,7 @@ func (w *worker) await() {
 			deadline = time.Now().Add(time.Duration(bt) * time.Millisecond)
 		}
 		for spins := 0; ; spins++ {
-			if rt.regionGen.Load() >= next {
+			if tm.gen.Load() >= next {
 				w.seen = next
 				return
 			}
@@ -458,6 +614,7 @@ func (w *worker) await() {
 			runtime.Gosched()
 		}
 	}
+	gtid := int(tm.threads[w.slot].gtid)
 	for {
 		// Drain any stale token so a park cannot be satisfied by a wake
 		// meant for an earlier generation.
@@ -470,26 +627,26 @@ func (w *worker) await() {
 		// dispatched generation (work raced in during the last spins — no
 		// sleep happened, so none is counted), or the dispatcher's
 		// parked.Load() sees true and posts a token. Never neither.
-		if rt.regionGen.Load() >= next {
+		if tm.gen.Load() >= next {
 			w.parked.Store(false)
 			w.seen = next
 			return
 		}
 		if tr := rt.tracer.Load(); tr != nil {
-			tr.Emit(w.id+1, trace.KindPark, next, 0)
+			tr.Emit(gtid, tm.level, trace.KindPark, 0, 0)
 		}
 		w.stats().sleeps.Add(1)
 		<-w.wake
 		w.stats().wakeups.Add(1)
 		if tr := rt.tracer.Load(); tr != nil {
-			tr.Emit(w.id+1, trace.KindWake, next, 0)
+			tr.Emit(gtid, tm.level, trace.KindWake, 0, 0)
 		}
 		w.parked.Store(false)
 	}
 }
 
 // stats returns the shard of the team thread this worker runs as.
-func (w *worker) stats() *statShard { return w.rt.stats.shard(w.id + 1) }
+func (w *worker) stats() *statShard { return w.tm.threads[w.slot].stats }
 
 // wakeIfParked posts a wake token if the worker has advertised a park. The
 // send is non-blocking: a token already in the buffer serves the same

@@ -286,7 +286,7 @@ func (th *Thread) Task(fn func(*Thread)) {
 	pool.deques[th.id].push(t)
 	pool.wakeWaiters()
 	if tr := th.team.rt.tracer.Load(); tr != nil {
-		tr.Emit(th.id, trace.KindTaskCreate, th.team.rt.regionGen.Load(), 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindTaskCreate, th.team.regionID, 0)
 	}
 	// Task creation is a task scheduling point (OpenMP spec §task scheduling):
 	// periodically yield the processor so idle team threads get a chance to
@@ -363,14 +363,14 @@ func (th *Thread) parkForTasks(done func() bool) {
 	tr := th.team.rt.tracer.Load()
 	var gen uint64
 	if tr != nil {
-		gen = th.team.rt.regionGen.Load()
-		tr.Emit(th.id, trace.KindPark, gen, 0)
+		gen = th.team.regionID
+		tr.Emit(int(th.gtid), th.team.level, trace.KindPark, gen, 0)
 	}
 	th.stats.sleeps.Add(1)
 	pool.cond.Wait()
 	th.stats.wakeups.Add(1)
 	if tr != nil {
-		tr.Emit(th.id, trace.KindWake, gen, 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindWake, gen, 0)
 	}
 	pool.waiters.Add(-1)
 	pool.mu.Unlock()
@@ -391,12 +391,12 @@ func (th *Thread) runOneTask() bool {
 	tr := th.team.rt.tracer.Load()
 	var gen uint64
 	if tr != nil {
-		gen = th.team.rt.regionGen.Load()
+		gen = th.team.regionID
 	}
 	prevTask, prevGroup := th.curTask, th.curGroup
 	th.curTask, th.curGroup = t, t.group
 	if tr != nil {
-		tr.Emit(th.id, trace.KindTaskBegin, gen, 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindTaskBegin, gen, 0)
 	}
 	if m := th.team.rt.metrics.Load(); m != nil && m.TaskRun != nil {
 		start := time.Now()
@@ -406,7 +406,7 @@ func (th *Thread) runOneTask() bool {
 		t.fn(th)
 	}
 	if tr != nil {
-		tr.Emit(th.id, trace.KindTaskEnd, gen, 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindTaskEnd, gen, 0)
 	}
 	th.curTask, th.curGroup = prevTask, prevGroup
 	t.parent.children.Add(-1)
@@ -490,7 +490,7 @@ func (th *Thread) stealFrom(victim int) *task {
 		pool.wakeWaiters()
 	}
 	if tr := tm.rt.tracer.Load(); tr != nil {
-		tr.Emit(th.id, trace.KindTaskSteal, tm.rt.regionGen.Load(), trace.StealArg(victim, n, loc))
+		tr.Emit(int(th.gtid), tm.level, trace.KindTaskSteal, tm.regionID, trace.StealArg(victim, n, loc))
 	}
 	return first
 }

@@ -3,6 +3,7 @@ package openmp
 import (
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,15 +16,50 @@ import (
 // requires — exactly as OpenMP does — that all threads of a team encounter
 // the team's worksharing constructs in the same order.
 //
-// The runtime keeps one hot team alive for its whole lifetime (libomp's
-// KMP_HOT_TEAMS behaviour): the Team, its Thread structs, construct ring and
-// task pool are allocated once and reused by every region, so steady-state
-// Parallel performs no allocations. Only ParallelN sub-teams are built per
-// call.
+// The runtime keeps hot teams alive (libomp's KMP_HOT_TEAMS behaviour): the
+// outer team for the Runtime's whole lifetime, and one cached inner team
+// per forking Thread (see Thread.Parallel). A team's Thread structs,
+// construct ring and task pool are allocated once and reused by every
+// region it runs, so steady-state fork–join at any nesting level performs
+// no allocations. Only ParallelN sub-teams and serialized nested fallbacks
+// are built per call.
+//
+// Every team is its own contention group: its barrier, construct ring,
+// task deques and steal scans reference only tm.threads, so inner-team
+// synchronization never generates CAS traffic on another team's cache
+// lines.
 type Team struct {
 	rt   *Runtime
 	n    int
 	body func(*Thread)
+
+	// level is the team's nesting depth: 0 for the outer hot team.
+	level int
+	// activeLevels counts the active (width > 1) levels enclosing and
+	// including this team; nested forks compare it against
+	// OMP_MAX_ACTIVE_LEVELS to decide whether to serialize.
+	activeLevels int
+
+	// regionID identifies the team's currently-running region (stamped
+	// from rt.regionSeq by dispatchRegion, or inherited by ParallelN
+	// sub-teams). Workers read it after acquiring gen, which
+	// happens-after the dispatcher's store.
+	regionID uint64
+
+	// gen is the per-team region-generation counter this team's workers
+	// await on. Per-team — not runtime-global — so dispatching an inner
+	// region can never phantom-wake another team's spinning workers.
+	gen atomic.Uint64
+
+	// workers are this team's n-1 pooled goroutines (thread 0 is the
+	// dispatcher's goroutine); wg tracks them for retire, and retired
+	// tells them to exit on their next wakeup.
+	workers []*worker
+	wg      sync.WaitGroup
+	retired atomic.Bool
+	// reserved is the OMP_THREAD_LIMIT budget this cached team holds
+	// (released at retirement).
+	reserved int
 
 	threads []Thread
 	ring    constructRing
@@ -41,8 +77,9 @@ type Team struct {
 	stealLocal [][]bool
 }
 
-// newTeam builds a team shell; the region body is assigned per region by the
-// dispatcher (Parallel or ParallelN) before any thread calls run.
+// newTeam builds a level-0 team shell over the runtime's base stat shards;
+// the region body is assigned per region by the dispatcher (Parallel or
+// ParallelN) before any thread calls run.
 func newTeam(rt *Runtime, n int) *Team {
 	tm := &Team{
 		rt:      rt,
@@ -54,11 +91,156 @@ func newTeam(rt *Runtime, n int) *Team {
 		th := &tm.threads[i]
 		th.team = tm
 		th.id = i
+		th.gtid = int32(i)
 		th.stats = rt.stats.shard(i)
 	}
 	tm.stealOrder, tm.stealLocal = buildStealOrder(rt.placement, rt.opts.PlaceDistances, n)
 	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
 	return tm
+}
+
+// newNestedTeam builds an inner team of width n forked by parent, with its
+// own level-tagged stat-shard block and fresh global thread ids for its
+// workers (thread 0 is the parent's goroutine and keeps the parent's gtid —
+// one goroutine owns exactly one trace ring). The team registers with the
+// runtime (Close, Stats) and spawns its workers immediately, so caching it
+// on the parent makes subsequent same-width forks allocation-free.
+func newNestedTeam(rt *Runtime, parent *Thread, n int) *Team {
+	block := &nestedShards{level: parent.team.level + 1, shards: make([]statShard, n)}
+	tm := &Team{
+		rt:           rt,
+		n:            n,
+		level:        parent.team.level + 1,
+		activeLevels: parent.team.activeLevels,
+		threads:      make([]Thread, n),
+		pool:         newTaskPool(n, rt.opts.effectiveBlocktimeMS()),
+	}
+	if n > 1 {
+		tm.activeLevels++
+	}
+	for i := range tm.threads {
+		th := &tm.threads[i]
+		th.team = tm
+		th.id = i
+		th.stats = &block.shards[i]
+		if i == 0 {
+			th.gtid = parent.gtid
+		} else {
+			th.gtid = int32(rt.nextGtid.Add(1) - 1)
+		}
+	}
+	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
+	rt.stats.registerNested(block)
+	rt.registerTeam(tm)
+	tm.spawnWorkers()
+	return tm
+}
+
+// newTransientTeam builds a throwaway width-n team for the serialized
+// nested fallback (Runtime.Parallel inside an active region): level 1,
+// counters on the misc shard, no trace ring (gtid -1: the calling goroutine
+// may already own a ring at another level, and a second producer on it is
+// forbidden).
+func newTransientTeam(rt *Runtime, n int) *Team {
+	tm := &Team{
+		rt:           rt,
+		n:            n,
+		level:        1,
+		activeLevels: 1,
+		threads:      make([]Thread, n),
+		pool:         newTaskPool(n, rt.opts.effectiveBlocktimeMS()),
+	}
+	for i := range tm.threads {
+		th := &tm.threads[i]
+		th.team = tm
+		th.id = i
+		th.gtid = -1
+		th.stats = rt.stats.misc()
+	}
+	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
+	return tm
+}
+
+// spawnWorkers starts the team's n-1 worker goroutines (thread slots 1..n-1).
+func (tm *Team) spawnWorkers() {
+	rt := tm.rt
+	tm.workers = make([]*worker, tm.n-1)
+	for i := range tm.workers {
+		w := &worker{tm: tm, slot: i + 1, wake: make(chan struct{}, 1)}
+		tm.workers[i] = w
+		rt.wg.Add(1)
+		tm.wg.Add(1)
+		go w.loop()
+	}
+}
+
+// dispatchRegion runs one region on the team with the calling goroutine as
+// thread 0: stamp a fresh region id, publish the body via the gen bump,
+// wake parked workers, run, join at the end-of-region barrier. counted=false
+// is the StopTrace flush path — invisible to the stats counters and the
+// metrics seam (the tracer is already detached, so nothing is emitted
+// either).
+func (tm *Team) dispatchRegion(body func(*Thread), counted bool) {
+	rt := tm.rt
+	if counted {
+		tm.threads[0].stats.regions.Add(1)
+		if tm.level > 0 {
+			tm.threads[0].stats.nestedRegions.Add(1)
+		}
+	}
+	tm.body = body
+	tm.regionID = rt.regionSeq.Add(1)
+	// The fork event is emitted before the generation bump, guaranteeing it
+	// precedes every worker event of the region.
+	tr := rt.tracer.Load()
+	if tr != nil {
+		tr.Emit(int(tm.threads[0].gtid), tm.level, trace.KindRegionFork, tm.regionID, int64(tm.n))
+	}
+	// Fork-to-join latency: the clock starts before the generation bump so
+	// the measured span covers the whole dispatch (wakes included), and
+	// stops after the primary passes the join barrier. One pointer load
+	// when monitoring is off.
+	var mets *Metrics
+	var forkAt time.Time
+	if counted {
+		mets = rt.metrics.Load()
+	}
+	if mets != nil && mets.Region != nil {
+		forkAt = time.Now()
+	}
+	// Publish the region: the gen bump is the release edge workers acquire
+	// tm.body and tm.regionID through; parked workers additionally get a
+	// wake token.
+	tm.gen.Add(1)
+	for _, w := range tm.workers {
+		w.wakeIfParked()
+	}
+	tm.run(0)
+	// The end-of-region barrier doubles as the join: every worker has
+	// finished the body (its last tm accesses precede its barrier arrival,
+	// which precedes the primary's barrier pass).
+	if mets != nil && mets.Region != nil {
+		mets.Region.Observe(time.Since(forkAt))
+	}
+	if tr != nil {
+		tr.Emit(int(tm.threads[0].gtid), tm.level, trace.KindRegionJoin, tm.regionID, 0)
+	}
+	tm.body = nil
+}
+
+// retire releases a cached inner team: its workers exit on the next gen
+// bump, their budget reservation returns to the pool. Must only be called
+// while the team is idle (between its regions), which Thread.innerTeam
+// guarantees — the forking thread is the team's own thread 0.
+func (tm *Team) retire() {
+	tm.retired.Store(true)
+	tm.gen.Add(1)
+	for _, w := range tm.workers {
+		w.wakeIfParked()
+	}
+	tm.wg.Wait()
+	tm.rt.releaseThreads(tm.reserved)
+	tm.reserved = 0
 }
 
 // buildStealOrder precomputes each thread's distance-sorted victim order
@@ -114,16 +296,16 @@ func (tm *Team) run(tid int) {
 	// identity encoding relies on. All threads execute the same construct
 	// count per region, so the counters stay aligned across regions.
 	if tr := tm.rt.tracer.Load(); tr != nil {
-		gen := tm.rt.regionGen.Load()
-		tr.Emit(tid, trace.KindImplicitBegin, gen, 0)
+		gtid, id, lvl := int(th.gtid), tm.regionID, tm.level
+		tr.Emit(gtid, lvl, trace.KindImplicitBegin, id, 0)
 		tm.body(th)
 		th.drainTasks()
 		// The end-of-region barrier wait is a span of its own, closed before
 		// the implicit task ends so the B/E pairs nest per thread.
-		tr.Emit(tid, trace.KindBarrierEnter, gen, 0)
+		tr.Emit(gtid, lvl, trace.KindBarrierEnter, id, 0)
 		tm.barrierWait(th)
-		tr.Emit(tid, trace.KindBarrierLeave, gen, 0)
-		tr.Emit(tid, trace.KindImplicitEnd, gen, 0)
+		tr.Emit(gtid, lvl, trace.KindBarrierLeave, id, 0)
+		tr.Emit(gtid, lvl, trace.KindImplicitEnd, id, 0)
 		return
 	}
 	tm.body(th)
@@ -167,12 +349,21 @@ func (tm *Team) release(h *constructSlot, seq int64) {
 type Thread struct {
 	team     *Team
 	id       int
+	gtid     int32 // global thread id (trace-ring index); -1 = untraced
 	seq      int64 // worksharing constructs encountered, team-lifetime monotonic
 	curTask  *task
 	curGroup *taskGroup // innermost active taskgroup, nil outside one
 	stealAt  int        // last productive steal victim (scan start position)
 	spawns   int        // tasks spawned; every 32nd spawn is a yield point
 	stats    *statShard // this thread's stats shard
+
+	// inner is this thread's cached nested hot team — the per-level
+	// hot-team cache. It is built (and its budget reserved) on the first
+	// nested fork and reused by every subsequent fork of the same width,
+	// so steady-state nested fork–join allocates nothing and re-spawns no
+	// goroutines; innerWant remembers the width it was built for.
+	inner     *Team
+	innerWant int
 }
 
 // ID returns the thread number within the team (0 = primary).
@@ -181,8 +372,73 @@ func (th *Thread) ID() int { return th.id }
 // NumThreads returns the team size.
 func (th *Thread) NumThreads() int { return th.team.n }
 
+// Level returns the nesting depth of the region this thread is executing
+// (0 = an outer region).
+func (th *Thread) Level() int { return th.team.level }
+
 // Runtime returns the owning runtime.
 func (th *Thread) Runtime() *Runtime { return th.team.rt }
+
+// Parallel forks a nested parallel region from this thread: the body runs
+// on an inner team whose width follows the OMP_NUM_THREADS per-level list
+// for the next nesting level, clamped by OMP_MAX_ACTIVE_LEVELS (a region
+// past the active-level limit serializes to width 1) and by the remaining
+// OMP_THREAD_LIMIT budget (a fork the budget cannot fully cover runs with
+// whatever width was granted — graceful serialization, never an error).
+// The calling thread participates as the inner team's thread 0; the inner
+// team is cached on this thread, so steady-state nested fork–join is
+// allocation-free. Returns after the inner region's end barrier.
+func (th *Thread) Parallel(body func(*Thread)) { th.forkNested(0, body) }
+
+// ParallelN is Parallel with a num_threads clause: it requests width n for
+// the inner team (still subject to the active-level limit and the thread
+// budget). n < 1 falls back to the per-level default.
+func (th *Thread) ParallelN(n int, body func(*Thread)) { th.forkNested(n, body) }
+
+func (th *Thread) forkNested(request int, body func(*Thread)) {
+	th.innerTeam(request).dispatchRegion(body, true)
+}
+
+// innerTeam returns this thread's cached inner team for the requested
+// width, building (or rebuilding, when the resolved width changed) it on
+// demand. Width resolution: explicit request, else the OMP_NUM_THREADS
+// list entry for the next level; then 1 if the active-level limit is
+// reached; then clamped to 1 + whatever OMP_THREAD_LIMIT budget remains.
+func (th *Thread) innerTeam(request int) *Team {
+	rt := th.team.rt
+	want := request
+	if want <= 0 {
+		want = rt.opts.widthForLevel(th.team.level + 1)
+	}
+	if want < 1 ||
+		rt.opts.Library == LibSerial ||
+		th.team.activeLevels >= rt.opts.effectiveMaxActiveLevels() {
+		want = 1
+	}
+	if th.inner != nil && th.innerWant == want {
+		return th.inner
+	}
+	th.retireInner()
+	granted := 1 // the forking thread itself is free
+	if want > 1 {
+		granted += rt.reserveThreads(want - 1)
+	}
+	tm := newNestedTeam(rt, th, granted)
+	tm.reserved = granted - 1
+	th.inner, th.innerWant = tm, want
+	return tm
+}
+
+// retireInner drops this thread's cached inner team, releasing its workers
+// and budget reservation.
+func (th *Thread) retireInner() {
+	if th.inner == nil {
+		return
+	}
+	th.inner.retire()
+	th.inner = nil
+	th.innerWant = 0
+}
 
 // Place returns the place index this thread is bound to, or -1 when
 // unbound.
@@ -200,13 +456,13 @@ func (th *Thread) nextSeq() int64 {
 	return th.seq
 }
 
-// Barrier blocks until every thread of the team has called it.
+// Barrier blocks until every thread of the team has called it (inner-team
+// barriers involve only the inner team's threads).
 func (th *Thread) Barrier() {
 	if tr := th.team.rt.tracer.Load(); tr != nil {
-		gen := th.team.rt.regionGen.Load()
-		tr.Emit(th.id, trace.KindBarrierEnter, gen, 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindBarrierEnter, th.team.regionID, 0)
 		th.team.barrierWait(th)
-		tr.Emit(th.id, trace.KindBarrierLeave, gen, 0)
+		tr.Emit(int(th.gtid), th.team.level, trace.KindBarrierLeave, th.team.regionID, 0)
 		return
 	}
 	th.team.barrierWait(th)

@@ -90,7 +90,7 @@ func WriteChrome(w io.Writer, d Data) error {
 			ce.S = "t"
 		}
 		if spec.ph != "E" {
-			ce.Args = map[string]int64{"region": int64(e.Region)}
+			ce.Args = map[string]int64{"region": int64(e.Region), "level": int64(e.Level)}
 			if e.Kind == KindTaskSteal {
 				// Packed payload (see StealArg): unpack into separate args so
 				// Perfetto shows victim/batch/locality as distinct fields.

@@ -10,8 +10,12 @@ import (
 // RegionMetrics are the derived per-region statistics — the quantities the
 // paper attributes knob effects to, computed from the raw event stream.
 type RegionMetrics struct {
-	// Gen is the region's generation number (the runtime's region counter).
+	// Gen is the region's id (the runtime's global region counter, shared
+	// across nesting levels).
 	Gen uint64
+	// Level is the region's nesting depth: 0 for outer regions, 1 for
+	// regions forked from inside a level-0 region, and so on.
+	Level int
 	// Threads is the team size recorded at the fork, or the number of
 	// threads that reported an implicit task when the fork was not traced.
 	Threads int
@@ -64,11 +68,28 @@ type Summary struct {
 	StealsRemote     int
 	AvgStealBatch    float64 // TasksStolen / StealBatches
 	Parks, Wakes     int
+
+	// NestedRegions counts regions at nesting level ≥ 1; Levels breaks the
+	// trace down per nesting depth (ascending, level 0 first).
+	NestedRegions int
+	Levels        []LevelMetrics
+}
+
+// LevelMetrics aggregate the regions of one nesting depth.
+type LevelMetrics struct {
+	Level   int
+	Regions int
+	// MaxThreads is the widest team observed at this level.
+	MaxThreads int
+	// TotalWall sums the fork→join walls of this level's regions. Inner
+	// walls are nested inside outer walls, so levels overlap in time.
+	TotalWall time.Duration
 }
 
 // regionAcc accumulates one region's events during the scan.
 type regionAcc struct {
 	gen          uint64
+	level        int
 	threads      int
 	forkTS       int64
 	joinTS       int64
@@ -112,6 +133,11 @@ func Summarize(d Data) *Summary {
 		return a
 	}
 	for _, e := range d.Events {
+		// Park/wake events are between-regions instants; everything else
+		// belongs to a region and carries its nesting level.
+		if e.Kind != KindPark && e.Kind != KindWake {
+			acc(e.Region).level = int(e.Level)
+		}
 		switch e.Kind {
 		case KindRegionFork:
 			a := acc(e.Region)
@@ -166,10 +192,12 @@ func Summarize(d Data) *Summary {
 	var aggThreadTime time.Duration
 	var imbalanceSum time.Duration
 	imbalanced := 0
+	levels := map[int]*LevelMetrics{}
 	for _, gen := range gens {
 		a := regions[gen]
 		m := RegionMetrics{
 			Gen:          a.gen,
+			Level:        a.level,
 			Threads:      a.threads,
 			BarrierWait:  time.Duration(a.barrierWait),
 			TasksCreated: a.created,
@@ -228,8 +256,25 @@ func Summarize(d Data) *Summary {
 		s.StealBatches += m.StealBatches
 		s.StealsLocal += m.StealsLocal
 		s.StealsRemote += m.StealsRemote
+		if m.Level > 0 {
+			s.NestedRegions++
+		}
+		lm := levels[m.Level]
+		if lm == nil {
+			lm = &LevelMetrics{Level: m.Level}
+			levels[m.Level] = lm
+		}
+		lm.Regions++
+		if m.Threads > lm.MaxThreads {
+			lm.MaxThreads = m.Threads
+		}
+		lm.TotalWall += m.Wall
 		s.Regions = append(s.Regions, m)
 	}
+	for _, lm := range levels {
+		s.Levels = append(s.Levels, *lm)
+	}
+	sort.Slice(s.Levels, func(i, j int) bool { return s.Levels[i].Level < s.Levels[j].Level })
 	if aggThreadTime > 0 {
 		s.WaitShare = float64(s.TotalBarrierWait) / float64(aggThreadTime)
 	}
@@ -265,27 +310,44 @@ func (s *Summary) String() string {
 	fmt.Fprintf(&b, "barriers: total wait %s (share %.1f%% of aggregate thread-time); end-barrier imbalance avg %s, max %s\n",
 		round(s.TotalBarrierWait), 100*s.WaitShare, round(s.AvgImbalance), round(s.MaxImbalance))
 	fmt.Fprintf(&b, "workers: %d parks, %d wakes between regions\n", s.Parks, s.Wakes)
+	if len(s.Levels) > 1 || s.NestedRegions > 0 {
+		b.WriteString("nesting:")
+		for i, lm := range s.Levels {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			fmt.Fprintf(&b, " level %d: %d regions (max %d threads, wall %s)",
+				lm.Level, lm.Regions, lm.MaxThreads, round(lm.TotalWall))
+		}
+		b.WriteString("\n")
+	}
 	if n := len(s.Regions); n > 0 {
 		shown := s.Regions
 		const maxRows = 16
 		if n > maxRows {
 			shown = s.Regions[:maxRows]
 		}
-		fmt.Fprintf(&b, "%-8s %-10s %-9s %-10s %-7s %-6s %-6s\n",
-			"region", "wall", "barwait%", "imbalance", "chunks", "tasks", "steals")
+		fmt.Fprintf(&b, "%-8s %-4s %-10s %-9s %-10s %-7s %-6s %-6s\n",
+			"region", "lvl", "wall", "barwait%", "imbalance", "chunks", "tasks", "steals")
 		for _, m := range shown {
-			fmt.Fprintf(&b, "#%-7d %-10s %-9s %-10s %-7d %-6d %-6d\n",
-				m.Gen, round(m.Wall), fmt.Sprintf("%.1f%%", 100*m.WaitShare),
+			fmt.Fprintf(&b, "#%-7d %-4d %-10s %-9s %-10s %-7d %-6d %-6d\n",
+				m.Gen, m.Level, round(m.Wall), fmt.Sprintf("%.1f%%", 100*m.WaitShare),
 				round(m.Imbalance), m.Chunks, m.TasksRun, m.TasksStolen)
 		}
 		if n > maxRows {
 			fmt.Fprintf(&b, "… %d more regions\n", n-maxRows)
 		}
 	}
-	fmt.Fprintf(&b, "summary: regions=%d events=%d dropped=%d tasks_run=%d tasks_stolen=%d steal_rate=%.3f steal_batches=%d steals_local=%d steals_remote=%d barrier_wait_ns=%d wait_share=%.4f imbalance_avg_ns=%d chunks=%d parks=%d wakes=%d\n",
+	fmt.Fprintf(&b, "summary: regions=%d events=%d dropped=%d tasks_run=%d tasks_stolen=%d steal_rate=%.3f steal_batches=%d steals_local=%d steals_remote=%d barrier_wait_ns=%d wait_share=%.4f imbalance_avg_ns=%d chunks=%d parks=%d wakes=%d",
 		len(s.Regions), s.Events, s.Dropped, s.TasksRun, s.TasksStolen, s.StealRate,
 		s.StealBatches, s.StealsLocal, s.StealsRemote,
 		int64(s.TotalBarrierWait), s.WaitShare, int64(s.AvgImbalance), s.Chunks, s.Parks, s.Wakes)
+	fmt.Fprintf(&b, " levels=%d nested_regions=%d", len(s.Levels), s.NestedRegions)
+	for _, lm := range s.Levels {
+		fmt.Fprintf(&b, " level%d_regions=%d level%d_threads=%d",
+			lm.Level, lm.Regions, lm.Level, lm.MaxThreads)
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 

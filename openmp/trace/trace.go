@@ -104,13 +104,20 @@ type Event struct {
 	// Arg is the kind-specific payload (team size, chunk iterations,
 	// steal victim); zero when the kind carries none.
 	Arg int64
-	// Region is the parallel-region generation the event belongs to (the
-	// runtime's region counter), 0 for events before the first region.
+	// Region is the parallel-region id the event belongs to (the runtime's
+	// global region counter, shared by every nesting level so inner regions
+	// get ids distinct from their enclosing region), 0 for events before the
+	// first region.
 	Region uint64
-	// Tid is the team thread id that emitted the event.
+	// Tid is the global thread id that emitted the event. Outer-team
+	// threads keep their team-local ids; inner-team workers get fresh ids
+	// past the outer team, so every goroutine owns exactly one ring.
 	Tid int32
 	// Kind is the event kind.
 	Kind Kind
+	// Level is the nesting depth of the region the event belongs to: 0 for
+	// the outer team, 1 for its inner teams, and so on.
+	Level uint8
 }
 
 // StealLocality classifies a steal victim's NUMA distance from the thief.
@@ -235,9 +242,10 @@ type Tracer struct {
 	rings []ring
 }
 
-// New returns a tracer for a team of the given size, with eventsPerThread
-// ring capacity per thread (rounded up to a power of two; 0 means
-// DefaultBufferSize).
+// New returns a tracer with one ring per thread id in [0, threads) — pass
+// the runtime's live global-thread-id count so inner-team workers get rings
+// too — with eventsPerThread ring capacity per thread (rounded up to a
+// power of two; 0 means DefaultBufferSize).
 func New(threads, eventsPerThread int) *Tracer {
 	if threads < 1 {
 		threads = 1
@@ -258,11 +266,14 @@ func (t *Tracer) Threads() int { return len(t.rings) }
 // Start returns the wall-clock anchor of timestamp zero.
 func (t *Tracer) Start() time.Time { return t.start }
 
-// Emit records one event on thread tid's ring. It is allocation-free and
-// never blocks; events emitted while the ring is full are dropped and
-// counted. Emit must only be called by tid's own goroutine (the single
-// producer of its ring). Out-of-range tids are ignored.
-func (t *Tracer) Emit(tid int, k Kind, region uint64, arg int64) {
+// Emit records one event on thread tid's ring, stamped with the nesting
+// level of the emitting region. It is allocation-free and never blocks;
+// events emitted while the ring is full are dropped and counted. Emit must
+// only be called by tid's own goroutine (the single producer of its ring).
+// Out-of-range tids are ignored — in particular, inner-team workers created
+// after the tracer (their rings don't exist) silently trace nothing instead
+// of corrupting a foreign ring.
+func (t *Tracer) Emit(tid, level int, k Kind, region uint64, arg int64) {
 	if tid < 0 || tid >= len(t.rings) {
 		return
 	}
@@ -272,6 +283,7 @@ func (t *Tracer) Emit(tid int, k Kind, region uint64, arg int64) {
 		Region: region,
 		Tid:    int32(tid),
 		Kind:   k,
+		Level:  uint8(level),
 	})
 }
 

@@ -15,7 +15,7 @@ func TestRingWrapAround(t *testing.T) {
 	capacity := len(tr.rings[0].buf)
 	total := 3 * capacity
 	for i := 0; i < total; i++ {
-		tr.Emit(0, KindChunk, 1, int64(i))
+		tr.Emit(0, 0, KindChunk, 1, int64(i))
 	}
 	evs := tr.DrainAppend(nil)
 	if len(evs) != capacity {
@@ -30,7 +30,7 @@ func TestRingWrapAround(t *testing.T) {
 		t.Errorf("Dropped() = %d, want %d", got, want)
 	}
 	// After a drain the ring accepts new events again.
-	tr.Emit(0, KindChunk, 2, 99)
+	tr.Emit(0, 0, KindChunk, 2, 99)
 	if evs := tr.DrainAppend(nil); len(evs) != 1 || evs[0].Arg != 99 {
 		t.Errorf("post-drain emit: drained %v, want one event with arg 99", evs)
 	}
@@ -49,7 +49,7 @@ func TestRingConcurrentFillDrain(t *testing.T) {
 		go func(tid int) {
 			defer wg.Done()
 			for i := 0; i < perThread; i++ {
-				tr.Emit(tid, KindChunk, uint64(tid), int64(i))
+				tr.Emit(tid, 0, KindChunk, uint64(tid), int64(i))
 			}
 		}(tid)
 	}
@@ -152,6 +152,81 @@ func TestSummarizeDerivedMetrics(t *testing.T) {
 	}
 }
 
+// TestSummarizeNestedLevels builds a depth-2 trace — an outer two-thread
+// region (id 7) whose tid 0 forks a two-thread inner region (id 8, level 1)
+// run by tid 0 and the inner worker tid 2 — and checks the per-level
+// decode: region levels, the Levels breakdown, and the machine-line keys
+// nested-smoke parses.
+func TestSummarizeNestedLevels(t *testing.T) {
+	mk := func(ts int64, tid int32, lvl uint8, region uint64, k Kind, arg int64) Event {
+		return Event{TS: ts, Arg: arg, Region: region, Tid: tid, Kind: k, Level: lvl}
+	}
+	d := Data{Threads: 3, Start: time.Unix(0, 0), Events: []Event{
+		mk(100, 0, 0, 7, KindRegionFork, 2),
+		mk(110, 0, 0, 7, KindImplicitBegin, 0),
+		mk(120, 1, 0, 7, KindImplicitBegin, 0),
+		mk(200, 0, 1, 8, KindRegionFork, 2),
+		mk(210, 0, 1, 8, KindImplicitBegin, 0),
+		mk(220, 2, 1, 8, KindImplicitBegin, 0),
+		mk(300, 0, 1, 8, KindBarrierEnter, 0),
+		mk(310, 2, 1, 8, KindBarrierEnter, 0),
+		mk(320, 0, 1, 8, KindBarrierLeave, 0),
+		mk(320, 2, 1, 8, KindBarrierLeave, 0),
+		mk(330, 2, 1, 8, KindImplicitEnd, 0),
+		mk(340, 0, 1, 8, KindImplicitEnd, 0),
+		mk(350, 0, 1, 8, KindRegionJoin, 0),
+		mk(500, 0, 0, 7, KindBarrierEnter, 0),
+		mk(510, 1, 0, 7, KindBarrierEnter, 0),
+		mk(520, 0, 0, 7, KindBarrierLeave, 0),
+		mk(520, 1, 0, 7, KindBarrierLeave, 0),
+		mk(530, 0, 0, 7, KindImplicitEnd, 0),
+		mk(530, 1, 0, 7, KindImplicitEnd, 0),
+		mk(600, 0, 0, 7, KindRegionJoin, 0),
+	}}
+	s := Summarize(d)
+	if len(s.Regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(s.Regions))
+	}
+	if s.Regions[0].Gen != 7 || s.Regions[0].Level != 0 {
+		t.Errorf("region 0 gen/level = %d/%d, want 7/0", s.Regions[0].Gen, s.Regions[0].Level)
+	}
+	if s.Regions[1].Gen != 8 || s.Regions[1].Level != 1 {
+		t.Errorf("region 1 gen/level = %d/%d, want 8/1", s.Regions[1].Gen, s.Regions[1].Level)
+	}
+	if s.NestedRegions != 1 {
+		t.Errorf("NestedRegions = %d, want 1", s.NestedRegions)
+	}
+	want := []LevelMetrics{
+		{Level: 0, Regions: 1, MaxThreads: 2, TotalWall: 500},
+		{Level: 1, Regions: 1, MaxThreads: 2, TotalWall: 150},
+	}
+	if len(s.Levels) != 2 || s.Levels[0] != want[0] || s.Levels[1] != want[1] {
+		t.Errorf("Levels = %+v, want %+v", s.Levels, want)
+	}
+	out := s.String()
+	for _, key := range []string{
+		"levels=2", "nested_regions=1",
+		"level0_regions=1", "level0_threads=2",
+		"level1_regions=1", "level1_threads=2",
+	} {
+		if !strings.Contains(out, key) {
+			t.Errorf("summary text missing %q:\n%s", key, out)
+		}
+	}
+	// The Chrome export must carry the level argument and still validate:
+	// the inner span nests inside tid 0's outer span.
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, d); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"level":1`) {
+		t.Error("chrome JSON missing level arg")
+	}
+	if _, err := ValidateChrome(bytes.NewReader(buf.Bytes()), true); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+}
+
 // TestChromeRoundTrip writes the synthetic trace as Chrome JSON and
 // validates its shape strictly (no drops, so spans must balance).
 func TestChromeRoundTrip(t *testing.T) {
@@ -198,11 +273,11 @@ func TestValidateChromeRejects(t *testing.T) {
 // timestamps; Collect must merge them into non-decreasing TS order.
 func TestCollectSortsByTimestamp(t *testing.T) {
 	tr := New(2, 16)
-	tr.Emit(0, KindChunk, 1, 0)
+	tr.Emit(0, 0, KindChunk, 1, 0)
 	time.Sleep(time.Millisecond)
-	tr.Emit(1, KindChunk, 1, 1)
+	tr.Emit(1, 0, KindChunk, 1, 1)
 	time.Sleep(time.Millisecond)
-	tr.Emit(0, KindChunk, 1, 2)
+	tr.Emit(0, 0, KindChunk, 1, 2)
 	d := tr.Collect()
 	if len(d.Events) != 3 {
 		t.Fatalf("collected %d events, want 3", len(d.Events))
@@ -225,6 +300,6 @@ func BenchmarkEmit(b *testing.B) {
 		if i&(1<<19-1) == 0 {
 			tr.rings[0].tail.Store(tr.rings[0].head.Load()) // keep the ring from filling
 		}
-		tr.Emit(0, KindChunk, 1, int64(i))
+		tr.Emit(0, 0, KindChunk, 1, int64(i))
 	}
 }
