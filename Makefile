@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke verify
+.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke search-smoke verify
 
 build:
 	$(GO) build ./...
@@ -170,7 +170,33 @@ monitor-smoke: build
 	awk -F, 'END { if (NR < 2) { print "monitor-smoke: empty campaign CSV"; exit 1 } }' $(MONITOR_DIR)/smoke.csv
 	rm -rf $(MONITOR_DIR)
 
+# search-smoke proves the budgeted Searcher seam end to end on the analytic
+# backend: a full (deterministic) Nqueens sweep on a64fx is the ground truth,
+# then the annealing and surrogate strategies each get a 300-evaluation
+# budget — 6.5% of the 4608-configuration space — against the same model.
+# `ompanalyze -searchreport` joins their shared telemetry stream to the
+# sweep, and the awk gate asserts both strategies recover at least 90% of
+# the full sweep's best speedup while spending at most 10% of the space
+# (columns: evalfrac = $$7, fraction = $$10).
+SEARCH_DIR := $(or $(TMPDIR),/tmp)/omptune-search-smoke
+search-smoke: build
+	rm -rf $(SEARCH_DIR) && mkdir -p $(SEARCH_DIR)
+	$(GO) run ./cmd/ompsweep -arch a64fx -apps Nqueens -frac 1 -o $(SEARCH_DIR)/sweep.csv
+	$(GO) run ./cmd/ompsearch -app Nqueens -arch a64fx -strategy anneal \
+		-budget 300 -seed 1 -telemetry $(SEARCH_DIR)/search.jsonl > /dev/null
+	$(GO) run ./cmd/ompsearch -app Nqueens -arch a64fx -strategy surrogate \
+		-budget 300 -seed 1 -telemetry $(SEARCH_DIR)/search.jsonl > /dev/null
+	$(GO) run ./cmd/ompanalyze -data $(SEARCH_DIR)/sweep.csv \
+		-searchreport $(SEARCH_DIR)/search.jsonl | tee $(SEARCH_DIR)/report.txt
+	awk '$$4 == "anneal" || $$4 == "surrogate" { seen++; \
+		if ($$7 + 0 > 0.10) { print "search-smoke: " $$4 " spent " $$7 " of the space, want <= 0.10"; exit 1 } \
+		if ($$10 + 0 < 0.90) { print "search-smoke: " $$4 " reached " $$10 " of sweep best, want >= 0.90"; exit 1 } } \
+		END { if (seen != 2) { print "search-smoke: expected 2 strategy rows, saw " seen; exit 1 } \
+		print "search-smoke: both strategies >= 90% of sweep best within <= 10% of the space OK" }' \
+		$(SEARCH_DIR)/report.txt
+	rm -rf $(SEARCH_DIR)
+
 # verify is the pre-merge gate. bench-gate is deliberately not in it (timing
 # noise would make the gate flaky on shared machines) — run `make bench-gate`
 # by hand when a change touches the runtime hot paths.
-verify: race test smoke trace-smoke nested-smoke monitor-smoke
+verify: race test smoke trace-smoke nested-smoke monitor-smoke search-smoke

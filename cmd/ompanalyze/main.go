@@ -7,8 +7,14 @@
 //	ompanalyze -data dataset.csv [-upshot] [-worst]
 //	           [-wilcoxon APP,SETTING] [-heatmap app|arch|apparch]
 //	           [-recommend APP] [-tune APP@ARCH] [-backend model|measured]
-//	           [-calibrate ARCH]
+//	           [-calibrate ARCH] [-searchreport search.jsonl]
 //	ompanalyze -compare old.csv new.csv
+//
+// -searchreport joins ompsearch JSONL telemetry against the full sweep in
+// -data: per (arch, app, setting, strategy) it prints the evaluations spent
+// (and the fraction of the space they are), the best speedup the search
+// found, the full sweep's best speedup, and their ratio — the
+// fraction-of-sweep-best metric the budgeted strategies are judged by.
 //
 // -compare is the variability-aware regression gate: it pairs the two
 // datasets per configuration, drops pairs whose repetition CoV exceeds
@@ -63,6 +69,7 @@ func main() {
 		transfer  = flag.String("transfer", "", "application for leave-one-architecture-out transfer analysis")
 		numa      = flag.String("numa", "", "APP@ARCH: evaluate the deferred numa_domains placements")
 		drill     = flag.String("drill", "", "APP@ARCH: hierarchical Fig3->Fig2->Fig4 drill-down with tuning advice")
+		searchRep = flag.String("searchreport", "", "JSONL file from ompsearch -telemetry: report search quality vs the -data full sweep")
 		backendFl = flag.String("backend", "model", "measurement backend for -tune/-random/-numa: model or measured")
 		calibrate = flag.String("calibrate", "", "ARCH: compare the model against the measured backend over a small subspace")
 		calApps   = flag.String("calibrate-apps", "", "comma-separated apps for -calibrate (default: all on the arch)")
@@ -305,6 +312,29 @@ func main() {
 		fmt.Print(rep.String())
 		if rep.Regressions() > 0 {
 			os.Exit(1)
+		}
+	}
+	if *searchRep != "" {
+		ran = true
+		if *dataPath == "" {
+			fatal(fmt.Errorf("-searchreport needs -data with the full-sweep CSV to compare against"))
+		}
+		f, err := os.Open(*searchRep)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := omptune.SearchReport(f, load())
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== budgeted search vs full sweep ==")
+		fmt.Printf("%-8s %-10s %-8s %-10s %6s %6s %9s %8s %8s %9s\n",
+			"arch", "app", "setting", "strategy", "evals", "hits", "evalfrac", "speedup", "sweep", "fraction")
+		for _, r := range rows {
+			fmt.Printf("%-8s %-10s %-8s %-10s %6d %6d %9.4f %8.3f %8.3f %9.4f\n",
+				r.Arch, r.App, r.Setting, r.Strategy, r.Evaluations, r.CacheHits,
+				r.EvalFraction, r.BestSpeedup, r.SweepBestSpeedup, r.Fraction)
 		}
 	}
 	if *drill != "" {

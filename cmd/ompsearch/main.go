@@ -1,0 +1,248 @@
+// Command ompsearch runs one budgeted search strategy over the
+// configuration space — the Searcher-seam alternative to sweeping all of it
+// with ompsweep. It picks a strategy, an evaluation/time budget and a
+// measurement backend, and prints the best configuration found with its
+// speedup over the default.
+//
+// Usage:
+//
+//	ompsearch -app Nqueens [-arch a64fx] [-setting LABEL]
+//	          [-strategy greedy|restart|anneal|surrogate|random]
+//	          [-budget 300] [-max-time 2m] [-seed 1]
+//	          [-backend model|measured] [-measure-reps n] [-measure-warmup n]
+//	          [-order var1,var2,...] [-json]
+//	          [-telemetry search.jsonl] [-serve :8080] [-serve-linger 30s]
+//
+// -strategy selects the search: greedy is the paper's §VI coordinate
+// descent, restart reruns it from random starts, anneal walks the config
+// lattice under a cooling temperature, surrogate proposes
+// expected-improvement candidates from a regression forest fitted on the
+// samples so far, random is the uniform baseline. All strategies share a
+// memoizing evaluation cache, so revisited configurations cost lookups, not
+// backend evaluations.
+//
+// -budget caps evaluations (cache hits included); -max-time adds a
+// wall-clock cap. -seed makes every stochastic choice reproducible: the same
+// seed under the model backend returns an identical result.
+//
+// -telemetry appends per-evaluation JSONL records (search_plan, one
+// search_step per evaluation, search_done) to the given file; feed it to
+// `ompanalyze -searchreport` together with a sweep CSV to measure what
+// fraction of the full sweep's best speedup the search recovered. -serve
+// exposes the live monitor (dashboard, /metrics, /api/status, /healthz)
+// while the search runs, exactly like ompsweep -serve.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"omptune"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ompsearch:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable command body: flag validation errors come back loud
+// instead of os.Exiting, so the table-driven tests can assert on them.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ompsearch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		appName  = fs.String("app", "", "application to tune (required; see omptune.Applications)")
+		archName = fs.String("arch", "a64fx", "architecture model to tune on")
+		setting  = fs.String("setting", "", "setting label (default: the app's middle setting)")
+		strategy = fs.String("strategy", "surrogate", "search strategy: "+strings.Join(omptune.SearchStrategies(), "|"))
+		budget   = fs.Int("budget", 300, "evaluation budget (> 0; cache hits count)")
+		maxTime  = fs.Duration("max-time", 0, "wall-clock budget (0 = evaluations only)")
+		seed     = fs.Uint64("seed", 1, "seed for every stochastic choice")
+		order    = fs.String("order", "", "comma-separated variable order for the greedy descents (default: canonical)")
+		backend  = fs.String("backend", "model", "measurement backend: model (analytic, deterministic) or measured (real kernel execution)")
+		mreps    = fs.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
+		mwarmup  = fs.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
+		jsonOut  = fs.Bool("json", false, "print the result as JSON instead of text")
+		telem    = fs.String("telemetry", "", "append per-evaluation JSONL telemetry to this file")
+		serve    = fs.String("serve", "", "serve the live monitor on this address, e.g. :8080 or 127.0.0.1:0")
+		linger   = fs.Duration("serve-linger", 0, "keep the monitor serving this long after the search ends")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	if *budget <= 0 {
+		return fmt.Errorf("-budget %d: want a positive evaluation budget", *budget)
+	}
+	searcher, err := omptune.NewSearcher(*strategy)
+	if err != nil {
+		return err
+	}
+	if *appName == "" {
+		return fmt.Errorf("-app is required (e.g. -app Nqueens)")
+	}
+	app, err := omptune.ApplicationByName(*appName)
+	if err != nil {
+		return err
+	}
+	m, err := omptune.MachineByName(*archName)
+	if err != nil {
+		return err
+	}
+	sets := app.Settings(m)
+	set := sets[len(sets)/2] // the middle (default-size) setting
+	if *setting != "" {
+		found := false
+		var labels []string
+		for _, s := range sets {
+			labels = append(labels, s.Label)
+			if s.Label == *setting {
+				set, found = s, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("-setting %q: %s has %s on %s", *setting, app.Name, strings.Join(labels, ", "), m.Arch)
+		}
+	}
+	var varOrder []omptune.VarName
+	if *order != "" {
+		valid := omptune.Variables()
+		for _, raw := range strings.Split(*order, ",") {
+			name := omptune.VarName(strings.TrimSpace(raw))
+			ok := false
+			for _, v := range valid {
+				if v == name {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				var names []string
+				for _, v := range valid {
+					names = append(names, string(v))
+				}
+				return fmt.Errorf("-order: unknown variable %q (valid: %s)", name, strings.Join(names, ", "))
+			}
+			varOrder = append(varOrder, name)
+		}
+	}
+
+	var mon *omptune.SearchMonitor
+	if *serve != "" {
+		mon = omptune.NewSearchMonitor()
+	}
+	var ev omptune.Evaluator // nil = the analytic model
+	switch *backend {
+	case "model":
+	case "measured":
+		ev = omptune.NewMeasuredEvaluator(omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps})
+	default:
+		return fmt.Errorf("-backend %q: want model or measured", *backend)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *omptune.MonitorServer
+	if mon != nil {
+		srv = omptune.NewSearchMonitorServer(mon)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "ompsearch: monitor: serving on http://%s\n", addr)
+	}
+
+	res, serr := searcher.Search(ctx, omptune.SearchSpec{
+		Machine: m, App: app, Setting: set, Order: varOrder, Seed: *seed,
+		Evaluator: ev,
+		Budget:    omptune.SearchBudget{MaxEvals: *budget, MaxTime: *maxTime},
+		TelemetryLog: *telem,
+		Monitor:      mon,
+	})
+	if srv != nil {
+		if *linger > 0 {
+			select {
+			case <-time.After(*linger):
+			case <-ctx.Done():
+			}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(sctx)
+		cancel()
+	}
+	if serr != nil {
+		return serr
+	}
+
+	if *jsonOut {
+		return writeJSON(stdout, m, app, set, *backend, *seed, res)
+	}
+	fmt.Fprintf(stdout, "search %s on %s@%s (%s, %s backend, seed %d): %.3fs -> %.3fs (%.3fx) in %d evaluations (%d cache hits)\n",
+		res.Strategy, app.Name, m.Arch, set.Label, *backend, *seed,
+		res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.Evaluations, res.CacheHits)
+	for _, st := range res.Trajectory {
+		fmt.Fprintf(stdout, "  eval %-5d %-20s = %-14s -> %.3fs (%.3fx)\n",
+			st.Eval, st.Variable, st.Value, st.Seconds, st.Speedup)
+	}
+	fmt.Fprintf(stdout, "  best: %s\n", res.Best)
+	return nil
+}
+
+// searchJSON is the -json output document.
+type searchJSON struct {
+	Strategy       string     `json:"strategy"`
+	Arch           string     `json:"arch"`
+	App            string     `json:"app"`
+	Setting        string     `json:"setting"`
+	Backend        string     `json:"backend"`
+	Seed           uint64     `json:"seed"`
+	DefaultSeconds float64    `json:"default_seconds"`
+	BestSeconds    float64    `json:"best_seconds"`
+	Speedup        float64    `json:"speedup"`
+	Evaluations    int        `json:"evaluations"`
+	CacheHits      int        `json:"cache_hits"`
+	BestConfig     string     `json:"best_config"`
+	Trajectory     []stepJSON `json:"trajectory"`
+}
+
+type stepJSON struct {
+	Eval     int     `json:"eval"`
+	Variable string  `json:"variable"`
+	Value    string  `json:"value"`
+	Config   string  `json:"config"`
+	Seconds  float64 `json:"seconds"`
+	Speedup  float64 `json:"speedup"`
+}
+
+func writeJSON(w io.Writer, m *omptune.Machine, app *omptune.App, set omptune.Setting, backend string, seed uint64, res omptune.SearchResult) error {
+	doc := searchJSON{
+		Strategy: res.Strategy, Arch: string(m.Arch), App: app.Name, Setting: set.Label,
+		Backend: backend, Seed: seed,
+		DefaultSeconds: res.DefaultSeconds, BestSeconds: res.BestSeconds,
+		Speedup: res.Speedup(), Evaluations: res.Evaluations, CacheHits: res.CacheHits,
+		BestConfig: res.Best.Key(),
+	}
+	for _, st := range res.Trajectory {
+		doc.Trajectory = append(doc.Trajectory, stepJSON{
+			Eval: st.Eval, Variable: st.Variable, Value: st.Value,
+			Config: st.Config.Key(), Seconds: st.Seconds, Speedup: st.Speedup,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

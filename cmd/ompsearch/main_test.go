@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunValidation is the loud-flag-validation table: every bad invocation
+// must come back as an error naming the offending flag, not a silent default
+// or an os.Exit.
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the returned error
+	}{
+		{"budget zero", []string{"-app", "Nqueens", "-budget", "0"}, "-budget 0"},
+		{"budget negative", []string{"-app", "Nqueens", "-budget", "-5"}, "-budget -5"},
+		{"unknown strategy", []string{"-app", "Nqueens", "-strategy", "brownian"}, `unknown search strategy "brownian"`},
+		{"strategy error names valid set", []string{"-app", "Nqueens", "-strategy", "brownian"}, "greedy, restart, anneal, surrogate, random"},
+		{"max-time unparsable", []string{"-app", "Nqueens", "-max-time", "5 minutes"}, "-max-time"},
+		{"missing app", []string{"-strategy", "greedy"}, "-app is required"},
+		{"unknown app", []string{"-app", "Doom"}, "Doom"},
+		{"unknown arch", []string{"-app", "Nqueens", "-arch", "riscv"}, "riscv"},
+		{"unknown setting", []string{"-app", "Nqueens", "-setting", "nope"}, `-setting "nope"`},
+		{"unknown backend", []string{"-app", "Nqueens", "-backend", "oracle"}, `-backend "oracle"`},
+		{"unknown order variable", []string{"-app", "Nqueens", "-order", "OMP_MOOD"}, `unknown variable "OMP_MOOD"`},
+		{"positional junk", []string{"-app", "Nqueens", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			err := run(tc.args, &out, &errb)
+			if err == nil {
+				t.Fatalf("run(%v) = nil error, want one containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error = %q, want it to contain %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunGreedyJSON runs a real (model-backend) search through the CLI and
+// checks the -json document is complete and internally consistent.
+func TestRunGreedyJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-app", "Nqueens", "-arch", "a64fx", "-strategy", "greedy", "-budget", "40", "-seed", "7", "-json"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v) error: %v\nstderr: %s", args, err, errb.String())
+	}
+	var doc searchJSON
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out.String())
+	}
+	if doc.Strategy != "greedy" || doc.Arch != "a64fx" || doc.App != "Nqueens" || doc.Backend != "model" || doc.Seed != 7 {
+		t.Errorf("identity fields wrong: %+v", doc)
+	}
+	if doc.Evaluations <= 0 || doc.Evaluations > 40 {
+		t.Errorf("Evaluations = %d, want in (0, 40]", doc.Evaluations)
+	}
+	if doc.Speedup < 1 || doc.BestSeconds > doc.DefaultSeconds {
+		t.Errorf("search got slower: speedup %.3f, %.3fs -> %.3fs", doc.Speedup, doc.DefaultSeconds, doc.BestSeconds)
+	}
+	if doc.BestConfig == "" {
+		t.Error("BestConfig is empty")
+	}
+	for _, st := range doc.Trajectory {
+		if st.Eval < 1 || st.Eval > doc.Evaluations {
+			t.Errorf("trajectory eval %d out of range [1, %d]", st.Eval, doc.Evaluations)
+		}
+	}
+}
+
+// TestRunTextAndTelemetry checks the human-readable output and that the
+// telemetry stream lands on disk with the plan/step/done shape.
+func TestRunTextAndTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	tel := filepath.Join(dir, "search.jsonl")
+	var out, errb bytes.Buffer
+	args := []string{"-app", "EP", "-arch", "skylake", "-strategy", "random", "-budget", "25", "-seed", "3", "-telemetry", tel}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v) error: %v", args, err)
+	}
+	text := out.String()
+	for _, want := range []string{"search random on EP@skylake", "25 evaluations", "best: "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	raw, err := os.ReadFile(tel)
+	if err != nil {
+		t.Fatalf("telemetry file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	// search_plan + one search_step per evaluation + search_done.
+	if len(lines) != 25+2 {
+		t.Fatalf("telemetry lines = %d, want 27", len(lines))
+	}
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("bad first telemetry line: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad last telemetry line: %v", err)
+	}
+	if first["type"] != "search_plan" || last["type"] != "search_done" {
+		t.Errorf("telemetry bracket = %v ... %v, want search_plan ... search_done", first["type"], last["type"])
+	}
+}
+
+// TestRunDeterministicAcrossInvocations: same flags, same bytes — the CLI
+// inherits the seam's seeded determinism under the model backend.
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	args := []string{"-app", "Sort", "-arch", "a64fx", "-strategy", "anneal", "-budget", "60", "-seed", "11", "-json"}
+	var a, b, errb bytes.Buffer
+	if err := run(args, &a, &errb); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(args, &b, &errb); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different output:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// EvalCache memoizes the tuning objective — the mean runtime of one
+// (architecture, application, setting, configuration) — across probes of a
+// search. Every strategy behind the Searcher seam routes its evaluations
+// through one, so revisiting a configuration (the greedy tuner re-probing
+// last pass's values, a random walk drawing a duplicate, annealing circling
+// back) costs a map lookup instead of sim.Reps backend evaluations. The cache
+// works for both backends: the model's repeat values are identical anyway,
+// and for the measured backend memoization pins a configuration to its first
+// measured series — the same dedupe the series cache in internal/measure
+// applies one layer down, extended here to the aggregated mean.
+//
+// A cache may be shared across searches (e.g. several strategies on the same
+// app/arch/setting) because keys carry the full evaluation identity; it must
+// not be shared across backends, since the key does not include the backend
+// name.
+type EvalCache struct {
+	mu   sync.Mutex
+	m    map[string]float64
+	hits int64
+}
+
+// NewEvalCache returns an empty evaluation cache.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{m: make(map[string]float64)}
+}
+
+// Mean returns the mean runtime of app on machine mc under cfg at the given
+// setting, computing it via ev on the first request and replaying the stored
+// value afterwards. hit reports whether the value came from the cache.
+func (c *EvalCache) Mean(ev Evaluator, mc *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) (sec float64, hit bool) {
+	key := string(mc.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
+	c.mu.Lock()
+	if v, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	// Computed outside the lock: a measured-backend evaluation can take
+	// seconds, and holding the lock would serialize unrelated keys. Searches
+	// are sequential today, so the benign race (two goroutines computing the
+	// same key; first store wins) costs nothing.
+	sec = meanRuntime(ev, mc, app, cfg, set)
+	c.mu.Lock()
+	if v, ok := c.m[key]; ok {
+		sec = v
+	} else {
+		c.m[key] = sec
+	}
+	c.mu.Unlock()
+	return sec, false
+}
+
+// Hits returns how many lookups were answered from the cache.
+func (c *EvalCache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Len returns how many distinct configurations the cache holds.
+func (c *EvalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -136,32 +137,16 @@ func Transfer(ds *dataset.Dataset, app string, treeOpt ml.TreeOptions, nTrees in
 // `budget` configurations uniformly (deterministically seeded) and keep the
 // best. Returned in the same TuneResult shape as Tune. The ev backend
 // decides what an evaluation measures (nil = analytic model).
+//
+// RandomSearch is a compatibility wrapper over the "random" strategy of the
+// Searcher seam (see search.go); the seeded draw sequence and the results
+// are identical to the pre-seam implementation under the analytic backend.
 func RandomSearch(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, budget int, seedVal uint64) TuneResult {
-	if budget <= 0 {
-		budget = 200
-	}
-	ev = orModel(ev)
-	measure := func(cfg env.Config) float64 {
-		return meanRuntime(ev, m, app, cfg, set)
-	}
-	space := env.Space(m)
-	res := TuneResult{Best: env.Default(m)}
-	res.DefaultSeconds = measure(res.Best)
-	res.BestSeconds = res.DefaultSeconds
-	res.Evaluations = 1
-	state := seedVal*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	for res.Evaluations < budget {
-		state = state*6364136223846793005 + 1442695040888963407
-		cfg := space[int((state>>33)%uint64(len(space)))]
-		t := measure(cfg)
-		res.Evaluations++
-		if t < res.BestSeconds {
-			res.Best = cfg
-			res.BestSeconds = t
-			res.Trace = append(res.Trace, TuneStep{Variable: "random", Value: cfg.Key(), Seconds: t})
-		}
-	}
-	return res
+	res, _ := randomSearcher{}.Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set, Seed: seedVal,
+		Evaluator: ev, Budget: SearchBudget{MaxEvals: budget},
+	})
+	return res.TuneResult()
 }
 
 // ExtendedSpace enumerates the sweep space including the numa_domains

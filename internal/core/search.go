@@ -1,0 +1,340 @@
+package core
+
+// The Searcher seam: every way of exploring the configuration space — the
+// paper's §VI coordinate descent, the random baseline, and the budgeted
+// strategies this repo adds (random-restart greedy, simulated annealing,
+// surrogate-guided search) — implements one interface over one spec. The
+// seam mirrors the Evaluator seam of the measurement layer: strategies are
+// interchangeable, share the memoizing evaluation cache, and emit the same
+// per-evaluation telemetry and monitor gauges, so "which search finds the
+// sweep's best speedup on the smallest budget" is a fair, instrumented
+// comparison instead of five ad-hoc loops.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"omptune/internal/apps"
+	"omptune/internal/env"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// Searcher is one budgeted search strategy over the configuration space.
+type Searcher interface {
+	// Name identifies the strategy ("greedy", "restart", "anneal",
+	// "surrogate", "random"); it is stamped on results and telemetry.
+	Name() string
+	// Search explores spec's space within spec's budget and returns the best
+	// configuration found. A canceled ctx stops the search at the next
+	// evaluation boundary; the partial result is returned alongside ctx's
+	// error.
+	Search(ctx context.Context, spec SearchSpec) (SearchResult, error)
+}
+
+// SearchBudget bounds a search. Zero values mean "no bound of that kind";
+// when both are zero the search gets the legacy default of 200 evaluations,
+// matching the pre-seam Tune and RandomSearch budgets.
+type SearchBudget struct {
+	// MaxEvals caps the number of evaluations (cache hits included — a probe
+	// is a probe, so budget accounting is identical across cache states and
+	// backends).
+	MaxEvals int
+	// MaxTime caps the wall-clock duration; the search stops at the first
+	// evaluation boundary past the deadline.
+	MaxTime time.Duration
+}
+
+// SearchSpec carries everything a strategy needs: the problem (machine, app,
+// setting, space), the measurement backend, the budget, and the observability
+// sinks.
+type SearchSpec struct {
+	Machine *topology.Machine
+	App     *apps.App
+	Setting sim.Setting
+	// Space is the candidate pool for space-sampling strategies (random,
+	// restart starts, annealing's implicit lattice, surrogate proposals);
+	// nil means env.Space(Machine).
+	Space []env.Config
+	// Order is the coordinate order of the greedy descents (most influential
+	// first, e.g. from a heatmap's FeatureRank); nil means the canonical
+	// env.Names() order.
+	Order []env.VarName
+	// Seed drives every stochastic choice; same seed + deterministic backend
+	// means an identical SearchResult.
+	Seed uint64
+	// Evaluator is the measurement backend; nil means the analytic model.
+	Evaluator Evaluator
+	Budget    SearchBudget
+	// Cache memoizes the evaluation objective across probes (and across
+	// searches when shared); nil means a private cache per search.
+	Cache *EvalCache
+	// TelemetryLog, when non-empty, appends a JSONL stream to this file: one
+	// search_plan record, one search_step per evaluation, one terminal
+	// search_done (or error) record.
+	TelemetryLog string
+	// Monitor, when non-nil, receives live gauges (best-so-far speedup,
+	// evaluations done, cache hits) and the evaluation-latency histogram;
+	// serve it over HTTP with obs.Server.
+	Monitor *SearchMonitor
+}
+
+// SearchStep records one improvement of the best-so-far configuration.
+type SearchStep struct {
+	// Eval is the 1-based evaluation index at which the improvement landed.
+	Eval int
+	// Variable names the move that produced it: a coordinate name for the
+	// descent strategies, or the strategy's move kind ("random", "restart",
+	// "explore", "surrogate") for space-sampling moves.
+	Variable string
+	Value    string
+	Config   env.Config
+	Seconds  float64
+	// Speedup is DefaultSeconds / Seconds for this step's configuration.
+	Speedup float64
+}
+
+// SearchResult is the outcome of one budgeted search.
+type SearchResult struct {
+	Strategy    string
+	Best        env.Config
+	BestSeconds float64
+	// DefaultSeconds is the default configuration's objective — the
+	// denominator of Speedup, comparable to the study's tables.
+	DefaultSeconds float64
+	// Evaluations counts every probe, including ones answered by the cache;
+	// it is the budget the search consumed.
+	Evaluations int
+	// CacheHits is how many of those probes cost a lookup instead of a
+	// backend evaluation.
+	CacheHits int
+	// Trajectory lists each improvement of the best-so-far configuration in
+	// evaluation order.
+	Trajectory []SearchStep
+}
+
+// Speedup returns the improvement of the best found configuration over the
+// default.
+func (r SearchResult) Speedup() float64 {
+	if r.BestSeconds <= 0 {
+		return 0
+	}
+	return r.DefaultSeconds / r.BestSeconds
+}
+
+// TuneResult converts the result to the legacy coordinate-descent shape; the
+// compatibility wrappers (Tune, RandomSearch) return exactly this.
+func (r SearchResult) TuneResult() TuneResult {
+	t := TuneResult{
+		Best:           r.Best,
+		BestSeconds:    r.BestSeconds,
+		DefaultSeconds: r.DefaultSeconds,
+		Evaluations:    r.Evaluations,
+	}
+	for _, st := range r.Trajectory {
+		t.Trace = append(t.Trace, TuneStep{Variable: env.VarName(st.Variable), Value: st.Value, Seconds: st.Seconds})
+	}
+	return t
+}
+
+// SearchStrategies lists the registered strategy names in presentation
+// order.
+func SearchStrategies() []string {
+	return []string{"greedy", "restart", "anneal", "surrogate", "random"}
+}
+
+// NewSearcher resolves a strategy by name; the error of an unknown name
+// lists the valid set.
+func NewSearcher(name string) (Searcher, error) {
+	switch name {
+	case "greedy":
+		return greedySearcher{}, nil
+	case "restart":
+		return restartSearcher{}, nil
+	case "anneal":
+		return annealSearcher{}, nil
+	case "surrogate":
+		return surrogateSearcher{}, nil
+	case "random":
+		return randomSearcher{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown search strategy %q (valid: %s)",
+		name, strings.Join(SearchStrategies(), ", "))
+}
+
+// legacyDefaultBudget is the pre-seam evaluation budget of Tune and
+// RandomSearch, applied when a spec bounds neither evaluations nor time.
+const legacyDefaultBudget = 200
+
+// searchState is the shared machinery under every strategy: resolved spec
+// defaults, the budget clock, the cache-routed probe, best-so-far tracking,
+// and the telemetry/monitor fan-out.
+type searchState struct {
+	ctx   context.Context
+	spec  SearchSpec
+	ev    Evaluator
+	cache *EvalCache
+	space []env.Config
+	order []env.VarName
+
+	maxEvals int
+	deadline time.Time
+
+	res SearchResult
+	tel *searchTelemetry
+}
+
+// newSearchState validates spec, applies defaults and opens the
+// observability sinks.
+func newSearchState(ctx context.Context, strategy string, spec SearchSpec) (*searchState, error) {
+	if spec.Machine == nil || spec.App == nil {
+		return nil, fmt.Errorf("core: search %s: machine and app are required", strategy)
+	}
+	s := &searchState{ctx: ctx, spec: spec, ev: orModel(spec.Evaluator)}
+	s.cache = spec.Cache
+	if s.cache == nil {
+		s.cache = NewEvalCache()
+	}
+	s.space = spec.Space
+	if len(s.space) == 0 {
+		s.space = env.Space(spec.Machine)
+	}
+	s.order = spec.Order
+	if len(s.order) == 0 {
+		s.order = env.Names()
+	}
+	s.maxEvals = spec.Budget.MaxEvals
+	if s.maxEvals <= 0 && spec.Budget.MaxTime <= 0 {
+		s.maxEvals = legacyDefaultBudget
+	}
+	if spec.Budget.MaxTime > 0 {
+		s.deadline = time.Now().Add(spec.Budget.MaxTime)
+	}
+	s.res.Strategy = strategy
+	if spec.TelemetryLog != "" {
+		tel, err := newSearchTelemetry(spec.TelemetryLog)
+		if err != nil {
+			return nil, err
+		}
+		s.tel = tel
+		tel.plan(s)
+	}
+	if spec.Monitor != nil {
+		spec.Monitor.plan(s)
+	}
+	return s, nil
+}
+
+// runSearch wraps a strategy body with state setup and teardown; it is the
+// single entry path of every Search implementation.
+func runSearch(ctx context.Context, strategy string, spec SearchSpec, body func(*searchState)) (SearchResult, error) {
+	s, err := newSearchState(ctx, strategy, spec)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	body(s)
+	if ctx != nil {
+		err = ctx.Err()
+	}
+	if s.tel != nil {
+		s.tel.done(s, err)
+	}
+	if spec.Monitor != nil {
+		spec.Monitor.finish(err)
+	}
+	return s.res, err
+}
+
+// init measures the default configuration — the first evaluation of every
+// strategy and the denominator of every speedup, exactly as the pre-seam
+// tuners did.
+func (s *searchState) init() {
+	def := env.Default(s.spec.Machine)
+	t0 := time.Now()
+	sec, hit := s.cache.Mean(s.ev, s.spec.Machine, s.spec.App, def, s.spec.Setting)
+	s.res.Evaluations = 1
+	if hit {
+		s.res.CacheHits++
+	}
+	s.res.Best, s.res.BestSeconds, s.res.DefaultSeconds = def, sec, sec
+	s.emitEval(def, sec, hit, time.Since(t0))
+}
+
+// probe evaluates one candidate: it spends one budget unit, consults the
+// cache, folds an improvement into the best-so-far trajectory (labelled with
+// the move that produced it), and feeds the observability sinks. The caller
+// must have checked exhausted() first.
+func (s *searchState) probe(cfg env.Config, variable, value string) float64 {
+	t0 := time.Now()
+	sec, hit := s.cache.Mean(s.ev, s.spec.Machine, s.spec.App, cfg, s.spec.Setting)
+	s.res.Evaluations++
+	if hit {
+		s.res.CacheHits++
+	}
+	if sec < s.res.BestSeconds {
+		s.res.Best = cfg
+		s.res.BestSeconds = sec
+		s.res.Trajectory = append(s.res.Trajectory, SearchStep{
+			Eval: s.res.Evaluations, Variable: variable, Value: value,
+			Config: cfg, Seconds: sec, Speedup: s.res.DefaultSeconds / sec,
+		})
+	}
+	s.emitEval(cfg, sec, hit, time.Since(t0))
+	return sec
+}
+
+// exhausted reports whether the search must stop: context canceled,
+// evaluation budget spent, or deadline passed. Strategies check it before
+// every probe, so a search never overdraws its budget.
+func (s *searchState) exhausted() bool {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return true
+	}
+	if s.maxEvals > 0 && s.res.Evaluations >= s.maxEvals {
+		return true
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// progress estimates the consumed budget fraction in [0, 1] — the annealing
+// temperature schedule's clock. With both bounds set, the tighter one
+// governs.
+func (s *searchState) progress() float64 {
+	p := 0.0
+	if s.maxEvals > 0 {
+		p = float64(s.res.Evaluations) / float64(s.maxEvals)
+	}
+	if !s.deadline.IsZero() && s.spec.Budget.MaxTime > 0 {
+		if tp := 1 - time.Until(s.deadline).Seconds()/s.spec.Budget.MaxTime.Seconds(); tp > p {
+			p = tp
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// bestSpeedup is the best-so-far speedup gauge fed to telemetry and the
+// monitor.
+func (s *searchState) bestSpeedup() float64 {
+	if s.res.BestSeconds <= 0 {
+		return 0
+	}
+	return s.res.DefaultSeconds / s.res.BestSeconds
+}
+
+// emitEval fans one completed evaluation out to the observability sinks.
+func (s *searchState) emitEval(cfg env.Config, sec float64, hit bool, d time.Duration) {
+	if s.tel != nil {
+		s.tel.step(s, cfg, sec, hit)
+	}
+	if s.spec.Monitor != nil {
+		s.spec.Monitor.eval(d, s.res.Evaluations, s.res.CacheHits, s.bestSpeedup())
+	}
+}

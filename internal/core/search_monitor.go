@@ -1,0 +1,154 @@
+package core
+
+// SearchMonitor is the live-observability sink of a budgeted search — the
+// search-shaped sibling of the sweep Monitor. It owns an obs.Registry with
+// the search gauges (best-so-far speedup, evaluations done, cache hits,
+// elapsed time) and the per-evaluation latency histogram, and it maps its
+// status onto the same obs.Status payload the embedded dashboard renders for
+// sweeps: evaluations stand in for samples, the budget for the planned
+// total, so `ompsearch -serve` monitors a search exactly like `ompsweep
+// -serve` monitors a campaign.
+
+import (
+	"sync"
+	"time"
+
+	"omptune/internal/obs"
+)
+
+// SearchMonitor aggregates live search state. Create one with
+// NewSearchMonitor, put it in SearchSpec.Monitor, and serve its
+// Registry/Status with obs.Server. All methods are safe for concurrent use
+// by the searching goroutine and HTTP scrape handlers.
+type SearchMonitor struct {
+	reg *obs.Registry
+
+	mu          sync.Mutex
+	state       string // waiting | running | done | error
+	strategy    string
+	backend     string
+	arch        string
+	app         string
+	setting     string
+	budgetEvals int
+	start       time.Time
+	planned     bool
+	evals       int
+	cacheHits   int
+	bestSpeedup float64
+	errMsg      string
+
+	gBudget *obs.Gauge
+	hEval   *obs.Histogram
+}
+
+// NewSearchMonitor builds a monitor with its metric schema pre-registered,
+// so /metrics exposes every gauge (at zero) before the search starts.
+func NewSearchMonitor() *SearchMonitor {
+	m := &SearchMonitor{reg: obs.NewRegistry(), state: "waiting"}
+	m.gBudget = m.reg.Gauge("omptune_search_budget_evals",
+		"evaluation budget of the search (0 = time-bounded only)")
+	m.reg.GaugeFunc("omptune_search_evaluations",
+		"configuration evaluations done so far (cache hits included)",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.evals) })
+	m.reg.GaugeFunc("omptune_search_cache_hits",
+		"evaluations answered by the memoizing cache",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.cacheHits) })
+	m.reg.GaugeFunc("omptune_search_best_speedup",
+		"best speedup over the default configuration found so far",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return m.bestSpeedup })
+	m.reg.GaugeFunc("omptune_search_elapsed_seconds",
+		"wall-clock time since the search plan was recorded",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return m.elapsedLocked() })
+	m.hEval = m.reg.Histogram("omptune_search_eval_seconds",
+		"wall-clock latency of one configuration evaluation")
+	return m
+}
+
+// Registry exposes the monitor's metrics registry (for obs.Server or a
+// custom scrape endpoint).
+func (m *SearchMonitor) Registry() *obs.Registry { return m.reg }
+
+func (m *SearchMonitor) elapsedLocked() float64 {
+	if !m.planned {
+		return 0
+	}
+	return time.Since(m.start).Seconds()
+}
+
+// plan records the search shape.
+func (m *SearchMonitor) plan(s *searchState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = "running"
+	m.strategy = s.res.Strategy
+	m.backend = s.ev.Name()
+	m.arch = string(s.spec.Machine.Arch)
+	m.app = s.spec.App.Name
+	m.setting = s.spec.Setting.Label
+	m.budgetEvals = s.maxEvals
+	m.start = time.Now()
+	m.planned = true
+	m.gBudget.Set(float64(s.maxEvals))
+}
+
+// eval folds one completed evaluation into the gauges and the latency
+// histogram.
+func (m *SearchMonitor) eval(d time.Duration, evals, cacheHits int, bestSpeedup float64) {
+	m.hEval.Observe(d)
+	m.mu.Lock()
+	m.evals = evals
+	m.cacheHits = cacheHits
+	m.bestSpeedup = bestSpeedup
+	m.mu.Unlock()
+}
+
+// finish marks the search's terminal state.
+func (m *SearchMonitor) finish(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.state = "error"
+		m.errMsg = err.Error()
+		return
+	}
+	m.state = "done"
+}
+
+// Status snapshots the search for /api/status in the sweep dashboard's
+// shape: one cell (arch, app), evaluations as samples, the evaluation budget
+// as the planned total, and the probe-latency histogram.
+func (m *SearchMonitor) Status() obs.Status {
+	m.mu.Lock()
+	elapsed := m.elapsedLocked()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(m.evals) / elapsed
+	}
+	eta := 0.0
+	if rate > 0 && m.budgetEvals > m.evals && m.state == "running" {
+		eta = float64(m.budgetEvals-m.evals) / rate
+	}
+	st := obs.Status{
+		State:         m.state,
+		Backend:       m.backend + " (" + m.strategy + ")",
+		Workers:       1,
+		ElapsedSec:    elapsed,
+		SamplesDone:   m.evals,
+		SamplesTotal:  m.budgetEvals,
+		SamplesPerSec: rate,
+		ETASec:        eta,
+		Error:         m.errMsg,
+	}
+	if m.planned {
+		st.Cells = []obs.Cell{{
+			Arch: m.arch, App: m.app,
+			SamplesDone: m.evals, SamplesTotal: m.budgetEvals,
+		}}
+	}
+	m.mu.Unlock()
+	if m.hEval.Count() > 0 {
+		st.Latencies = append(st.Latencies, obs.LatencyOf("eval", m.hEval.Snapshot()))
+	}
+	return st
+}

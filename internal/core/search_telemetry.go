@@ -1,0 +1,157 @@
+package core
+
+// Search telemetry: the per-evaluation JSONL sibling of the sweep telemetry
+// in telemetry.go. A search emits one search_plan record, one search_step
+// per evaluation (strategy, config, this probe's speedup, best-so-far), and
+// a terminal search_done (or error) record. Searches are short and already
+// step-granular, so there is no heartbeat loop. Records carry the full
+// search identity (strategy, arch, app, setting) on every line, so many
+// searches can append to one file and SearchReport can still separate them.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"omptune/internal/env"
+)
+
+// searchRecord is the JSONL record shape of a search stream. Type
+// discriminates; unused fields are omitted per record type.
+type searchRecord struct {
+	Type string `json:"type"` // search_plan | search_step | search_done | error
+	TS   string `json:"ts"`   // RFC3339Nano, UTC
+
+	// search identity, on every record
+	Strategy string `json:"strategy,omitempty"`
+	Arch     string `json:"arch,omitempty"`
+	App      string `json:"app,omitempty"`
+	Setting  string `json:"setting,omitempty"`
+
+	// search_plan
+	Backend     string  `json:"backend,omitempty"`
+	SpaceSize   int     `json:"space_size,omitempty"`
+	BudgetEvals int     `json:"budget_evals,omitempty"`
+	BudgetSec   float64 `json:"budget_sec,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+
+	// search_step
+	Eval     int     `json:"eval,omitempty"`
+	Config   string  `json:"config,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+
+	// search_step / search_done
+	BestSpeedup float64 `json:"best_speedup,omitempty"`
+
+	// search_done
+	Evaluations int     `json:"evaluations,omitempty"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	BestConfig  string  `json:"best_config,omitempty"`
+	ElapsedSec  float64 `json:"elapsed_sec,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// searchTelemetry owns one JSONL sink. It shares the sweep telemetry's
+// error discipline: the first write failure is surfaced once on errw, a
+// terminal error record is attempted, and the stream is disabled.
+type searchTelemetry struct {
+	w     io.WriteCloser
+	enc   *json.Encoder
+	start time.Time
+	werr  error
+	errw  io.Writer
+}
+
+// newSearchTelemetry opens (appending) the JSONL log.
+func newSearchTelemetry(path string) (*searchTelemetry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: search telemetry log: %w", err)
+	}
+	return &searchTelemetry{w: f, enc: json.NewEncoder(f), start: time.Now(), errw: os.Stderr}, nil
+}
+
+// ident stamps the search identity fields shared by every record.
+func (t *searchTelemetry) ident(s *searchState, rec searchRecord) searchRecord {
+	rec.Strategy = s.res.Strategy
+	rec.Arch = string(s.spec.Machine.Arch)
+	rec.App = s.spec.App.Name
+	rec.Setting = s.spec.Setting.Label
+	return rec
+}
+
+// plan records the search shape before the first evaluation.
+func (t *searchTelemetry) plan(s *searchState) {
+	t.emit(t.ident(s, searchRecord{
+		Type:        "search_plan",
+		Backend:     s.ev.Name(),
+		SpaceSize:   len(s.space),
+		BudgetEvals: s.maxEvals,
+		BudgetSec:   s.spec.Budget.MaxTime.Seconds(),
+		Seed:        s.spec.Seed,
+	}))
+}
+
+// step records one completed evaluation.
+func (t *searchTelemetry) step(s *searchState, cfg env.Config, sec float64, hit bool) {
+	speedup := 0.0
+	if sec > 0 && s.res.DefaultSeconds > 0 {
+		speedup = s.res.DefaultSeconds / sec
+	}
+	t.emit(t.ident(s, searchRecord{
+		Type:        "search_step",
+		Eval:        s.res.Evaluations,
+		Config:      cfg.Key(),
+		Seconds:     sec,
+		Speedup:     speedup,
+		CacheHit:    hit,
+		BestSpeedup: s.bestSpeedup(),
+	}))
+}
+
+// done writes the terminal record and closes the log.
+func (t *searchTelemetry) done(s *searchState, err error) {
+	rec := t.ident(s, searchRecord{
+		Type:        "search_done",
+		SpaceSize:   len(s.space),
+		Evaluations: s.res.Evaluations,
+		CacheHits:   s.res.CacheHits,
+		BestConfig:  s.res.Best.Key(),
+		BestSpeedup: s.bestSpeedup(),
+		ElapsedSec:  time.Since(t.start).Seconds(),
+	})
+	if err != nil {
+		rec.Type = "error"
+		rec.Error = err.Error()
+	}
+	t.emit(rec)
+	t.w.Close()
+}
+
+// emit stamps and writes one record, mirroring the sweep telemetry's
+// best-effort write discipline.
+func (t *searchTelemetry) emit(rec searchRecord) {
+	if t.werr != nil {
+		return
+	}
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	err := t.enc.Encode(rec)
+	if err == nil {
+		return
+	}
+	t.werr = err
+	if t.errw != nil {
+		fmt.Fprintf(t.errw, "omptune: search telemetry: write failed, disabling stream: %v\n", err)
+	}
+	_ = t.enc.Encode(searchRecord{
+		Type:  "error",
+		TS:    time.Now().UTC().Format(time.RFC3339Nano),
+		Error: fmt.Sprintf("search telemetry stream disabled after write error: %v", err),
+	})
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"omptune/internal/apps"
+	"omptune/internal/dataset"
+	"omptune/internal/env"
+	"omptune/internal/measure"
+	"omptune/internal/sim"
+	"omptune/internal/topology"
+)
+
+// legacyTune is a verbatim copy of the pre-seam Tune implementation; the
+// golden tests hold the seam's greedy strategy byte-identical to it under
+// the analytic backend.
+func legacyTune(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarName, budget int) TuneResult {
+	if budget <= 0 {
+		budget = 200
+	}
+	if len(order) == 0 {
+		for _, v := range env.Names() {
+			order = append(order, v)
+		}
+	}
+	ev = orModel(ev)
+	measure := func(cfg env.Config) float64 {
+		return meanRuntime(ev, m, app, cfg, set)
+	}
+	res := TuneResult{Best: env.Default(m)}
+	res.DefaultSeconds = measure(res.Best)
+	res.BestSeconds = res.DefaultSeconds
+	res.Evaluations = 1
+	for pass := 0; pass < 4; pass++ {
+		improvedThisPass := false
+		for _, v := range order {
+			for _, val := range env.Values(m, v) {
+				if res.Best.Value(v) == val {
+					continue
+				}
+				cand, err := res.Best.Set(v, val)
+				if err != nil || cand.Validate(m) != nil {
+					continue
+				}
+				if res.Evaluations >= budget {
+					return res
+				}
+				t := measure(cand)
+				res.Evaluations++
+				if t < res.BestSeconds {
+					res.Best = cand
+					res.BestSeconds = t
+					res.Trace = append(res.Trace, TuneStep{Variable: v, Value: val, Seconds: t})
+					improvedThisPass = true
+				}
+			}
+		}
+		if !improvedThisPass {
+			break
+		}
+	}
+	return res
+}
+
+// legacyRandomSearch is a verbatim copy of the pre-seam RandomSearch.
+func legacyRandomSearch(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, budget int, seedVal uint64) TuneResult {
+	if budget <= 0 {
+		budget = 200
+	}
+	ev = orModel(ev)
+	measure := func(cfg env.Config) float64 {
+		return meanRuntime(ev, m, app, cfg, set)
+	}
+	space := env.Space(m)
+	res := TuneResult{Best: env.Default(m)}
+	res.DefaultSeconds = measure(res.Best)
+	res.BestSeconds = res.DefaultSeconds
+	res.Evaluations = 1
+	state := seedVal*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for res.Evaluations < budget {
+		state = state*6364136223846793005 + 1442695040888963407
+		cfg := space[int((state>>33)%uint64(len(space)))]
+		t := measure(cfg)
+		res.Evaluations++
+		if t < res.BestSeconds {
+			res.Best = cfg
+			res.BestSeconds = t
+			res.Trace = append(res.Trace, TuneStep{Variable: "random", Value: cfg.Key(), Seconds: t})
+		}
+	}
+	return res
+}
+
+func searchApp(t *testing.T, arch topology.Arch, name string) (*topology.Machine, *apps.App, sim.Setting) {
+	t.Helper()
+	m := topology.MustGet(arch)
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, app, app.Settings(m)[0]
+}
+
+// TestTuneMatchesLegacyGolden is the compatibility-wrapper guarantee of the
+// seam refactor: Tune results are byte-identical to the pre-seam
+// implementation under the analytic backend, across apps, architectures,
+// orders and budgets (including budget exhaustion mid-pass).
+func TestTuneMatchesLegacyGolden(t *testing.T) {
+	cases := []struct {
+		arch   topology.Arch
+		app    string
+		order  []env.VarName
+		budget int
+	}{
+		{topology.A64FX, "Nqueens", nil, 150},
+		{topology.A64FX, "Nqueens", nil, 17}, // exhausts mid-pass
+		{topology.Skylake, "XSbench", nil, 0},
+		{topology.Milan, "Sort", []env.VarName{env.VarLibrary, env.VarBlocktime}, 25},
+		{topology.Milan, "CG", nil, 60},
+	}
+	for _, c := range cases {
+		m, app, set := searchApp(t, c.arch, c.app)
+		want := legacyTune(nil, m, app, set, c.order, c.budget)
+		got := Tune(nil, m, app, set, c.order, c.budget)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s budget %d: Tune diverged from legacy:\n got %+v\nwant %+v",
+				c.arch, c.app, c.budget, got, want)
+		}
+	}
+}
+
+// TestRandomSearchMatchesLegacyGolden holds the random strategy (and its
+// seeded draw sequence) byte-identical to the pre-seam baseline.
+func TestRandomSearchMatchesLegacyGolden(t *testing.T) {
+	cases := []struct {
+		arch   topology.Arch
+		app    string
+		budget int
+		seed   uint64
+	}{
+		{topology.A64FX, "Nqueens", 40, 1},
+		{topology.Milan, "XSbench", 40, 7},
+		{topology.Skylake, "Sort", 0, 42},
+	}
+	for _, c := range cases {
+		m, app, set := searchApp(t, c.arch, c.app)
+		want := legacyRandomSearch(nil, m, app, set, c.budget, c.seed)
+		got := RandomSearch(nil, m, app, set, c.budget, c.seed)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s budget %d seed %d: RandomSearch diverged from legacy:\n got %+v\nwant %+v",
+				c.arch, c.app, c.budget, c.seed, got, want)
+		}
+	}
+}
+
+// TestSearchSeededDeterminism: every strategy with the same seed and the
+// analytic backend returns an identical SearchResult (config, trajectory,
+// eval count) across runs.
+func TestSearchSeededDeterminism(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	for _, name := range SearchStrategies() {
+		s, err := NewSearcher(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("NewSearcher(%q).Name() = %q", name, s.Name())
+		}
+		spec := SearchSpec{
+			Machine: m, App: app, Setting: set, Seed: 11,
+			Budget: SearchBudget{MaxEvals: 80},
+		}
+		r1, err1 := s.Search(context.Background(), spec)
+		r2, err2 := s.Search(context.Background(), spec)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: search errors %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: same seed produced different results:\n%+v\n%+v", name, r1, r2)
+		}
+		if r1.Strategy != name {
+			t.Errorf("%s: result strategy = %q", name, r1.Strategy)
+		}
+		if r1.Evaluations > 80 {
+			t.Errorf("%s: %d evaluations exceed the budget of 80", name, r1.Evaluations)
+		}
+		if r1.BestSeconds > r1.DefaultSeconds {
+			t.Errorf("%s: best %v worse than default %v", name, r1.BestSeconds, r1.DefaultSeconds)
+		}
+		for i, st := range r1.Trajectory {
+			if st.Eval < 1 || st.Eval > r1.Evaluations {
+				t.Errorf("%s: step %d eval index %d outside [1, %d]", name, i, st.Eval, r1.Evaluations)
+			}
+		}
+	}
+}
+
+func TestNewSearcherUnknownNamesValidSet(t *testing.T) {
+	_, err := NewSearcher("gradient")
+	if err == nil {
+		t.Fatal("NewSearcher accepted an unknown strategy")
+	}
+	for _, want := range append(SearchStrategies(), "gradient") {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestEvalCacheMemoizes(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Sort")
+	fake := &fakeEvaluator{}
+	c := NewEvalCache()
+	cfg := env.Default(m)
+	v1, hit := c.Mean(fake, m, app, cfg, set)
+	if hit {
+		t.Error("first lookup reported a hit")
+	}
+	calls := fake.calls.Load()
+	if calls != sim.Reps {
+		t.Errorf("first lookup cost %d backend calls, want %d", calls, sim.Reps)
+	}
+	v2, hit := c.Mean(fake, m, app, cfg, set)
+	if !hit || v2 != v1 {
+		t.Errorf("second lookup: hit=%v value %v, want cached %v", hit, v2, v1)
+	}
+	if fake.calls.Load() != calls {
+		t.Error("cache hit still called the backend")
+	}
+	if c.Hits() != 1 || c.Len() != 1 {
+		t.Errorf("Hits=%d Len=%d, want 1/1", c.Hits(), c.Len())
+	}
+}
+
+// TestTuneCacheSavesEvaluations is the memoization fix for the pre-seam
+// greedy tuner: the descent's terminating pass re-probes configurations the
+// previous pass already measured, and those probes must now cost cache
+// lookups, not backend evaluations. Budget accounting is unchanged — only
+// backend work is saved.
+func TestTuneCacheSavesEvaluations(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	fake := &fakeEvaluator{}
+	res, err := greedySearcher{}.Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set,
+		Evaluator: fake, Budget: SearchBudget{MaxEvals: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("greedy descent recorded no cache hits; the terminating pass should re-probe earlier candidates")
+	}
+	wantCalls := int64(res.Evaluations-res.CacheHits) * sim.Reps
+	if got := fake.calls.Load(); got != wantCalls {
+		t.Errorf("backend calls = %d, want (%d evals - %d hits) * %d reps = %d",
+			got, res.Evaluations, res.CacheHits, sim.Reps, wantCalls)
+	}
+	// The saved-evaluation count: without the cache every probe would cost
+	// sim.Reps backend calls.
+	saved := int64(res.Evaluations)*sim.Reps - fake.calls.Load()
+	if saved != int64(res.CacheHits)*sim.Reps {
+		t.Errorf("saved %d backend calls, want %d", saved, int64(res.CacheHits)*sim.Reps)
+	}
+}
+
+// TestSharedCacheAcrossSearches: a cache shared by two strategies on the
+// same problem lets the second search start warm.
+func TestSharedCacheAcrossSearches(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	cache := NewEvalCache()
+	spec := SearchSpec{
+		Machine: m, App: app, Setting: set, Seed: 3,
+		Budget: SearchBudget{MaxEvals: 50}, Cache: cache,
+	}
+	if _, err := (greedySearcher{}).Search(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := randomSearcher{}.Search(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The random walk starts from the default configuration the greedy
+	// search already measured, so at least that probe must hit.
+	if res.CacheHits == 0 {
+		t.Error("second search over a shared cache recorded no hits")
+	}
+}
+
+// TestSearchMeasuredBackendSeriesCache: the search layer's eval cache sits
+// above the measured backend's per-configuration series cache, so a search
+// measures exactly one real series per distinct configuration probed,
+// however often the strategy revisits one.
+func TestSearchMeasuredBackendSeriesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real kernel execution in -short mode")
+	}
+	m, app, set := searchApp(t, topology.A64FX, "EP")
+	ev := measure.NewEvaluator(measure.Options{Warmup: 0, TimedReps: 1})
+	res, err := greedySearcher{}.Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set,
+		Evaluator: ev, Budget: SearchBudget{MaxEvals: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 12 {
+		t.Errorf("Evaluations = %d, want the full budget of 12", res.Evaluations)
+	}
+	if got, want := ev.SeriesMeasured(), res.Evaluations-res.CacheHits; got != want {
+		t.Errorf("SeriesMeasured = %d, want evaluations - cache hits = %d", got, want)
+	}
+}
+
+func TestSearchMaxTimeBound(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Sort")
+	start := time.Now()
+	res, err := randomSearcher{}.Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set, Seed: 1,
+		Budget: SearchBudget{MaxTime: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("time-bounded search ran %v", elapsed)
+	}
+	if res.Evaluations < 1 {
+		t.Errorf("Evaluations = %d, want >= 1", res.Evaluations)
+	}
+}
+
+func TestSearchContextCancel(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Sort")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := annealSearcher{}.Search(ctx, SearchSpec{
+		Machine: m, App: app, Setting: set,
+		Budget: SearchBudget{MaxEvals: 100},
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The default-config evaluation lands before the first budget check; a
+	// canceled context stops the search right after.
+	if res.Evaluations != 1 {
+		t.Errorf("Evaluations = %d, want 1 (default only)", res.Evaluations)
+	}
+}
+
+func TestSearchRequiresMachineAndApp(t *testing.T) {
+	_, err := (greedySearcher{}).Search(context.Background(), SearchSpec{})
+	if err == nil {
+		t.Fatal("search accepted a spec without machine and app")
+	}
+}
+
+// TestSearchTelemetryStream: the JSONL stream carries one search_plan, one
+// search_step per evaluation, and a terminal search_done whose counters
+// match the result.
+func TestSearchTelemetryStream(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	path := filepath.Join(t.TempDir(), "search.jsonl")
+	res, err := (greedySearcher{}).Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set,
+		Budget: SearchBudget{MaxEvals: 40}, TelemetryLog: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []searchRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec searchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec.TS == "" {
+			t.Error("record missing timestamp")
+		}
+		if rec.Strategy != "greedy" || rec.Arch != "a64fx" || rec.App != "Nqueens" {
+			t.Errorf("record identity %s/%s/%s, want greedy/a64fx/Nqueens", rec.Strategy, rec.Arch, rec.App)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("%d records, want plan + steps + done", len(recs))
+	}
+	if recs[0].Type != "search_plan" || recs[0].Backend != "model" || recs[0].BudgetEvals != 40 {
+		t.Errorf("first record %+v, want a search_plan with backend/budget", recs[0])
+	}
+	steps := 0
+	for _, rec := range recs[1 : len(recs)-1] {
+		if rec.Type != "search_step" {
+			t.Errorf("middle record type %q", rec.Type)
+			continue
+		}
+		steps++
+	}
+	if steps != res.Evaluations {
+		t.Errorf("%d search_step records, want one per evaluation (%d)", steps, res.Evaluations)
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "search_done" || last.Evaluations != res.Evaluations || last.BestConfig != res.Best.Key() {
+		t.Errorf("terminal record %+v does not match result (evals %d, best %s)",
+			last, res.Evaluations, res.Best.Key())
+	}
+	if last.BestSpeedup <= 0 {
+		t.Errorf("terminal best_speedup = %v", last.BestSpeedup)
+	}
+}
+
+// TestSearchMonitorGauges: a monitored search drives the obs gauges and the
+// status payload end to end.
+func TestSearchMonitorGauges(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	mon := NewSearchMonitor()
+	if st := mon.Status(); st.State != "waiting" {
+		t.Errorf("pre-plan state %q", st.State)
+	}
+	res, err := (randomSearcher{}).Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set, Seed: 5,
+		Budget: SearchBudget{MaxEvals: 30}, Monitor: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Status()
+	if st.State != "done" {
+		t.Errorf("state %q, want done", st.State)
+	}
+	if st.SamplesDone != res.Evaluations || st.SamplesTotal != 30 {
+		t.Errorf("samples %d/%d, want %d/30", st.SamplesDone, st.SamplesTotal, res.Evaluations)
+	}
+	if len(st.Cells) != 1 || st.Cells[0].Arch != "a64fx" || st.Cells[0].App != "Nqueens" {
+		t.Errorf("cells %+v", st.Cells)
+	}
+	if len(st.Latencies) == 0 || st.Latencies[0].Count != uint64(res.Evaluations) {
+		t.Errorf("latencies %+v, want eval histogram with %d observations", st.Latencies, res.Evaluations)
+	}
+	var buf strings.Builder
+	if err := mon.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"omptune_search_best_speedup", "omptune_search_evaluations", "omptune_search_eval_seconds"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics output missing %s", want)
+		}
+	}
+}
+
+// TestSearchReportJoinsSweep: searches logged to one telemetry file are
+// joined against a sweep dataset's per-group best speedup.
+func TestSearchReportJoinsSweep(t *testing.T) {
+	m, app, set := searchApp(t, topology.A64FX, "Nqueens")
+	path := filepath.Join(t.TempDir(), "search.jsonl")
+	for _, name := range []string{"greedy", "random"} {
+		s, err := NewSearcher(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Search(context.Background(), SearchSpec{
+			Machine: m, App: app, Setting: set, Seed: 2,
+			Budget: SearchBudget{MaxEvals: 60}, TelemetryLog: path,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A miniature sweep dataset for the same group: the default config plus
+	// one strong sample establishing the sweep best.
+	mk := func(cfg env.Config, mean float64) *dataset.Sample {
+		s := &dataset.Sample{
+			Arch: m.Arch, App: app.Name, Setting: set.Label,
+			Threads: set.Threads, Scale: set.Scale, Config: cfg, DefaultRuntime: 10,
+		}
+		for i := range s.Runtimes {
+			s.Runtimes[i] = mean
+		}
+		return s
+	}
+	ds := &dataset.Dataset{Samples: []*dataset.Sample{
+		mk(env.Default(m), 10), // speedup 1
+		mk(env.Space(m)[1], 2), // speedup 5: the sweep best
+	}}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := SearchReport(f, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (greedy + random)", len(rows))
+	}
+	if rows[0].Strategy != "greedy" || rows[1].Strategy != "random" {
+		t.Errorf("row order %s, %s; want greedy, random", rows[0].Strategy, rows[1].Strategy)
+	}
+	for _, row := range rows {
+		if row.SweepBestSpeedup != 5 {
+			t.Errorf("%s: sweep best %v, want 5", row.Strategy, row.SweepBestSpeedup)
+		}
+		if row.Fraction != row.BestSpeedup/5 {
+			t.Errorf("%s: fraction %v, want %v", row.Strategy, row.Fraction, row.BestSpeedup/5)
+		}
+		if row.SpaceSize != len(env.Space(m)) {
+			t.Errorf("%s: space size %d, want %d", row.Strategy, row.SpaceSize, len(env.Space(m)))
+		}
+		if row.EvalFraction <= 0 || row.EvalFraction > 1 {
+			t.Errorf("%s: eval fraction %v", row.Strategy, row.EvalFraction)
+		}
+	}
+
+	if _, err := SearchReport(strings.NewReader(""), ds); err == nil {
+		t.Error("empty telemetry accepted")
+	}
+	if _, err := SearchReport(strings.NewReader("{bad json"), ds); err == nil {
+		t.Error("malformed telemetry accepted")
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+// The five built-in search strategies behind the Searcher seam. Two replay
+// the pre-seam tuners move for move (greedy coordinate descent, uniform
+// random sampling — the compatibility wrappers in tune.go and extensions.go
+// depend on byte-identical results under the analytic backend), three are
+// the budgeted additions: random-restart greedy, simulated annealing over
+// lattice neighbor moves, and surrogate-guided search proposing
+// expected-improvement candidates from a regression forest fitted on the
+// samples gathered so far.
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"omptune/internal/env"
+	"omptune/internal/ml"
+)
+
+// lcgRand is the deterministic PRNG every strategy draws from: the
+// splitmix-style seeding and LCG advance used throughout the repo. The
+// random strategy's stream reproduces the pre-seam RandomSearch exactly.
+type lcgRand uint64
+
+func newLCG(seed uint64) *lcgRand {
+	s := lcgRand(seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	return &s
+}
+
+// next advances the generator and returns 31 uniform bits.
+func (r *lcgRand) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 33
+}
+
+func (r *lcgRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *lcgRand) float() float64 { return float64(r.next()) / (1 << 31) }
+
+// greedyPasses is the pass cap of one coordinate descent, from the pre-seam
+// Tune loop.
+const greedyPasses = 4
+
+// descend runs coordinate descent from (cur, curSec): vary one variable at a
+// time in s.order, keep the best value before moving on, stop after a full
+// pass without improvement, a spent budget, or greedyPasses passes. Global
+// best-so-far tracking rides inside probe; cur tracks the local incumbent,
+// which for a descent started at the global best makes the two identical —
+// the pre-seam Tune semantics.
+func (s *searchState) descend(cur env.Config, curSec float64) (env.Config, float64) {
+	for pass := 0; pass < greedyPasses; pass++ {
+		improved := false
+		for _, v := range s.order {
+			for _, val := range env.Values(s.spec.Machine, v) {
+				if cur.Value(v) == val {
+					continue
+				}
+				cand, err := cur.Set(v, val)
+				if err != nil || cand.Validate(s.spec.Machine) != nil {
+					continue
+				}
+				if s.exhausted() {
+					return cur, curSec
+				}
+				if t := s.probe(cand, string(v), val); t < curSec {
+					cur, curSec = cand, t
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curSec
+}
+
+// greedySearcher is the paper's §VI pruned coordinate descent.
+type greedySearcher struct{}
+
+func (greedySearcher) Name() string { return "greedy" }
+
+func (greedySearcher) Search(ctx context.Context, spec SearchSpec) (SearchResult, error) {
+	return runSearch(ctx, "greedy", spec, func(s *searchState) {
+		s.init()
+		s.descend(s.res.Best, s.res.BestSeconds)
+	})
+}
+
+// randomSearcher is the uniform-sampling baseline.
+type randomSearcher struct{}
+
+func (randomSearcher) Name() string { return "random" }
+
+func (randomSearcher) Search(ctx context.Context, spec SearchSpec) (SearchResult, error) {
+	return runSearch(ctx, "random", spec, func(s *searchState) {
+		s.init()
+		rng := newLCG(spec.Seed)
+		for !s.exhausted() {
+			cfg := s.space[rng.intn(len(s.space))]
+			s.probe(cfg, "random", cfg.Key())
+		}
+	})
+}
+
+// restartSearcher escapes coordinate descent's local optima by rerunning the
+// descent from random starting configurations until the budget runs out,
+// keeping the best end point across restarts.
+type restartSearcher struct{}
+
+func (restartSearcher) Name() string { return "restart" }
+
+func (restartSearcher) Search(ctx context.Context, spec SearchSpec) (SearchResult, error) {
+	return runSearch(ctx, "restart", spec, func(s *searchState) {
+		s.init()
+		s.descend(s.res.Best, s.res.BestSeconds)
+		rng := newLCG(spec.Seed ^ hash64("restart"))
+		for !s.exhausted() {
+			cfg := s.space[rng.intn(len(s.space))]
+			sec := s.probe(cfg, "restart", cfg.Key())
+			if s.exhausted() {
+				return
+			}
+			s.descend(cfg, sec)
+		}
+	})
+}
+
+// Annealing temperature schedule: geometric decay from a 10% relative
+// worsening being readily accepted down to 0.1% by the end of the budget.
+const (
+	annealT0 = 0.10
+	annealT1 = 0.001
+)
+
+// annealSearcher is simulated annealing over single-variable neighbor moves
+// in the configuration lattice: a worse candidate is accepted with
+// probability exp(-relative-worsening / T), with T cooling on the budget
+// clock, so early exploration hands over to late exploitation.
+type annealSearcher struct{}
+
+func (annealSearcher) Name() string { return "anneal" }
+
+func (annealSearcher) Search(ctx context.Context, spec SearchSpec) (SearchResult, error) {
+	return runSearch(ctx, "anneal", spec, func(s *searchState) {
+		s.init()
+		rng := newLCG(spec.Seed ^ hash64("anneal"))
+		cur, curSec := s.res.Best, s.res.BestSeconds
+		misses := 0
+		for !s.exhausted() {
+			v := s.order[rng.intn(len(s.order))]
+			vals := env.Values(s.spec.Machine, v)
+			val := vals[rng.intn(len(vals))]
+			cand, err := cur.Set(v, val)
+			if cur.Value(v) == val || err != nil || cand.Validate(s.spec.Machine) != nil {
+				// Degenerate corner guard: a lattice point with no drawable
+				// valid neighbor would otherwise spin without spending budget.
+				if misses++; misses > 64 {
+					return
+				}
+				continue
+			}
+			misses = 0
+			t := s.probe(cand, string(v), val)
+			if t < curSec {
+				cur, curSec = cand, t
+				continue
+			}
+			temp := annealT0 * math.Pow(annealT1/annealT0, s.progress())
+			if rel := (t - curSec) / curSec; rng.float() < math.Exp(-rel/temp) {
+				cur, curSec = cand, t
+			}
+		}
+	})
+}
+
+// Surrogate-search shape: a short random warm-up, then rounds of fitting a
+// regression forest on all samples so far and probing the top
+// expected-improvement candidates from a random pool.
+const (
+	surrogateWarmup = 16
+	surrogateTrees  = 12
+	surrogatePool   = 256
+	surrogateBatch  = 8
+)
+
+// surrogateSearcher is model-guided search: fit internal/ml regression trees
+// on (configuration features → normalized runtime) samples gathered so far
+// and evaluate the configurations with the highest expected improvement,
+// using the forest's ensemble spread as the uncertainty estimate.
+type surrogateSearcher struct{}
+
+func (surrogateSearcher) Name() string { return "surrogate" }
+
+func (surrogateSearcher) Search(ctx context.Context, spec SearchSpec) (SearchResult, error) {
+	return runSearch(ctx, "surrogate", spec, func(s *searchState) {
+		s.init()
+		rng := newLCG(spec.Seed ^ hash64("surrogate"))
+		names := env.Names()
+		feats := func(c env.Config) []float64 {
+			row := make([]float64, len(names))
+			for i, v := range names {
+				row[i] = c.Feature(v)
+			}
+			return row
+		}
+		seen := make(map[env.Config]bool)
+		var x [][]float64
+		var y []float64
+		add := func(c env.Config, sec float64) {
+			x = append(x, feats(c))
+			y = append(y, sec/s.res.DefaultSeconds)
+			seen[c] = true
+		}
+		add(s.res.Best, s.res.DefaultSeconds)
+		// drawUnseen probes one fresh random configuration — the warm-up move
+		// and the fallback when the model round has nothing new to propose.
+		drawUnseen := func() bool {
+			cfg := s.space[rng.intn(len(s.space))]
+			if seen[cfg] {
+				return false
+			}
+			add(cfg, s.probe(cfg, "explore", cfg.Key()))
+			return true
+		}
+		for i := 0; i < surrogateWarmup && !s.exhausted(); i++ {
+			drawUnseen()
+		}
+		idle := 0
+		for !s.exhausted() {
+			before := s.res.Evaluations
+			forest, err := ml.FitRegForest(x, y, surrogateTrees,
+				ml.TreeOptions{MaxDepth: 6, MinLeaf: 2, Seed: spec.Seed + uint64(len(y))})
+			if err != nil {
+				drawUnseen()
+			} else {
+				bestNorm := s.res.BestSeconds / s.res.DefaultSeconds
+				type scored struct {
+					cfg env.Config
+					ei  float64
+				}
+				var pool []scored
+				inPool := make(map[env.Config]bool)
+				for i := 0; i < surrogatePool; i++ {
+					cfg := s.space[rng.intn(len(s.space))]
+					if seen[cfg] || inPool[cfg] {
+						continue
+					}
+					inPool[cfg] = true
+					mu, sd := forest.PredictStd(feats(cfg))
+					pool = append(pool, scored{cfg, expectedImprovement(bestNorm, mu, sd)})
+				}
+				sort.SliceStable(pool, func(i, j int) bool { return pool[i].ei > pool[j].ei })
+				if len(pool) > surrogateBatch {
+					pool = pool[:surrogateBatch]
+				}
+				if len(pool) == 0 {
+					drawUnseen()
+				}
+				for _, p := range pool {
+					if s.exhausted() {
+						return
+					}
+					add(p.cfg, s.probe(p.cfg, "surrogate", p.cfg.Key()))
+				}
+			}
+			// A space smaller than the budget eventually leaves nothing
+			// unseen; stop instead of spinning on empty rounds.
+			if s.res.Evaluations == before {
+				if idle++; idle > 32 {
+					return
+				}
+			} else {
+				idle = 0
+			}
+		}
+	})
+}
+
+// expectedImprovement is the standard EI acquisition for minimization: how
+// much below the incumbent best the surrogate expects a candidate to land,
+// integrating over its predictive uncertainty. With zero spread it
+// degenerates to the plain predicted improvement.
+func expectedImprovement(best, mu, sd float64) float64 {
+	if sd <= 0 {
+		if d := best - mu; d > 0 {
+			return d
+		}
+		return 0
+	}
+	z := (best - mu) / sd
+	cdf := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+	pdf := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	return (best-mu)*cdf + sd*pdf
+}

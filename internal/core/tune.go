@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"omptune/internal/apps"
 	"omptune/internal/env"
 	"omptune/internal/sim"
@@ -46,50 +48,16 @@ func (r TuneResult) Speedup() float64 {
 // what "measurement" means: nil (or ModelEvaluator) evaluates the analytic
 // model, the measured backend runs the application's kernel on a real
 // openmp runtime.
+//
+// Tune is a compatibility wrapper over the "greedy" strategy of the Searcher
+// seam (see search.go): results are identical to the pre-seam implementation
+// under the analytic backend, and the seam's memoizing evaluation cache now
+// spares the descent its repeated probes (the budget accounting still counts
+// them, as before — only the backend work is saved).
 func Tune(ev Evaluator, m *topology.Machine, app *apps.App, set sim.Setting, order []env.VarName, budget int) TuneResult {
-	if budget <= 0 {
-		budget = 200
-	}
-	if len(order) == 0 {
-		for _, v := range env.Names() {
-			order = append(order, v)
-		}
-	}
-	ev = orModel(ev)
-	measure := func(cfg env.Config) float64 {
-		return meanRuntime(ev, m, app, cfg, set)
-	}
-	res := TuneResult{Best: env.Default(m)}
-	res.DefaultSeconds = measure(res.Best)
-	res.BestSeconds = res.DefaultSeconds
-	res.Evaluations = 1
-	for pass := 0; pass < 4; pass++ {
-		improvedThisPass := false
-		for _, v := range order {
-			for _, val := range env.Values(m, v) {
-				if res.Best.Value(v) == val {
-					continue
-				}
-				cand, err := res.Best.Set(v, val)
-				if err != nil || cand.Validate(m) != nil {
-					continue
-				}
-				if res.Evaluations >= budget {
-					return res
-				}
-				t := measure(cand)
-				res.Evaluations++
-				if t < res.BestSeconds {
-					res.Best = cand
-					res.BestSeconds = t
-					res.Trace = append(res.Trace, TuneStep{Variable: v, Value: val, Seconds: t})
-					improvedThisPass = true
-				}
-			}
-		}
-		if !improvedThisPass {
-			break
-		}
-	}
-	return res
+	res, _ := greedySearcher{}.Search(context.Background(), SearchSpec{
+		Machine: m, App: app, Setting: set, Order: order,
+		Evaluator: ev, Budget: SearchBudget{MaxEvals: budget},
+	})
+	return res.TuneResult()
 }

@@ -199,6 +199,18 @@ func (e *Evaluator) Err(m *topology.Machine, app *apps.App, cfg env.Config, set 
 	return ent.err
 }
 
+// SeriesMeasured returns how many distinct (machine, app, config, setting)
+// series this evaluator has started measuring. The search layer's memoizing
+// evaluation cache sits above this series cache: a cached probe never
+// reaches Evaluate, so a budgeted search's SeriesMeasured stays at its
+// distinct-configuration count no matter how often configurations are
+// revisited.
+func (e *Evaluator) SeriesMeasured() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.series)
+}
+
 // RepStats returns the runtime-counter delta recorded alongside the sample
 // that Evaluate returned for the same arguments, attaching the derived
 // per-sample counters (regions, chunks, tasks run/stolen, sleeps, wakeups)

@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Regression counterparts of the CART classifier in tree.go, built for the
+// surrogate-guided search strategy: the searcher fits a forest on the
+// (configuration features → normalized runtime) samples gathered so far and
+// uses the ensemble's mean and spread to propose expected-improvement
+// candidates. Splits minimize the within-node sum of squared errors instead
+// of Gini impurity; everything is deterministic given the options' Seed, so
+// a seeded search replays identically.
+
+type regNode struct {
+	feature   int
+	threshold float64
+	left      *regNode
+	right     *regNode
+	mean      float64 // prediction at a leaf
+	leaf      bool
+}
+
+// RegTree is a fitted CART regression tree.
+type RegTree struct {
+	root      *regNode
+	nFeatures int
+}
+
+// FitRegTree grows a regression tree on (x, y) by greedy variance-reduction
+// splits. The TreeOptions defaults are tuned for classification-sized data;
+// regression callers with few samples should lower MinLeaf explicitly.
+func FitRegTree(x [][]float64, y []float64, opt TreeOptions) (*RegTree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("ml: bad regression training data")
+	}
+	opt.defaults()
+	t := &RegTree{nFeatures: len(x[0])}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := opt.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	t.root = t.grow(x, y, idx, opt.MaxDepth, opt, &rng)
+	return t, nil
+}
+
+// sse returns the sum of squared errors around the mean of y[idx].
+func sse(y []float64, idx []int) (mean, s float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		s += d * d
+	}
+	return mean, s
+}
+
+func (t *RegTree) grow(x [][]float64, y []float64, idx []int, depth int, opt TreeOptions, rng *uint64) *regNode {
+	mean, parentSSE := sse(y, idx)
+	leaf := &regNode{leaf: true, mean: mean}
+	if depth == 0 || len(idx) < 2*opt.MinLeaf || parentSSE == 0 {
+		return leaf
+	}
+
+	// Feature subset selection mirrors the classifier's.
+	features := make([]int, 0, t.nFeatures)
+	if opt.MaxFeatures > 0 && opt.MaxFeatures < t.nFeatures {
+		perm := make([]int, t.nFeatures)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			*rng = *rng*6364136223846793005 + 1442695040888963407
+			j := int((*rng >> 33) % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		features = perm[:opt.MaxFeatures]
+	} else {
+		for f := 0; f < t.nFeatures; f++ {
+			features = append(features, f)
+		}
+	}
+
+	bestGain, bestF := 0.0, -1
+	bestThr := 0.0
+	vals := make([]float64, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if sorted[0] == sorted[len(sorted)-1] {
+			continue
+		}
+		for c := 1; c <= opt.Thresholds; c++ {
+			thr := sorted[len(sorted)*c/(opt.Thresholds+1)]
+			if thr == sorted[0] {
+				continue
+			}
+			var ln, rn int
+			var lSum, lSq, rSum, rSq float64
+			for _, i := range idx {
+				if x[i][f] < thr {
+					ln++
+					lSum += y[i]
+					lSq += y[i] * y[i]
+				} else {
+					rn++
+					rSum += y[i]
+					rSq += y[i] * y[i]
+				}
+			}
+			if ln < opt.MinLeaf || rn < opt.MinLeaf {
+				continue
+			}
+			// SSE = Σy² − (Σy)²/n per side.
+			childSSE := (lSq - lSum*lSum/float64(ln)) + (rSq - rSum*rSum/float64(rn))
+			if gain := parentSSE - childSSE; gain > bestGain+1e-12 {
+				bestGain, bestF, bestThr = gain, f, thr
+			}
+		}
+	}
+	if bestF < 0 {
+		return leaf
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestF] < bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &regNode{
+		feature:   bestF,
+		threshold: bestThr,
+		left:      t.grow(x, y, li, depth-1, opt, rng),
+		right:     t.grow(x, y, ri, depth-1, opt, rng),
+	}
+}
+
+// Predict returns the tree's estimate for one feature row.
+func (t *RegTree) Predict(row []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if row[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.mean
+}
+
+// RegForest is a bootstrap-aggregated ensemble of regression trees. The
+// spread of the per-tree predictions doubles as a predictive-uncertainty
+// estimate for acquisition functions (see PredictStd).
+type RegForest struct {
+	Trees []*RegTree
+}
+
+// FitRegForest trains nTrees regression trees on deterministic bootstrap
+// resamples with sqrt(p) feature subsampling per split.
+func FitRegForest(x [][]float64, y []float64, nTrees int, opt TreeOptions) (*RegForest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("ml: bad regression training data")
+	}
+	if nTrees <= 0 {
+		nTrees = 20
+	}
+	opt.defaults()
+	if opt.MaxFeatures <= 0 {
+		opt.MaxFeatures = int(math.Sqrt(float64(len(x[0])))) + 1
+	}
+	f := &RegForest{}
+	n := len(x)
+	for t := 0; t < nTrees; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		state := opt.Seed + uint64(t)*0x9e3779b97f4a7c15
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int((state >> 33) % uint64(n))
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		topt := opt
+		topt.Seed = opt.Seed + uint64(t)*977
+		tree, err := FitRegTree(bx, by, topt)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble-mean estimate for one feature row.
+func (f *RegForest) Predict(row []float64) float64 {
+	m, _ := f.PredictStd(row)
+	return m
+}
+
+// PredictStd returns the ensemble mean and the standard deviation of the
+// per-tree predictions — a cheap stand-in for posterior uncertainty that the
+// expected-improvement acquisition in the surrogate searcher consumes.
+func (f *RegForest) PredictStd(row []float64) (mean, std float64) {
+	if len(f.Trees) == 0 {
+		return 0, 0
+	}
+	for _, t := range f.Trees {
+		mean += t.Predict(row)
+	}
+	mean /= float64(len(f.Trees))
+	for _, t := range f.Trees {
+		d := t.Predict(row) - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(f.Trees)))
+	return mean, std
+}

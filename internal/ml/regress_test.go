@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// regSample builds a deterministic nonlinear dataset: y depends on a step of
+// x0 and an interaction of x1*x2, the kind of structure the linear surrogate
+// cannot express but a tree should.
+func regSample(n int) (x [][]float64, y []float64) {
+	state := uint64(42)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>33) / (1 << 31)
+	}
+	for i := 0; i < n; i++ {
+		row := []float64{next(), next(), next()}
+		v := 0.2
+		if row[0] > 0.5 {
+			v += 1.0
+		}
+		v += 0.5 * row[1] * row[2]
+		x = append(x, row)
+		y = append(y, v)
+	}
+	return x, y
+}
+
+func TestRegTreeFitsStep(t *testing.T) {
+	x, y := regSample(400)
+	tree, err := FitRegTree(x, y, TreeOptions{MaxDepth: 6, MinLeaf: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dominant split is the step at x0 = 0.5: predictions on either side
+	// must differ by roughly the step height.
+	lo := tree.Predict([]float64{0.2, 0.5, 0.5})
+	hi := tree.Predict([]float64{0.8, 0.5, 0.5})
+	if hi-lo < 0.5 {
+		t.Errorf("tree missed the step: lo=%v hi=%v", lo, hi)
+	}
+	mse := 0.0
+	for i, row := range x {
+		d := tree.Predict(row) - y[i]
+		mse += d * d
+	}
+	mse /= float64(len(x))
+	if mse > 0.05 {
+		t.Errorf("tree MSE = %v, want < 0.05", mse)
+	}
+}
+
+func TestRegForestDeterministicAndUncertain(t *testing.T) {
+	x, y := regSample(300)
+	opt := TreeOptions{MaxDepth: 5, MinLeaf: 4, Seed: 9}
+	f1, err := FitRegForest(x, y, 12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FitRegForest(x, y, 12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(predictions(f1, x), predictions(f2, x)) {
+		t.Error("same seed produced different forests")
+	}
+	mean, std := f1.PredictStd([]float64{0.45, 0.5, 0.5})
+	if math.IsNaN(mean) || std < 0 {
+		t.Errorf("PredictStd = %v, %v", mean, std)
+	}
+	// Near the step boundary the bootstrap trees disagree; deep inside a
+	// region they mostly agree, so the spread should be informative, not 0
+	// everywhere.
+	anyStd := false
+	for _, row := range x {
+		if _, s := f1.PredictStd(row); s > 0 {
+			anyStd = true
+			break
+		}
+	}
+	if !anyStd {
+		t.Error("forest spread is zero on every training row")
+	}
+}
+
+func TestRegFitRejectsBadData(t *testing.T) {
+	if _, err := FitRegTree(nil, nil, TreeOptions{}); err == nil {
+		t.Error("FitRegTree accepted empty data")
+	}
+	if _, err := FitRegForest([][]float64{{1}}, []float64{1, 2}, 3, TreeOptions{}); err == nil {
+		t.Error("FitRegForest accepted mismatched data")
+	}
+}
+
+func predictions(f *RegForest, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = f.Predict(row)
+	}
+	return out
+}

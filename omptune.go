@@ -349,6 +349,81 @@ func TuneWith(backend Evaluator, m *Machine, app *App, set Setting, order []VarN
 	return core.Tune(backend, m, app, set, order, budget)
 }
 
+// ---- Budgeted search (the Searcher seam) --------------------------------
+
+// Searcher is one budgeted search strategy over the configuration space —
+// the seam behind Tune, RandomSearch and the ompsearch CLI. Resolve one with
+// NewSearcher; the built-in strategies are listed by SearchStrategies.
+type Searcher = core.Searcher
+
+// SearchSpec carries a search problem: machine, app, setting, space, seed,
+// measurement backend, budget, and the optional cache/telemetry/monitor
+// sinks.
+type SearchSpec = core.SearchSpec
+
+// SearchBudget bounds a search by evaluations and/or wall-clock time; both
+// zero means the legacy default of 200 evaluations.
+type SearchBudget = core.SearchBudget
+
+// SearchResult is the outcome of one budgeted search: best configuration,
+// speedup over the default, budget consumed, cache hits, and the
+// best-so-far trajectory.
+type SearchResult = core.SearchResult
+
+// SearchStep is one improvement of the best-so-far configuration.
+type SearchStep = core.SearchStep
+
+// EvalCache memoizes the evaluation objective across probes; share one
+// across searches of the same problem to dedupe repeat work.
+type EvalCache = core.EvalCache
+
+// NewEvalCache returns an empty evaluation cache.
+func NewEvalCache() *EvalCache { return core.NewEvalCache() }
+
+// SearchStrategies lists the built-in strategy names: greedy, restart,
+// anneal, surrogate, random.
+func SearchStrategies() []string { return core.SearchStrategies() }
+
+// NewSearcher resolves a strategy by name; the error of an unknown name
+// lists the valid set.
+func NewSearcher(name string) (Searcher, error) { return core.NewSearcher(name) }
+
+// Search resolves and runs one strategy — the one-call form of the seam.
+func Search(ctx context.Context, strategy string, spec SearchSpec) (SearchResult, error) {
+	s, err := core.NewSearcher(strategy)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return s.Search(ctx, spec)
+}
+
+// SearchMonitor aggregates live search state (best-so-far speedup,
+// evaluations done, cache hits, evaluation latency); set it in
+// SearchSpec.Monitor and serve it with NewSearchMonitorServer.
+type SearchMonitor = core.SearchMonitor
+
+// NewSearchMonitor returns a search monitor with its metric schema
+// pre-registered.
+func NewSearchMonitor() *SearchMonitor { return core.NewSearchMonitor() }
+
+// NewSearchMonitorServer builds the HTTP monitor for mon — the same
+// dashboard, /metrics and /api/status endpoints a sweep monitor serves.
+func NewSearchMonitorServer(mon *SearchMonitor) *MonitorServer {
+	return obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+}
+
+// SearchReportRow compares one completed search against the full sweep of
+// the same (arch, app, setting) group: fraction of the sweep's best speedup
+// reached at what fraction of the sweep's evaluation cost.
+type SearchReportRow = core.SearchReportRow
+
+// SearchReport joins a search-telemetry JSONL stream (SearchSpec.
+// TelemetryLog, ompsearch -telemetry) against a sweep dataset's per-group
+// best speedups.
+func SearchReport(r io.Reader, ds *Dataset) ([]SearchReportRow, error) {
+	return core.SearchReport(r, ds)
+}
+
 // MergeDatasets combines separately collected shards, rejecting duplicate
 // rows.
 func MergeDatasets(parts ...*Dataset) (*Dataset, error) { return dataset.Merge(parts...) }
