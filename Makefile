@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke search-smoke verify
+.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke verify
 
 build:
 	$(GO) build ./...
@@ -97,27 +97,35 @@ trace-smoke: build
 
 # nested-smoke runs a real nested-parallel application (blocked LU with a
 # depth-2 region per trailing update) under a per-level thread list and
-# asserts, from the traced per-region summary, that nesting actually happened:
-# two active levels, nested regions observed, the configured widths at each
-# level (4 outer, 2 inner), and no dropped events. The warmup run matters —
-# it creates the inner teams before tracing starts, so their threads have
-# rings when the timed repetitions are traced.
+# asserts, from the machine-readable JSON trace summary
+# (-trace-summary-json), that nesting actually happened: two active levels,
+# nested regions observed, the configured widths at each level (4 outer,
+# 2 inner), and no dropped events. The warmup run matters — it creates the
+# inner teams before tracing starts, so their threads have rings when the
+# timed repetitions are traced. The awk gate keys the per-level checks off
+# the trailing "levels" array (top-level "level"/"max_threads" pairs also
+# appear inside region rows, so the array start is the state switch).
 NESTED_DIR := $(or $(TMPDIR),/tmp)/omptune-nested-smoke
 nested-smoke: build
 	rm -rf $(NESTED_DIR) && mkdir -p $(NESTED_DIR)
 	$(GO) run ./cmd/omprun -app LUNest -scale 0.5 \
 		-set "OMP_NUM_THREADS=4,2,OMP_MAX_ACTIVE_LEVELS=2,KMP_BLOCKTIME=0" \
-		-warmup 1 -reps 2 -trace-summary 2> $(NESTED_DIR)/summary.txt
-	awk '/^summary: / { found = 1; \
-		for (i = 2; i <= NF; i++) { split($$i, kv, "="); v[kv[1]] = kv[2] } \
-		if (v["levels"] + 0 < 2) { print "nested-smoke: levels=" v["levels"] ", want >= 2"; exit 1 } \
-		if (v["nested_regions"] + 0 <= 0) { print "nested-smoke: no nested regions"; exit 1 } \
-		if (v["level0_threads"] + 0 != 4) { print "nested-smoke: level0_threads=" v["level0_threads"] ", want 4"; exit 1 } \
-		if (v["level1_threads"] + 0 != 2) { print "nested-smoke: level1_threads=" v["level1_threads"] ", want 2"; exit 1 } \
-		if (v["dropped"] + 0 != 0) { print "nested-smoke: dropped events"; exit 1 } \
-		print "nested-smoke: " $$0 } \
-		END { if (!found) { print "nested-smoke: summary line missing"; exit 1 } }' \
-		$(NESTED_DIR)/summary.txt
+		-warmup 1 -reps 2 -trace-summary-json 2> $(NESTED_DIR)/summary.json
+	awk '/"dropped":/ { gsub(/[^0-9]/, "", $$2); dropped = $$2; seen = 1 } \
+		/"nested_regions":/ { gsub(/[^0-9]/, "", $$2); nested = $$2 } \
+		/"levels": \[/ { inlev = 1 } \
+		inlev && /"level":/ { gsub(/[^0-9]/, "", $$2); lvl = $$2; nlev++ } \
+		inlev && /"max_threads":/ { gsub(/[^0-9]/, "", $$2); thr[lvl] = $$2 } \
+		END { \
+		if (!seen) { print "nested-smoke: summary JSON missing"; exit 1 } \
+		if (dropped + 0 != 0) { print "nested-smoke: dropped events"; exit 1 } \
+		if (nested + 0 <= 0) { print "nested-smoke: no nested regions"; exit 1 } \
+		if (nlev + 0 < 2) { print "nested-smoke: levels=" nlev ", want >= 2"; exit 1 } \
+		if (thr[0] + 0 != 4) { print "nested-smoke: level0 threads=" thr[0] ", want 4"; exit 1 } \
+		if (thr[1] + 0 != 2) { print "nested-smoke: level1 threads=" thr[1] ", want 2"; exit 1 } \
+		print "nested-smoke: levels=" nlev " nested_regions=" nested \
+			" level0_threads=" thr[0] " level1_threads=" thr[1] " dropped=" dropped " OK" }' \
+		$(NESTED_DIR)/summary.json
 	rm -rf $(NESTED_DIR)
 
 # monitor-smoke proves the live monitor end to end on a real measured
@@ -196,7 +204,61 @@ search-smoke: build
 		$(SEARCH_DIR)/report.txt
 	rm -rf $(SEARCH_DIR)
 
+# profile-smoke proves the per-region efficiency profiler end to end on a
+# real kernel execution: Nqueens on 4 threads, profiled over 2 timed reps,
+# exporting both the JSON report and the folded flamegraph stacks. The gates
+# assert the profiler attributed real time (a region row with positive
+# wall_ns), observed genuine barrier waiting (nonzero barrier_wait_share —
+# the irregular Nqueens task tree guarantees arrival spread on 4 threads),
+# dropped nothing, and emitted well-formed folded lines
+# (`omp;<frame>@L<lvl>;<leaf> <usec>`, with a compute leaf present).
+PROFILE_DIR := $(or $(TMPDIR),/tmp)/omptune-profile-smoke
+profile-smoke: build
+	rm -rf $(PROFILE_DIR) && mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/omprun -app Nqueens -scale 0.5 -set "OMP_NUM_THREADS=4" \
+		-warmup 1 -reps 2 -profile-json $(PROFILE_DIR)/profile.json \
+		-profile-folded $(PROFILE_DIR)/profile.folded 2> $(PROFILE_DIR)/log.txt
+	awk '/"wall_ns":/ { gsub(/[^0-9]/, "", $$2); if ($$2 + 0 > 0) wall = 1 } \
+		/"barrier_wait_share":/ { gsub(/[^0-9.eE+-]/, "", $$2); if ($$2 + 0 > 0) bar = 1 } \
+		/"dropped":/ { gsub(/[^0-9]/, "", $$2); dropped = $$2 } \
+		END { if (!wall) { print "profile-smoke: no region with positive wall_ns"; exit 1 } \
+		if (!bar) { print "profile-smoke: barrier_wait_share is zero everywhere"; exit 1 } \
+		if (dropped + 0 != 0) { print "profile-smoke: dropped regions"; exit 1 } \
+		print "profile-smoke: JSON report OK" }' $(PROFILE_DIR)/profile.json
+	awk '!/^omp;[^ ]+ [0-9]+$$/ { print "profile-smoke: malformed folded line: " $$0; bad = 1; exit 1 } \
+		/;compute [0-9]+$$/ { compute = 1 } \
+		END { if (bad) exit 1; \
+		if (NR == 0) { print "profile-smoke: folded output empty"; exit 1 } \
+		if (!compute) { print "profile-smoke: no compute leaf in folded stacks"; exit 1 } \
+		print "profile-smoke: " NR " folded stack lines OK" }' $(PROFILE_DIR)/profile.folded
+	rm -rf $(PROFILE_DIR)
+
+# sobol-smoke proves the variance-based sensitivity path end to end on the
+# deterministic analytic backend: a full LU sweep on a64fx (LU has the
+# highest residual imbalance of the modeled apps, so OMP_SCHEDULE genuinely
+# moves runtime), then `ompanalyze -sobol` Saltelli-samples the recorded
+# space. The gate reads the pooled ranking and asserts the schedule variable
+# carries strictly more total-order variance than KMP_ALIGN_ALLOC, which the
+# model treats as inert (its Jansen ST is exactly zero on a full-factorial
+# sweep), and that no Saltelli point needed group-mean substitution.
+SOBOL_DIR := $(or $(TMPDIR),/tmp)/omptune-sobol-smoke
+sobol-smoke: build
+	rm -rf $(SOBOL_DIR) && mkdir -p $(SOBOL_DIR)
+	$(GO) run ./cmd/ompsweep -arch a64fx -apps LU -frac 1 -o $(SOBOL_DIR)/sweep.csv
+	$(GO) run ./cmd/ompanalyze -data $(SOBOL_DIR)/sweep.csv \
+		-sobol -sobol-samples 256 -sobol-seed 1 | tee $(SOBOL_DIR)/report.txt
+	awk '/misses/ { if ($$0 !~ / misses 0\//) { print "sobol-smoke: Saltelli points missing from full sweep"; exit 1 } } \
+		/^pooled ranking/ { pooled = 1 } \
+		pooled && $$1 == "OMP_SCHEDULE" { sched = $$3 } \
+		pooled && $$1 == "KMP_ALIGN_ALLOC" { align = $$3 } \
+		END { if (sched == "") { print "sobol-smoke: no pooled OMP_SCHEDULE row"; exit 1 } \
+		if (sched + 0 <= 0) { print "sobol-smoke: OMP_SCHEDULE total-order index " sched " not positive"; exit 1 } \
+		if (sched + 0 <= align + 0) { print "sobol-smoke: OMP_SCHEDULE ST " sched " not above inert KMP_ALIGN_ALLOC " align; exit 1 } \
+		print "sobol-smoke: OMP_SCHEDULE ST " sched " > inert KMP_ALIGN_ALLOC ST " align " OK" }' \
+		$(SOBOL_DIR)/report.txt
+	rm -rf $(SOBOL_DIR)
+
 # verify is the pre-merge gate. bench-gate is deliberately not in it (timing
 # noise would make the gate flaky on shared machines) — run `make bench-gate`
 # by hand when a change touches the runtime hot paths.
-verify: race test smoke trace-smoke nested-smoke monitor-smoke search-smoke
+verify: race test smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke

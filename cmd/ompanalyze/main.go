@@ -8,7 +8,16 @@
 //	           [-wilcoxon APP,SETTING] [-heatmap app|arch|apparch]
 //	           [-recommend APP] [-tune APP@ARCH] [-backend model|measured]
 //	           [-calibrate ARCH] [-searchreport search.jsonl]
+//	           [-sobol [-sobol-samples N] [-sobol-json]]
 //	ompanalyze -compare old.csv new.csv
+//
+// -sobol runs a variance-based (global) sensitivity analysis over the sweep
+// dataset: per measurement setting it estimates first-order and total-order
+// Sobol indices for each of the seven tuning variables with Saltelli
+// sampling over the discrete configuration space, reporting how much of the
+// runtime variance each variable owns alone (S) and including interactions
+// (ST). Evaluations landing on configurations the sweep never measured fall
+// back to the group mean and are counted as misses.
 //
 // -searchreport joins ompsearch JSONL telemetry against the full sweep in
 // -data: per (arch, app, setting, strategy) it prints the evaluations spent
@@ -42,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +80,10 @@ func main() {
 		numa      = flag.String("numa", "", "APP@ARCH: evaluate the deferred numa_domains placements")
 		drill     = flag.String("drill", "", "APP@ARCH: hierarchical Fig3->Fig2->Fig4 drill-down with tuning advice")
 		searchRep = flag.String("searchreport", "", "JSONL file from ompsearch -telemetry: report search quality vs the -data full sweep")
+		sobol     = flag.Bool("sobol", false, "variance-based sensitivity: Sobol indices per tuning variable, per setting")
+		sobolN    = flag.Int("sobol-samples", 256, "Saltelli base samples per group for -sobol")
+		sobolSeed = flag.Int64("sobol-seed", 1, "sampling seed for -sobol")
+		sobolJSON = flag.Bool("sobol-json", false, "emit the -sobol report as JSON instead of a table")
 		backendFl = flag.String("backend", "model", "measurement backend for -tune/-random/-numa: model or measured")
 		calibrate = flag.String("calibrate", "", "ARCH: compare the model against the measured backend over a small subspace")
 		calApps   = flag.String("calibrate-apps", "", "comma-separated apps for -calibrate (default: all on the arch)")
@@ -335,6 +349,23 @@ func main() {
 			fmt.Printf("%-8s %-10s %-8s %-10s %6d %6d %9.4f %8.3f %8.3f %9.4f\n",
 				r.Arch, r.App, r.Setting, r.Strategy, r.Evaluations, r.CacheHits,
 				r.EvalFraction, r.BestSpeedup, r.SweepBestSpeedup, r.Fraction)
+		}
+	}
+	if *sobol {
+		ran = true
+		rep, err := core.SobolSensitivity(load(), *sobolN, *sobolSeed)
+		if err != nil {
+			fatal(err)
+		}
+		if *sobolJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println("== Sobol sensitivity: runtime variance share per tuning variable ==")
+			fmt.Print(rep.String())
 		}
 	}
 	if *drill != "" {

@@ -9,7 +9,8 @@
 //
 //	omprun -app Nqueens [-scale 1.0] [-set "OMP_NUM_THREADS=4,KMP_LIBRARY=turnaround"]
 //	       [-warmup 1] [-reps 4] [-json]
-//	       [-trace out.json] [-trace-summary] [-trace-buf N]
+//	       [-trace out.json] [-trace-summary] [-trace-summary-json] [-trace-buf N]
+//	       [-profile] [-profile-json out.json] [-profile-folded out.folded]
 //	omprun -list
 //
 // Real environment variables are honoured too; -set entries override them.
@@ -26,7 +27,18 @@
 // ui.perfetto.dev (or chrome://tracing). -trace-summary prints the derived
 // per-region metrics (barrier wait share, arrival imbalance, steal rate,
 // chunk histogram) to stderr; it implies tracing even without an output
-// file. -trace-buf sizes the per-thread event rings.
+// file. -trace-summary-json emits the same summary as one JSON object on
+// stderr (durations in integer nanoseconds) for scripted consumers — the
+// smoke gates parse it instead of the human table. -trace-buf sizes the
+// per-thread event rings.
+//
+// -profile enables the streaming per-region efficiency profiler for the
+// timed repetitions (warmup runs stay unprofiled) and prints the POP-style
+// per-region table — parallel efficiency, load balance, barrier-wait and
+// scheduling-overhead shares, steal rate — to stderr. -profile-json writes
+// the full report to a file; -profile-folded writes folded stacks
+// (region;leaf weight lines) ready for flamegraph.pl or speedscope. Any of
+// the three flags enables profiling; tracing and profiling compose.
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"omptune/internal/measure"
 	"omptune/internal/obs"
 	"omptune/openmp"
+	"omptune/openmp/profile"
 	"omptune/openmp/trace"
 )
 
@@ -68,16 +81,20 @@ type runReport struct {
 
 func main() {
 	var (
-		appName  = flag.String("app", "", "application to run (see -list)")
-		scale    = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
-		setFlag  = flag.String("set", "", "comma-separated KEY=VALUE overrides")
-		list     = flag.Bool("list", false, "list the available applications")
-		warmup   = flag.Int("warmup", 0, "untimed warmup runs before the timed repetitions")
-		reps     = flag.Int("reps", 1, "timed repetitions (the runtime is reused across them)")
-		jsonOut  = flag.Bool("json", false, "emit the measurement series as JSON on stdout")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the timed runs to this file")
-		traceSum = flag.Bool("trace-summary", false, "print derived per-region trace metrics to stderr (implies tracing)")
-		traceBuf = flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
+		appName   = flag.String("app", "", "application to run (see -list)")
+		scale     = flag.Float64("scale", 1.0, "input scale relative to the self-test size")
+		setFlag   = flag.String("set", "", "comma-separated KEY=VALUE overrides")
+		list      = flag.Bool("list", false, "list the available applications")
+		warmup    = flag.Int("warmup", 0, "untimed warmup runs before the timed repetitions")
+		reps      = flag.Int("reps", 1, "timed repetitions (the runtime is reused across them)")
+		jsonOut   = flag.Bool("json", false, "emit the measurement series as JSON on stdout")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the timed runs to this file")
+		traceSum  = flag.Bool("trace-summary", false, "print derived per-region trace metrics to stderr (implies tracing)")
+		traceSumJ = flag.Bool("trace-summary-json", false, "print the trace summary as JSON on stderr (implies tracing)")
+		traceBuf  = flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
+		profSum   = flag.Bool("profile", false, "print the per-region efficiency profile to stderr (implies profiling)")
+		profJSON  = flag.String("profile-json", "", "write the per-region efficiency profile as JSON to this file")
+		profFold  = flag.String("profile-folded", "", "write the profile as folded stacks (flamegraph.pl input) to this file")
 	)
 	flag.Parse()
 
@@ -122,21 +139,38 @@ func main() {
 	}
 
 	var series measure.Series
-	tracing := *traceOut != "" || *traceSum
-	if tracing {
-		// Warmup runs untraced, so the trace covers steady-state timed
-		// repetitions only — the same runs the reported times come from.
+	tracing := *traceOut != "" || *traceSum || *traceSumJ
+	profiling := *profSum || *profJSON != "" || *profFold != ""
+	if tracing || profiling {
+		// Warmup runs untraced and unprofiled, so both instruments cover
+		// steady-state timed repetitions only — the same runs the reported
+		// times come from.
 		for i := 0; i < *warmup; i++ {
 			app.Kernel(rt, *scale)
 		}
-		if err := rt.StartTrace(*traceBuf); err != nil {
-			fatal(err)
+		if tracing {
+			if err := rt.StartTrace(*traceBuf); err != nil {
+				fatal(err)
+			}
+		}
+		if profiling {
+			if err := rt.StartProfile(); err != nil {
+				fatal(err)
+			}
 		}
 		series = measure.Run(rt, app.Kernel, *scale, 0, *reps)
 		series.Warmup = *warmup
-		data := rt.StopTrace()
-		if err := emitTrace(data, *traceOut, *traceSum); err != nil {
-			fatal(err)
+		if tracing {
+			data := rt.StopTrace()
+			if err := emitTrace(data, *traceOut, *traceSum, *traceSumJ); err != nil {
+				fatal(err)
+			}
+		}
+		if profiling {
+			rep := rt.StopProfile()
+			if err := emitProfile(rep, *profSum, *profJSON, *profFold); err != nil {
+				fatal(err)
+			}
 		}
 	} else {
 		series = measure.Run(rt, app.Kernel, *scale, *warmup, *reps)
@@ -194,10 +228,48 @@ func main() {
 	fmt.Printf("sleeps     %d, wakeups %d\n", st.Sleeps, st.Wakeups)
 }
 
+// emitProfile renders the per-region efficiency profile: the fixed-width
+// table on stderr (like -trace-summary), the full report as JSON, and/or
+// folded stacks ready for flamegraph.pl / speedscope.
+func emitProfile(rep *profile.Report, table bool, jsonPath, foldedPath string) error {
+	if table {
+		fmt.Fprint(os.Stderr, rep.String())
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profile json: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "profile: %d region rows written to %s\n", len(rep.Regions), jsonPath)
+	}
+	if foldedPath != "" {
+		f, err := os.Create(foldedPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteFolded(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profile folded: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "profile: folded stacks written to %s (feed to flamegraph.pl)\n", foldedPath)
+	}
+	return nil
+}
+
 // emitTrace renders the collected trace: a self-validated Chrome JSON file
 // when path is set, and the derived per-region summary on stderr when
-// summary is set.
-func emitTrace(data trace.Data, path string, summary bool) error {
+// summary (text) or summaryJSON is set.
+func emitTrace(data trace.Data, path string, summary, summaryJSON bool) error {
 	if path != "" {
 		var buf bytes.Buffer
 		if err := trace.WriteChrome(&buf, data); err != nil {
@@ -217,8 +289,16 @@ func emitTrace(data trace.Data, path string, summary bool) error {
 			fmt.Fprintf(os.Stderr, "trace: %d events dropped (raise -trace-buf)\n", data.Dropped)
 		}
 	}
-	if summary {
-		fmt.Fprint(os.Stderr, trace.Summarize(data).String())
+	if summary || summaryJSON {
+		s := trace.Summarize(data)
+		if summary {
+			fmt.Fprint(os.Stderr, s.String())
+		}
+		if summaryJSON {
+			if err := s.WriteJSON(os.Stderr); err != nil {
+				return fmt.Errorf("trace summary json: %w", err)
+			}
+		}
 	}
 	return nil
 }

@@ -148,7 +148,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch *backend {
 	case "model":
 	case "measured":
-		ev = omptune.NewMeasuredEvaluator(omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps})
+		mo := omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps}
+		if mon != nil {
+			mo.Profile = mon.RuntimeProfile()
+		}
+		ev = omptune.NewMeasuredEvaluator(mo)
 	default:
 		return fmt.Errorf("-backend %q: want model or measured", *backend)
 	}
@@ -168,8 +172,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	res, serr := searcher.Search(ctx, omptune.SearchSpec{
 		Machine: m, App: app, Setting: set, Order: varOrder, Seed: *seed,
-		Evaluator: ev,
-		Budget:    omptune.SearchBudget{MaxEvals: *budget, MaxTime: *maxTime},
+		Evaluator:    ev,
+		Budget:       omptune.SearchBudget{MaxEvals: *budget, MaxTime: *maxTime},
 		TelemetryLog: *telem,
 		Monitor:      mon,
 	})

@@ -104,6 +104,7 @@ func main() {
 		mo := omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps}
 		if mon != nil {
 			mo.Metrics = mon.RuntimeMetrics()
+			mo.Profile = mon.RuntimeProfile()
 		}
 		opt.Backend = omptune.NewMeasuredEvaluator(mo)
 	default:

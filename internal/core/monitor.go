@@ -16,6 +16,7 @@ import (
 
 	"omptune/internal/obs"
 	"omptune/openmp"
+	"omptune/openmp/profile"
 )
 
 // Monitor aggregates live campaign state. Create one with NewMonitor, put
@@ -56,6 +57,10 @@ type Monitor struct {
 	hBarrier *obs.Histogram
 	hTask    *obs.Histogram
 	rtm      openmp.Metrics
+
+	// Campaign-wide per-region efficiency aggregate, fed through the openmp
+	// profiler seam (measure.Options.Profile) and served at /api/regions.
+	prof *profile.Aggregator
 }
 
 // NewMonitor builds a monitor with its registry and runtime histograms
@@ -66,6 +71,7 @@ func NewMonitor() *Monitor {
 		reg:   obs.NewRegistry(),
 		state: "waiting",
 		cells: make(map[string]*obs.Cell),
+		prof:  profile.NewAggregator(),
 	}
 	m.gSettingsPlanned = m.reg.Gauge("omptune_sweep_settings_planned",
 		"setting batches in the campaign plan")
@@ -104,6 +110,15 @@ func (m *Monitor) Registry() *obs.Registry { return m.reg }
 // sweep backend does this for every runtime it builds when
 // measure.Options.Metrics carries this value.
 func (m *Monitor) RuntimeMetrics() *openmp.Metrics { return &m.rtm }
+
+// RuntimeProfile returns the campaign-wide per-region profile aggregate.
+// Set it as measure.Options.Profile so every measured series folds its
+// region report here; serve the result with Regions (obs.Server.SetRegions).
+func (m *Monitor) RuntimeProfile() *profile.Aggregator { return m.prof }
+
+// Regions snapshots the per-region efficiency aggregate as the
+// /api/regions payload.
+func (m *Monitor) Regions() []obs.Region { return regionRows(m.prof.Snapshot()) }
 
 func (m *Monitor) elapsedLocked() float64 {
 	if !m.planned {

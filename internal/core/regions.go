@@ -1,0 +1,36 @@
+package core
+
+import (
+	"omptune/internal/obs"
+	"omptune/openmp/profile"
+)
+
+// regionRows converts a profiler report into the dashboard's /api/regions
+// payload. Rows keep the report's order (cumulative thread-time, descending)
+// so the dashboard's table is stable between polls.
+func regionRows(rep *profile.Report) []obs.Region {
+	if rep == nil {
+		return nil
+	}
+	rows := make([]obs.Region, 0, len(rep.Regions))
+	for i := range rep.Regions {
+		rp := &rep.Regions[i]
+		rows = append(rows, obs.Region{
+			Name:               rp.Name,
+			File:               rp.File,
+			Line:               rp.Line,
+			Level:              rp.Level,
+			Count:              rp.Count,
+			Threads:            rp.Threads,
+			WallSec:            float64(rp.WallNS) / 1e9,
+			ThreadSec:          float64(rp.ThreadNS) / 1e9,
+			ParallelEfficiency: rp.ParallelEfficiency,
+			LoadBalance:        rp.LoadBalance,
+			BarrierWaitShare:   rp.BarrierWaitShare,
+			SchedOverheadShare: rp.SchedOverheadShare,
+			StealRate:          rp.StealRate,
+			TasksRun:           rp.TasksRun,
+		})
+	}
+	return rows
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"omptune/internal/obs"
+	"omptune/openmp/profile"
 )
 
 // SearchMonitor aggregates live search state. Create one with
@@ -40,12 +41,16 @@ type SearchMonitor struct {
 
 	gBudget *obs.Gauge
 	hEval   *obs.Histogram
+
+	// Per-region efficiency aggregate across every probed configuration,
+	// fed through measure.Options.Profile and served at /api/regions.
+	prof *profile.Aggregator
 }
 
 // NewSearchMonitor builds a monitor with its metric schema pre-registered,
 // so /metrics exposes every gauge (at zero) before the search starts.
 func NewSearchMonitor() *SearchMonitor {
-	m := &SearchMonitor{reg: obs.NewRegistry(), state: "waiting"}
+	m := &SearchMonitor{reg: obs.NewRegistry(), state: "waiting", prof: profile.NewAggregator()}
 	m.gBudget = m.reg.Gauge("omptune_search_budget_evals",
 		"evaluation budget of the search (0 = time-bounded only)")
 	m.reg.GaugeFunc("omptune_search_evaluations",
@@ -68,6 +73,15 @@ func NewSearchMonitor() *SearchMonitor {
 // Registry exposes the monitor's metrics registry (for obs.Server or a
 // custom scrape endpoint).
 func (m *SearchMonitor) Registry() *obs.Registry { return m.reg }
+
+// RuntimeProfile returns the search-wide per-region profile aggregate; set
+// it as measure.Options.Profile on the measured backend so every probed
+// configuration folds its region report here.
+func (m *SearchMonitor) RuntimeProfile() *profile.Aggregator { return m.prof }
+
+// Regions snapshots the per-region efficiency aggregate as the
+// /api/regions payload.
+func (m *SearchMonitor) Regions() []obs.Region { return regionRows(m.prof.Snapshot()) }
 
 func (m *SearchMonitor) elapsedLocked() float64 {
 	if !m.planned {

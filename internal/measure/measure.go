@@ -24,6 +24,7 @@ import (
 	"omptune/internal/sim"
 	"omptune/internal/topology"
 	"omptune/openmp"
+	"omptune/openmp/profile"
 )
 
 // Series is the result of one measured kernel series: warmup runs followed
@@ -100,6 +101,13 @@ type Options struct {
 	// latency histograms to a live monitor. The sinks must be safe for
 	// concurrent use — one Metrics value is shared by every measured series.
 	Metrics *openmp.Metrics
+	// Profile, when non-nil, receives each measured series' per-region
+	// efficiency profile: every runtime the evaluator builds gets its own
+	// profiler (attached after the warmup runs, so team spin-up does not
+	// pollute the region stats) and the report is folded into this
+	// aggregate when the series ends. The aggregator is safe for concurrent
+	// folds from parallel sweep workers.
+	Profile *profile.Aggregator
 }
 
 func (o Options) withDefaults() Options {
@@ -245,5 +253,19 @@ func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, 
 	if e.opt.Metrics != nil {
 		rt.SetMetrics(e.opt.Metrics)
 	}
-	return Run(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps), nil
+	if e.opt.Profile == nil {
+		return Run(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps), nil
+	}
+	// Profiled series: warmup runs unprofiled, then the profiler watches the
+	// timed repetitions and its report joins the campaign-wide aggregate.
+	for i := 0; i < e.opt.Warmup; i++ {
+		app.Kernel(rt, set.Scale)
+	}
+	if err := rt.StartProfile(); err != nil {
+		return Series{}, err
+	}
+	s := Run(rt, app.Kernel, set.Scale, 0, e.opt.TimedReps)
+	s.Warmup = e.opt.Warmup
+	e.opt.Profile.Fold(rt.StopProfile())
+	return s, nil
 }

@@ -11,6 +11,7 @@ import (
 	"omptune/internal/sim"
 	"omptune/internal/topology"
 	"omptune/openmp"
+	"omptune/openmp/profile"
 )
 
 func testSetting() sim.Setting { return sim.Setting{Label: "t4", Threads: 4, Scale: 0.3} }
@@ -197,5 +198,53 @@ func TestEvaluatorHonoursConfigAndSetting(t *testing.T) {
 		if r := e.Evaluate(m, app, probe.cfg, probe.set, 0); r <= 0 {
 			t.Fatalf("cfg %s set %s: runtime %v", probe.cfg, probe.set.Label, r)
 		}
+	}
+}
+
+// TestEvaluatorProfileAggregation: with Options.Profile set, every measured
+// series folds its per-region profile into the shared aggregate, and the
+// warmup run stays out of the profiled counts.
+func TestEvaluatorProfileAggregation(t *testing.T) {
+	m := topology.MustGet(topology.A64FX)
+	app, err := apps.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := profile.NewAggregator()
+	e := NewEvaluator(Options{Warmup: 1, TimedReps: 2, Profile: agg})
+	set := testSetting()
+	if r := e.Evaluate(m, app, env.Default(m), set, 0); r <= 0 || math.IsNaN(r) {
+		t.Fatalf("runtime = %v", r)
+	}
+	rep := agg.Snapshot()
+	if len(rep.Regions) == 0 {
+		t.Fatal("no region rows aggregated from the measured series")
+	}
+	var total int64
+	for _, rp := range rep.Regions {
+		if rp.WallNS <= 0 || rp.ThreadNS <= 0 {
+			t.Errorf("region %q has non-positive times: %+v", rp.Name, rp)
+		}
+		total += rp.Count
+	}
+	if total == 0 {
+		t.Error("aggregated region count is zero")
+	}
+
+	// A second configuration folds into the same aggregate.
+	cfg, err := env.Default(m).Set(env.VarSchedule, "dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := e.Evaluate(m, app, cfg, set, 0); r <= 0 || math.IsNaN(r) {
+		t.Fatalf("runtime = %v", r)
+	}
+	rep2 := agg.Snapshot()
+	var total2 int64
+	for _, rp := range rep2.Regions {
+		total2 += rp.Count
+	}
+	if total2 <= total {
+		t.Errorf("second series did not grow the aggregate: %d then %d", total, total2)
 	}
 }

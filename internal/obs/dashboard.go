@@ -3,7 +3,9 @@ package obs
 // dashboardHTML is the self-contained live dashboard served at /. No
 // external assets: one HTML document with inline CSS and JS that polls
 // /api/status and renders a per-arch×app completion heatmap, a samples/sec
-// sparkline and latency-percentile tiles. Colors follow the repository's
+// sparkline and latency-percentile tiles, plus a per-region efficiency
+// table (polled from /api/regions, hidden until the first profile fold
+// arrives) whose efficiency columns are heatmap-shaded. Colors follow the repository's
 // chart conventions: sequential magnitude is one blue ramp light→dark,
 // state is icon+label (never color alone), text wears ink tokens, and the
 // lone sparkline series needs no legend. Light and dark are both selected
@@ -74,6 +76,16 @@ const dashboardHTML = `<!DOCTYPE html>
   .lat .tile .detail { color: var(--ink-3); font-size: 12px;
                        font-variant-numeric: tabular-nums; }
   #spark { display: block; width: 100%; height: 64px; }
+  table.regions { border-collapse: collapse; width: 100%;
+                  font-variant-numeric: tabular-nums; }
+  table.regions th { font-size: 11px; font-weight: 500; color: var(--ink-3);
+                     text-align: right; padding: 3px 8px;
+                     border-bottom: 1px solid var(--grid); }
+  table.regions th.name, table.regions td.name { text-align: left;
+                     max-width: 320px; overflow: hidden; text-overflow: ellipsis;
+                     white-space: nowrap; }
+  table.regions td { font-size: 12px; text-align: right; padding: 3px 8px; }
+  table.regions td.eff { border-radius: 3px; }
   #tip { position: fixed; display: none; pointer-events: none; z-index: 10;
          background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
          padding: 6px 9px; font-size: 12px; color: var(--ink-1);
@@ -115,6 +127,11 @@ const dashboardHTML = `<!DOCTYPE html>
 <div class="section">
   <h2>Latency percentiles</h2>
   <div class="lat" id="lat"></div>
+</div>
+
+<div class="section" id="regionsSection" style="display:none">
+  <h2>Per-region efficiency (live profiler aggregate)</h2>
+  <div id="regions"></div>
 </div>
 
 <div id="tip"></div>
@@ -261,6 +278,55 @@ const dashboardHTML = `<!DOCTYPE html>
     });
   }
 
+  function fmtSec(s) { return fmtDur(s); }
+  function effCell(v) {
+    var td = document.createElement("td");
+    td.className = "eff";
+    var step = Math.min(12, Math.max(0, Math.floor(v * 12.999)));
+    td.style.background = ramp[step];
+    td.style.color = step >= 7 ? "#ffffff" : "#0b0b0b";
+    td.textContent = (v * 100).toFixed(0) + "%";
+    return td;
+  }
+  function renderRegions(rows) {
+    var section = $("regionsSection");
+    if (!rows || rows.length === 0) { section.style.display = "none"; return; }
+    section.style.display = "";
+    var tbl = document.createElement("table");
+    tbl.className = "regions";
+    var hr = tbl.insertRow();
+    [["region", "name"], ["lvl"], ["count"], ["thr"], ["wall"],
+     ["par.eff"], ["ld.bal"], ["bar%"], ["sched%"], ["steals"]].forEach(function (h) {
+      var th = document.createElement("th");
+      th.textContent = h[0];
+      if (h[1]) th.className = h[1];
+      hr.appendChild(th);
+    });
+    rows.forEach(function (r) {
+      var tr = tbl.insertRow();
+      var name = tr.insertCell();
+      name.className = "name";
+      name.textContent = r.name || "?";
+      name.title = (r.file || "") + (r.line ? ":" + r.line : "");
+      tr.insertCell().textContent = r.level;
+      tr.insertCell().textContent = fmtCount(r.count);
+      tr.insertCell().textContent = r.threads;
+      tr.insertCell().textContent = fmtSec(r.wall_sec);
+      tr.appendChild(effCell(r.parallel_efficiency));
+      tr.appendChild(effCell(r.load_balance));
+      tr.insertCell().textContent = (100 * r.barrier_wait_share).toFixed(1);
+      tr.insertCell().textContent = (100 * r.sched_overhead_share).toFixed(1);
+      tr.insertCell().textContent = r.steal_rate.toFixed(1);
+    });
+    var host = $("regions");
+    host.textContent = "";
+    host.appendChild(tbl);
+  }
+  function pollRegions() {
+    fetch("/api/regions").then(function (r) { return r.json(); })
+      .then(renderRegions).catch(function () {});
+  }
+
   function poll() {
     fetch("/api/status").then(function (r) { return r.json(); }).then(function (s) {
       if (!s) return;
@@ -276,7 +342,9 @@ const dashboardHTML = `<!DOCTYPE html>
     });
   }
   poll();
+  pollRegions();
   setInterval(poll, 2000);
+  setInterval(pollRegions, 2000);
 })();
 </script>
 </body>

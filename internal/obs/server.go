@@ -12,13 +12,15 @@ import (
 
 // Server is the embedded HTTP monitor: it exposes a Registry at /metrics
 // (Prometheus text format), liveness at /healthz, a caller-defined status
-// snapshot at /api/status (JSON), and a self-contained HTML dashboard at /
-// that polls /api/status. It is deliberately tiny — net/http only, no
+// snapshot at /api/status (JSON), an optional per-region profile payload at
+// /api/regions (see SetRegions), and a self-contained HTML dashboard at /
+// that polls both APIs. It is deliberately tiny — net/http only, no
 // external assets — because it runs inside long campaign processes where a
 // dependency or a blocking handler would be a liability.
 type Server struct {
-	reg    *Registry
-	status func() any
+	reg     *Registry
+	status  func() any
+	regions func() any
 
 	mu   sync.Mutex
 	ln   net.Listener
@@ -35,6 +37,7 @@ func NewServer(reg *Registry, status func() any) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/regions", s.handleRegions)
 	mux.HandleFunc("/", s.handleDashboard)
 	s.http = &http.Server{
 		Handler:           mux,
@@ -105,6 +108,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SetRegions installs the /api/regions payload producer — typically a
+// closure returning []Region from a live profile aggregate. Like the status
+// producer it must be concurrency-safe and cheap; call before Start. When
+// unset the endpoint serves null and the dashboard hides its region section.
+func (s *Server) SetRegions(fn func() any) { s.regions = fn }
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var payload any
+	if s.regions != nil {
+		payload = s.regions()
+	}
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

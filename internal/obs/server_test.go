@@ -111,3 +111,46 @@ func TestServerShutdown(t *testing.T) {
 		t.Error("server still serving after Shutdown")
 	}
 }
+
+func TestServerRegionsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	base := startTestServer(t, reg, nil)
+
+	// Without a producer the endpoint serves JSON null, not an error.
+	code, body, hdr := get(t, base+"/api/regions")
+	if code != http.StatusOK || strings.TrimSpace(body) != "null" {
+		t.Errorf("/api/regions without producer = %d %q, want 200 null", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/api/regions content type = %q", ct)
+	}
+}
+
+func TestServerRegionsPayload(t *testing.T) {
+	reg := NewRegistry()
+	rows := []Region{{
+		Name: "main.kernel", Level: 0, Count: 12, Threads: 4,
+		WallSec: 0.25, ThreadSec: 1.0,
+		ParallelEfficiency: 0.85, LoadBalance: 0.9,
+		BarrierWaitShare: 0.05, SchedOverheadShare: 0.01,
+	}}
+	srv := NewServer(reg, nil)
+	srv.SetRegions(func() any { return rows })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Shutdown(nil) })
+
+	code, body, _ := get(t, "http://"+addr.String()+"/api/regions")
+	if code != http.StatusOK {
+		t.Fatalf("/api/regions status = %d", code)
+	}
+	var back []Region
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatalf("decode /api/regions: %v", err)
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Errorf("round-tripped regions = %+v, want %+v", back, rows)
+	}
+}

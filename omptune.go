@@ -281,14 +281,17 @@ type SweepMonitor = core.Monitor
 func NewSweepMonitor() *SweepMonitor { return core.NewMonitor() }
 
 // MonitorServer is the embedded HTTP monitor: /metrics (Prometheus text
-// exposition), /healthz, /api/status (JSON campaign progress) and / (a
-// self-contained HTML dashboard polling /api/status).
+// exposition), /healthz, /api/status (JSON campaign progress), /api/regions
+// (the live per-region efficiency profile) and / (a self-contained HTML
+// dashboard polling both APIs).
 type MonitorServer = obs.Server
 
 // NewMonitorServer builds the HTTP monitor for mon. Call Start(addr) to
 // bind and serve, Shutdown(ctx) for a graceful stop.
 func NewMonitorServer(mon *SweepMonitor) *MonitorServer {
-	return obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+	srv := obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+	srv.SetRegions(func() any { return mon.Regions() })
+	return srv
 }
 
 // CompareOptions tunes the sweep-vs-sweep regression gate (significance
@@ -409,7 +412,9 @@ func NewSearchMonitor() *SearchMonitor { return core.NewSearchMonitor() }
 // NewSearchMonitorServer builds the HTTP monitor for mon — the same
 // dashboard, /metrics and /api/status endpoints a sweep monitor serves.
 func NewSearchMonitorServer(mon *SearchMonitor) *MonitorServer {
-	return obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+	srv := obs.NewServer(mon.Registry(), func() any { return mon.Status() })
+	srv.SetRegions(func() any { return mon.Regions() })
+	return srv
 }
 
 // SearchReportRow compares one completed search against the full sweep of

@@ -57,6 +57,7 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 		if lo < hi {
 			th.stats.chunks.Add(1)
 			th.traceChunk(hi - lo)
+			th.profChunk()
 		}
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -67,6 +68,7 @@ func (th *Thread) forStatic(n, chunk int, body func(i int)) {
 		hi := min(lo+chunk, n)
 		th.stats.chunks.Add(1)
 		th.traceChunk(hi - lo)
+		th.profChunk()
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -83,9 +85,19 @@ type dynLoop struct {
 }
 
 // forDynamic hands out fixed-size chunks from a shared counter,
-// first-come-first-served.
+// first-come-first-served. The profiler charges everything between a
+// chunk's claim and the previous chunk's last iteration — instance lookup
+// and cursor CAS — to scheduling overhead; the pointer is hoisted per loop
+// (not per chunk), so enabling the profiler mid-loop is picked up at the
+// next worksharing construct.
 func (th *Thread) forDynamic(n, chunk int, body func(i int)) {
 	seq := th.nextSeq()
+	p := th.team.rt.profiler.Load()
+	gtid, lvl := int(th.gtid), th.team.level
+	var t0 int64
+	if p != nil {
+		t0 = p.Now()
+	}
 	st, h := th.team.instance(seq, func() any { return new(dynLoop) })
 	d := st.(*dynLoop)
 	if chunk <= 0 {
@@ -93,14 +105,23 @@ func (th *Thread) forDynamic(n, chunk int, body func(i int)) {
 	}
 	for {
 		lo := int(d.next.Add(int64(chunk))) - chunk
+		if p != nil {
+			p.AddSched(gtid, lvl, p.Now()-t0)
+		}
 		if lo >= n {
 			break
 		}
 		hi := min(lo+chunk, n)
 		th.stats.chunks.Add(1)
 		th.traceChunk(hi - lo)
+		if p != nil {
+			p.AddChunk(gtid, lvl)
+		}
 		for i := lo; i < hi; i++ {
 			body(i)
+		}
+		if p != nil {
+			t0 = p.Now()
 		}
 	}
 	th.team.release(h, seq)
@@ -115,6 +136,12 @@ type guidedLoop struct {
 // remaining/(2*nthreads), clamped below by the chunk size (default 1).
 func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 	seq := th.nextSeq()
+	p := th.team.rt.profiler.Load()
+	gtid, lvl := int(th.gtid), th.team.level
+	var t0 int64
+	if p != nil {
+		t0 = p.Now()
+	}
 	st, h := th.team.instance(seq, func() any {
 		g := new(guidedLoop)
 		g.remaining.Store(int64(n))
@@ -128,6 +155,9 @@ func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 	for {
 		rem := g.remaining.Load()
 		if rem <= 0 {
+			if p != nil {
+				p.AddSched(gtid, lvl, p.Now()-t0)
+			}
 			break
 		}
 		c := rem / (2 * nt)
@@ -138,14 +168,23 @@ func (th *Thread) forGuided(n, minChunk int, body func(i int)) {
 			c = rem
 		}
 		if !g.remaining.CompareAndSwap(rem, rem-c) {
+			// CAS retries stay inside the same overhead window: t0 is only
+			// reset after a chunk's body has run.
 			continue
 		}
 		lo := n - int(rem)
 		hi := lo + int(c)
 		th.stats.chunks.Add(1)
 		th.traceChunk(hi - lo)
+		if p != nil {
+			p.AddSched(gtid, lvl, p.Now()-t0)
+			p.AddChunk(gtid, lvl)
+		}
 		for i := lo; i < hi; i++ {
 			body(i)
+		}
+		if p != nil {
+			t0 = p.Now()
 		}
 	}
 	th.team.release(h, seq)

@@ -236,6 +236,76 @@ func BenchmarkOverheadTracing(b *testing.B) {
 	})
 }
 
+// BenchmarkOverheadProfiling contrasts the disabled-profiler hot path (one
+// atomic profiler load per region boundary) with profiling fully enabled
+// (per-thread shard stamps at start/arrive plus the primary-thread fold into
+// the aggregate table at join) on bare region dispatch and a
+// dynamic-schedule loop. Both modes must stay allocation-free: the fold
+// resolves the construct PC against a fixed-size open-addressed table, so
+// steady state is 0 allocs/op with profiling on, and region dispatch keeps
+// its usual alloc profile with profiling off.
+func BenchmarkOverheadProfiling(b *testing.B) {
+	modes := []struct {
+		name     string
+		profiled bool
+	}{
+		{"profile=off", false},
+		{"profile=on", true},
+	}
+	b.Run("op=parallel", func(b *testing.B) {
+		for _, m := range modes {
+			b.Run(m.name, func(b *testing.B) {
+				rt := benchRuntime(b, func(o *Options) { o.Library = LibTurnaround })
+				body := func(*Thread) {}
+				rt.Parallel(body)
+				if m.profiled {
+					if err := rt.StartProfile(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt.Parallel(body)
+				}
+				b.StopTimer()
+				if m.profiled {
+					rt.StopProfile()
+				}
+			})
+		}
+	})
+	b.Run("op=for_dynamic", func(b *testing.B) {
+		for _, m := range modes {
+			b.Run(m.name, func(b *testing.B) {
+				rt := benchRuntime(b, func(o *Options) {
+					o.Schedule = ScheduleDynamic
+					o.ChunkSize = 8
+					o.Library = LibTurnaround
+				})
+				iter := func(int) {}
+				rt.Parallel(func(th *Thread) { th.For(128, iter) })
+				if m.profiled {
+					if err := rt.StartProfile(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				rt.Parallel(func(th *Thread) {
+					for i := 0; i < b.N; i++ {
+						th.For(128, iter)
+					}
+				})
+				b.StopTimer()
+				if m.profiled {
+					rt.StopProfile()
+				}
+			})
+		}
+	})
+}
+
 // BenchmarkNestedForkJoin measures a full depth-2 fork–join: a 2-thread
 // outer region in which each thread forks a 2-thread inner region through
 // its cached hot team. Steady state must be 0 allocs/op — the nested

@@ -1,0 +1,89 @@
+package openmp
+
+import (
+	"errors"
+	"runtime"
+
+	"omptune/openmp/profile"
+)
+
+// callerPC returns the program counter identifying the caller of the
+// exported function that invoked it — the construct identity the profiler
+// keys regions by. The fixed-size stack buffer keeps the capture
+// allocation-free, and runtime.Callers counts logical (inlining-expanded)
+// frames, so the skip stays correct whether or not the intermediate frames
+// were inlined: 0 = Callers, 1 = callerPC, 2 = the Parallel-family entry
+// point, 3 = its caller.
+func callerPC() uintptr {
+	var pcs [1]uintptr
+	if runtime.Callers(3, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// StartProfile enables the per-region efficiency profiler. Like StartTrace,
+// scratch slots are preallocated here for every global thread id live at
+// this point — outer threads plus every cached inner-team worker; workers
+// created after StartProfile are counted as missing samples rather than
+// attributed, so fork nested regions once (a warmup run) before profiling.
+// While enabled, a Parallel call additionally pays one caller-PC capture,
+// per-thread timestamp stamps, and one fold at region quiescence — still
+// zero allocations. Profiling a runtime that is already profiling or closed
+// is an error.
+func (rt *Runtime) StartProfile() error {
+	rt.regionMu.Lock()
+	defer rt.regionMu.Unlock()
+	if rt.closed {
+		return errors.New("openmp: StartProfile on closed Runtime")
+	}
+	if rt.profiler.Load() != nil {
+		return errors.New("openmp: StartProfile while already profiling")
+	}
+	rt.profiler.Store(profile.New(int(rt.nextGtid.Load())))
+	return nil
+}
+
+// StopProfile disables profiling and returns the final report. Returns an
+// empty report when profiling was not enabled.
+func (rt *Runtime) StopProfile() *profile.Report {
+	p := rt.profiler.Swap(nil)
+	if p == nil {
+		return &profile.Report{}
+	}
+	return p.Snapshot()
+}
+
+// Profile snapshots the current per-region profile without detaching the
+// profiler. Returns an empty report when profiling is not enabled. The
+// snapshot is exact at region quiescence (same contract as Stats).
+func (rt *Runtime) Profile() *profile.Report {
+	p := rt.profiler.Load()
+	if p == nil {
+		return &profile.Report{}
+	}
+	return p.Snapshot()
+}
+
+// SetProfiler attaches (or, with nil, detaches) an externally built
+// profiler — the raw seam behind StartProfile, used by the measured-campaign
+// harness to aggregate profiles across runtimes. The same single
+// atomic-pointer discipline as the tracer and metrics seams applies: while
+// detached, every instrumented site pays one atomic load and a nil check.
+func (rt *Runtime) SetProfiler(p *profile.Profiler) {
+	rt.profiler.Store(p)
+}
+
+// Profiler returns the currently attached profiler, nil when detached.
+func (rt *Runtime) Profiler() *profile.Profiler {
+	return rt.profiler.Load()
+}
+
+// profChunk counts one worksharing chunk for the profiler; like traceChunk
+// the pointer is loaded per chunk so the disabled path stays one
+// predictable branch.
+func (th *Thread) profChunk() {
+	if p := th.team.rt.profiler.Load(); p != nil {
+		p.AddChunk(int(th.gtid), th.team.level)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"omptune/openmp/profile"
 	"omptune/openmp/trace"
 )
 
@@ -98,6 +99,11 @@ type Runtime struct {
 	// disabled; same one-load-plus-nil-check discipline as tracer. See
 	// SetMetrics in metrics.go.
 	metrics atomic.Pointer[Metrics]
+
+	// profiler is the per-region efficiency profiler seam, nil while
+	// profiling is disabled; same discipline again. See StartProfile in
+	// profiler.go.
+	profiler atomic.Pointer[profile.Profiler]
 }
 
 // Stats is a snapshot of runtime activity counters, useful for verifying
@@ -448,7 +454,7 @@ func (rt *Runtime) StopTrace() trace.Data {
 		// metrics seam): purely a synchronization flush, recursing into each
 		// thread's cached inner team.
 		rt.regionActive.Store(true)
-		rt.hot.dispatchRegion(func(th *Thread) { th.flushNested() }, false)
+		rt.hot.dispatchRegion(func(th *Thread) { th.flushNested() }, false, 0)
 		rt.regionActive.Store(false)
 	}
 	rt.regionMu.Unlock()
@@ -459,7 +465,7 @@ func (rt *Runtime) StopTrace() trace.Data {
 // cached inner team, if any (see StopTrace).
 func (th *Thread) flushNested() {
 	if th.inner != nil {
-		th.inner.dispatchRegion(func(ith *Thread) { ith.flushNested() }, false)
+		th.inner.dispatchRegion(func(ith *Thread) { ith.flushNested() }, false, 0)
 	}
 }
 
@@ -500,11 +506,22 @@ func (rt *Runtime) Close() {
 // width-1 nested region on the calling goroutine. Thread.Parallel is the
 // threaded nested fork — prefer it inside region bodies.
 func (rt *Runtime) Parallel(body func(th *Thread)) {
+	var pc uintptr
+	if rt.profiler.Load() != nil {
+		pc = callerPC()
+	}
+	rt.parallel(pc, body)
+}
+
+// parallel is Parallel with the profiler's construct identity already
+// captured — each exported entry point records its own caller, so distinct
+// ParallelFor call sites never alias through the shared internal path.
+func (rt *Runtime) parallel(pc uintptr, body func(th *Thread)) {
 	if rt.regionActive.Load() {
 		// The outer region holds regionMu for its whole duration, so the
 		// nested path must not touch it. This cold fallback allocates a
 		// transient width-1 team per call; counters land on the misc shard.
-		rt.nestedSerial(body)
+		rt.nestedSerial(pc, body)
 		return
 	}
 	rt.regionMu.Lock()
@@ -513,30 +530,39 @@ func (rt *Runtime) Parallel(body func(th *Thread)) {
 		panic("openmp: Parallel called on closed Runtime")
 	}
 	rt.regionActive.Store(true)
-	rt.hot.dispatchRegion(body, true)
+	rt.hot.dispatchRegion(body, true, pc)
 	rt.regionActive.Store(false)
 }
 
 // nestedSerial runs body as a width-1 nested region on the calling
 // goroutine. The transient team keeps the full Thread surface usable
 // (worksharing, tasks, reductions all collapse to serial execution); its
-// events are not traced (the goroutine owns no trace ring).
-func (rt *Runtime) nestedSerial(body func(th *Thread)) {
+// events are not traced and not profiled (the goroutine owns no trace ring,
+// and the team has no profiler thread ids).
+func (rt *Runtime) nestedSerial(pc uintptr, body func(th *Thread)) {
 	tm := newTransientTeam(rt, 1)
-	tm.dispatchRegion(body, true)
+	tm.dispatchRegion(body, true, pc)
 }
 
 // ParallelFor is shorthand for a region containing a single worksharing
 // loop over [0, n).
 func (rt *Runtime) ParallelFor(n int, body func(i int)) {
-	rt.Parallel(func(th *Thread) { th.For(n, body) })
+	var pc uintptr
+	if rt.profiler.Load() != nil {
+		pc = callerPC()
+	}
+	rt.parallel(pc, func(th *Thread) { th.For(n, body) })
 }
 
 // ParallelReduceSum runs body over [0, n) and returns the sum of its return
 // values, combined with the configured reduction method.
 func (rt *Runtime) ParallelReduceSum(n int, body func(i int) float64) float64 {
+	var pc uintptr
+	if rt.profiler.Load() != nil {
+		pc = callerPC()
+	}
 	var out float64
-	rt.Parallel(func(th *Thread) {
+	rt.parallel(pc, func(th *Thread) {
 		local := 0.0
 		th.ForNowait(n, func(i int) { local += body(i) })
 		v := th.ReduceSum(local)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"omptune/openmp/profile"
 	"omptune/openmp/trace"
 )
 
@@ -288,6 +289,9 @@ func (th *Thread) Task(fn func(*Thread)) {
 	if tr := th.team.rt.tracer.Load(); tr != nil {
 		tr.Emit(int(th.gtid), th.team.level, trace.KindTaskCreate, th.team.regionID, 0)
 	}
+	if p := th.team.rt.profiler.Load(); p != nil {
+		p.TaskCreated(int(th.gtid), th.team.level)
+	}
 	// Task creation is a task scheduling point (OpenMP spec §task scheduling):
 	// periodically yield the processor so idle team threads get a chance to
 	// steal from this deque. Without it, a goroutine that spawns and then
@@ -366,9 +370,20 @@ func (th *Thread) parkForTasks(done func() bool) {
 		gen = th.team.regionID
 		tr.Emit(int(th.gtid), th.team.level, trace.KindPark, gen, 0)
 	}
+	// Task-wait parks complete strictly inside the region (the parked
+	// thread still has to arrive at the end-of-region barrier), so they are
+	// safe to charge to the region's profile — unlike end-of-region barrier
+	// parks, which may outlive the fold.
+	pr := th.team.rt.profiler.Load()
+	if pr != nil {
+		pr.Park(int(th.gtid), th.team.level)
+	}
 	th.stats.sleeps.Add(1)
 	pool.cond.Wait()
 	th.stats.wakeups.Add(1)
+	if pr != nil {
+		pr.Wake(int(th.gtid), th.team.level)
+	}
 	if tr != nil {
 		tr.Emit(int(th.gtid), th.team.level, trace.KindWake, gen, 0)
 	}
@@ -415,6 +430,9 @@ func (th *Thread) runOneTask() bool {
 	}
 	pool.pending.Add(-1)
 	th.stats.tasksRun.Add(1)
+	if p := th.team.rt.profiler.Load(); p != nil {
+		p.TaskRan(int(th.gtid), th.team.level)
+	}
 	pool.wakeWaiters()
 	return true
 }
@@ -475,14 +493,20 @@ func (th *Thread) stealFrom(victim int) *task {
 	th.stats.tasksStolen.Add(uint64(n))
 	th.stats.stealBatches.Add(1)
 	loc := trace.StealLocalityUnknown
+	ploc := profile.StealUnknown
 	if tm.stealLocal != nil {
 		if tm.stealLocal[th.id][victim] {
 			loc = trace.StealLocalityLocal
+			ploc = profile.StealLocal
 			th.stats.stealsLocal.Add(uint64(n))
 		} else {
 			loc = trace.StealLocalityRemote
+			ploc = profile.StealRemote
 			th.stats.stealsRemote.Add(uint64(n))
 		}
+	}
+	if p := tm.rt.profiler.Load(); p != nil {
+		p.TaskStolen(int(th.gtid), tm.level, n, ploc)
 	}
 	if n > 1 {
 		// The surplus landed on this thread's deque: other idle threads can

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"omptune/openmp/profile"
 	"omptune/openmp/trace"
 )
 
@@ -65,6 +66,12 @@ type Team struct {
 	ring    constructRing
 	bar     barrier
 
+	// gtids lists the team threads' global ids in thread order, precomputed
+	// so the profiler fold at region quiescence walks them without
+	// allocating. nil for transient serialized teams, which are unprofiled
+	// (their gtid is -1).
+	gtids []int32
+
 	pool     *taskPool
 	rootTask task
 
@@ -87,12 +94,14 @@ func newTeam(rt *Runtime, n int) *Team {
 		threads: make([]Thread, n),
 		pool:    newTaskPool(n, rt.opts.effectiveBlocktimeMS()),
 	}
+	tm.gtids = make([]int32, n)
 	for i := range tm.threads {
 		th := &tm.threads[i]
 		th.team = tm
 		th.id = i
 		th.gtid = int32(i)
 		th.stats = rt.stats.shard(i)
+		tm.gtids[i] = th.gtid
 	}
 	tm.stealOrder, tm.stealLocal = buildStealOrder(rt.placement, rt.opts.PlaceDistances, n)
 	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
@@ -118,6 +127,7 @@ func newNestedTeam(rt *Runtime, parent *Thread, n int) *Team {
 	if n > 1 {
 		tm.activeLevels++
 	}
+	tm.gtids = make([]int32, n)
 	for i := range tm.threads {
 		th := &tm.threads[i]
 		th.team = tm
@@ -128,6 +138,7 @@ func newNestedTeam(rt *Runtime, parent *Thread, n int) *Team {
 		} else {
 			th.gtid = int32(rt.nextGtid.Add(1) - 1)
 		}
+		tm.gtids[i] = th.gtid
 	}
 	tm.bar.init(n, rt.opts.effectiveBlocktimeMS())
 	rt.stats.registerNested(block)
@@ -177,10 +188,11 @@ func (tm *Team) spawnWorkers() {
 // dispatchRegion runs one region on the team with the calling goroutine as
 // thread 0: stamp a fresh region id, publish the body via the gen bump,
 // wake parked workers, run, join at the end-of-region barrier. counted=false
-// is the StopTrace flush path — invisible to the stats counters and the
-// metrics seam (the tracer is already detached, so nothing is emitted
-// either).
-func (tm *Team) dispatchRegion(body func(*Thread), counted bool) {
+// is the StopTrace flush path — invisible to the stats counters, the
+// metrics seam and the profiler (the tracer is already detached, so nothing
+// is emitted either). pc is the construct identity the profiler keys the
+// region by (zero when profiling is off).
+func (tm *Team) dispatchRegion(body func(*Thread), counted bool, pc uintptr) {
 	rt := tm.rt
 	if counted {
 		tm.threads[0].stats.regions.Add(1)
@@ -199,14 +211,22 @@ func (tm *Team) dispatchRegion(body func(*Thread), counted bool) {
 	// Fork-to-join latency: the clock starts before the generation bump so
 	// the measured span covers the whole dispatch (wakes included), and
 	// stops after the primary passes the join barrier. One pointer load
-	// when monitoring is off.
+	// when monitoring is off, one more when profiling is off.
 	var mets *Metrics
+	var prof *profile.Profiler
 	var forkAt time.Time
+	var profFork int64
 	if counted {
 		mets = rt.metrics.Load()
+		if tm.gtids != nil {
+			prof = rt.profiler.Load()
+		}
 	}
 	if mets != nil && mets.Region != nil {
 		forkAt = time.Now()
+	}
+	if prof != nil {
+		profFork = prof.Now()
 	}
 	// Publish the region: the gen bump is the release edge workers acquire
 	// tm.body and tm.regionID through; parked workers additionally get a
@@ -221,6 +241,11 @@ func (tm *Team) dispatchRegion(body func(*Thread), counted bool) {
 	// which precedes the primary's barrier pass).
 	if mets != nil && mets.Region != nil {
 		mets.Region.Observe(time.Since(forkAt))
+	}
+	if prof != nil {
+		// Region quiescence: the join barrier ordered every worker's scratch
+		// writes before this fold.
+		prof.Fold(pc, tm.level, tm.regionID, tm.gtids, profFork)
 	}
 	if tr != nil {
 		tr.Emit(int(tm.threads[0].gtid), tm.level, trace.KindRegionJoin, tm.regionID, 0)
@@ -295,11 +320,24 @@ func (tm *Team) run(tid int) {
 	// unique for the team's lifetime, which the construct ring's slot
 	// identity encoding relies on. All threads execute the same construct
 	// count per region, so the counters stay aligned across regions.
+	//
+	// The profiler stamps bracket the implicit task: ThreadStart zeroes and
+	// claims this thread's scratch slot for the region, ThreadArrive marks
+	// the end-of-region barrier arrival. The fold (on the dispatcher, after
+	// its barrier pass) derives busy time and final barrier wait from the
+	// two stamps.
+	p := tm.rt.profiler.Load()
+	if p != nil {
+		p.ThreadStart(int(th.gtid), tm.level, tm.regionID)
+	}
 	if tr := tm.rt.tracer.Load(); tr != nil {
 		gtid, id, lvl := int(th.gtid), tm.regionID, tm.level
 		tr.Emit(gtid, lvl, trace.KindImplicitBegin, id, 0)
 		tm.body(th)
 		th.drainTasks()
+		if p != nil {
+			p.ThreadArrive(gtid, lvl)
+		}
 		// The end-of-region barrier wait is a span of its own, closed before
 		// the implicit task ends so the B/E pairs nest per thread.
 		tr.Emit(gtid, lvl, trace.KindBarrierEnter, id, 0)
@@ -310,6 +348,9 @@ func (tm *Team) run(tid int) {
 	}
 	tm.body(th)
 	th.drainTasks()
+	if p != nil {
+		p.ThreadArrive(int(th.gtid), tm.level)
+	}
 	tm.barrierWait(th)
 }
 
@@ -388,15 +429,27 @@ func (th *Thread) Runtime() *Runtime { return th.team.rt }
 // The calling thread participates as the inner team's thread 0; the inner
 // team is cached on this thread, so steady-state nested fork–join is
 // allocation-free. Returns after the inner region's end barrier.
-func (th *Thread) Parallel(body func(*Thread)) { th.forkNested(0, body) }
+func (th *Thread) Parallel(body func(*Thread)) {
+	var pc uintptr
+	if th.team.rt.profiler.Load() != nil {
+		pc = callerPC()
+	}
+	th.forkNested(0, pc, body)
+}
 
 // ParallelN is Parallel with a num_threads clause: it requests width n for
 // the inner team (still subject to the active-level limit and the thread
 // budget). n < 1 falls back to the per-level default.
-func (th *Thread) ParallelN(n int, body func(*Thread)) { th.forkNested(n, body) }
+func (th *Thread) ParallelN(n int, body func(*Thread)) {
+	var pc uintptr
+	if th.team.rt.profiler.Load() != nil {
+		pc = callerPC()
+	}
+	th.forkNested(n, pc, body)
+}
 
-func (th *Thread) forkNested(request int, body func(*Thread)) {
-	th.innerTeam(request).dispatchRegion(body, true)
+func (th *Thread) forkNested(request int, pc uintptr, body func(*Thread)) {
+	th.innerTeam(request).dispatchRegion(body, true, pc)
 }
 
 // innerTeam returns this thread's cached inner team for the requested
@@ -457,15 +510,27 @@ func (th *Thread) nextSeq() int64 {
 }
 
 // Barrier blocks until every thread of the team has called it (inner-team
-// barriers involve only the inner team's threads).
+// barriers involve only the inner team's threads). The profiler charges the
+// whole passage to the thread's explicit-barrier wait: unlike the
+// end-of-region barrier (whose wait the fold derives from arrival stamps),
+// a mid-region barrier completes strictly inside the region, so
+// self-timing here is race-free.
 func (th *Thread) Barrier() {
+	p := th.team.rt.profiler.Load()
+	var t0 int64
+	if p != nil {
+		t0 = p.Now()
+	}
 	if tr := th.team.rt.tracer.Load(); tr != nil {
 		tr.Emit(int(th.gtid), th.team.level, trace.KindBarrierEnter, th.team.regionID, 0)
 		th.team.barrierWait(th)
 		tr.Emit(int(th.gtid), th.team.level, trace.KindBarrierLeave, th.team.regionID, 0)
-		return
+	} else {
+		th.team.barrierWait(th)
 	}
-	th.team.barrierWait(th)
+	if p != nil {
+		p.AddBarrier(int(th.gtid), th.team.level, p.Now()-t0)
+	}
 }
 
 // Master runs fn on the primary thread only. No implied barrier.

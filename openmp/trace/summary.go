@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -12,78 +14,83 @@ import (
 type RegionMetrics struct {
 	// Gen is the region's id (the runtime's global region counter, shared
 	// across nesting levels).
-	Gen uint64
+	Gen uint64 `json:"gen"`
 	// Level is the region's nesting depth: 0 for outer regions, 1 for
 	// regions forked from inside a level-0 region, and so on.
-	Level int
+	Level int `json:"level"`
 	// Threads is the team size recorded at the fork, or the number of
 	// threads that reported an implicit task when the fork was not traced.
-	Threads int
+	Threads int `json:"threads"`
 	// Wall is the fork→join duration on the primary thread.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// BarrierWait is the total time team threads spent inside barrier
 	// waits (spinning or parked) during the region, summed over threads.
-	BarrierWait time.Duration
+	BarrierWait time.Duration `json:"barrier_wait_ns"`
 	// WaitShare is BarrierWait divided by Threads×Wall: the fraction of
 	// the region's aggregate thread-time lost to barrier waiting.
-	WaitShare float64
+	WaitShare float64 `json:"wait_share"`
 	// Imbalance is the arrival spread (max−min enter timestamp) at the
 	// region's final barrier — the end-of-region barrier every thread
 	// passes — i.e. how unevenly the body's work was distributed.
-	Imbalance time.Duration
+	Imbalance time.Duration `json:"imbalance_ns"`
 	// Chunks counts worksharing chunks dispatched in the region, and
 	// ChunksPerThread is its per-thread breakdown (histogram).
-	Chunks          int
-	ChunksPerThread []int
+	Chunks          int   `json:"chunks"`
+	ChunksPerThread []int `json:"chunks_per_thread,omitempty"`
 	// TasksCreated / TasksRun / TasksStolen count explicit-task activity.
-	TasksCreated, TasksRun, TasksStolen int
+	TasksCreated int `json:"tasks_created"`
+	TasksRun     int `json:"tasks_run"`
+	TasksStolen  int `json:"tasks_stolen"`
 	// StealBatches counts steal visits (TasksStolen/StealBatches is the
 	// mean half-batch size); StealsLocal/StealsRemote split TasksStolen by
 	// the victim's NUMA locality (both zero when locality was unknown).
-	StealBatches, StealsLocal, StealsRemote int
+	StealBatches int `json:"steal_batches"`
+	StealsLocal  int `json:"steals_local"`
+	StealsRemote int `json:"steals_remote"`
 }
 
 // Summary is the reduction of a trace to per-region metrics plus
 // whole-trace aggregates.
 type Summary struct {
-	Threads int
-	Events  int
-	Dropped uint64
-	Regions []RegionMetrics
+	Threads int             `json:"threads"`
+	Events  int             `json:"events"`
+	Dropped uint64          `json:"dropped"`
+	Regions []RegionMetrics `json:"regions,omitempty"`
 
 	// Aggregates over all regions (and, for parks/wakes, between them).
-	TotalWall        time.Duration
-	TotalBarrierWait time.Duration
-	WaitShare        float64 // TotalBarrierWait / Σ(threads×wall)
-	AvgImbalance     time.Duration
-	MaxImbalance     time.Duration
-	Chunks           int
-	ChunksPerThread  []int
-	TasksCreated     int
-	TasksRun         int
-	TasksStolen      int
-	StealRate        float64 // TasksStolen / TasksRun
-	StealBatches     int
-	StealsLocal      int
-	StealsRemote     int
-	AvgStealBatch    float64 // TasksStolen / StealBatches
-	Parks, Wakes     int
+	TotalWall        time.Duration `json:"total_wall_ns"`
+	TotalBarrierWait time.Duration `json:"total_barrier_wait_ns"`
+	WaitShare        float64       `json:"wait_share"` // TotalBarrierWait / Σ(threads×wall)
+	AvgImbalance     time.Duration `json:"avg_imbalance_ns"`
+	MaxImbalance     time.Duration `json:"max_imbalance_ns"`
+	Chunks           int           `json:"chunks"`
+	ChunksPerThread  []int         `json:"chunks_per_thread,omitempty"`
+	TasksCreated     int           `json:"tasks_created"`
+	TasksRun         int           `json:"tasks_run"`
+	TasksStolen      int           `json:"tasks_stolen"`
+	StealRate        float64       `json:"steal_rate"` // TasksStolen / TasksRun
+	StealBatches     int           `json:"steal_batches"`
+	StealsLocal      int           `json:"steals_local"`
+	StealsRemote     int           `json:"steals_remote"`
+	AvgStealBatch    float64       `json:"avg_steal_batch"` // TasksStolen / StealBatches
+	Parks            int           `json:"parks"`
+	Wakes            int           `json:"wakes"`
 
 	// NestedRegions counts regions at nesting level ≥ 1; Levels breaks the
 	// trace down per nesting depth (ascending, level 0 first).
-	NestedRegions int
-	Levels        []LevelMetrics
+	NestedRegions int            `json:"nested_regions"`
+	Levels        []LevelMetrics `json:"levels,omitempty"`
 }
 
 // LevelMetrics aggregate the regions of one nesting depth.
 type LevelMetrics struct {
-	Level   int
-	Regions int
+	Level   int `json:"level"`
+	Regions int `json:"regions"`
 	// MaxThreads is the widest team observed at this level.
-	MaxThreads int
+	MaxThreads int `json:"max_threads"`
 	// TotalWall sums the fork→join walls of this level's regions. Inner
 	// walls are nested inside outer walls, so levels overlap in time.
-	TotalWall time.Duration
+	TotalWall time.Duration `json:"total_wall_ns"`
 }
 
 // regionAcc accumulates one region's events during the scan.
@@ -288,6 +295,15 @@ func Summarize(d Data) *Summary {
 		s.AvgStealBatch = float64(s.TasksStolen) / float64(s.StealBatches)
 	}
 	return s
+}
+
+// WriteJSON writes the summary as one indented JSON object — the
+// machine-readable sibling of String for scripted consumers (durations are
+// integer nanoseconds, per the `_ns` field names).
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // String renders the summary as a per-region table with aggregate header
