@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke verify
+.PHONY: build test vet race bench bench-json bench-gate smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke variability-smoke verify
 
 build:
 	$(GO) build ./...
@@ -55,7 +55,10 @@ bench-gate: build
 # one app per suite (NPB/BOTS/proxy) on one arch, a tiny slice of the space,
 # two timed repetitions. It asserts the campaign completes, resumes
 # byte-identically from its own checkpoint, and records only positive
-# measured runtimes (CSV columns 14-17 are runtime_0..runtime_3).
+# measured runtimes (CSV columns 14-17 are runtime_0..runtime_3). Measured
+# campaigns carry series provenance, so the CSV is the V4 schema: column 21
+# is source and the trailing reps/cov/ci columns must record the real
+# repetition count (2 here — fixed -measure-reps).
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/omptune-smoke
 SMOKE_SWEEP = $(GO) run ./cmd/ompsweep -backend measured -arch a64fx \
 	-apps EP,Nqueens,XSbench -frac 0.001 -measure-reps 2 -checkpoint $(SMOKE_DIR)/ck
@@ -64,8 +67,9 @@ smoke: build
 	$(SMOKE_SWEEP) -o $(SMOKE_DIR)/smoke.csv
 	$(SMOKE_SWEEP) -o $(SMOKE_DIR)/resumed.csv
 	cmp $(SMOKE_DIR)/smoke.csv $(SMOKE_DIR)/resumed.csv
-	awk -F, 'NR == 1 { if ($$NF != "source") { print "smoke: missing source column"; bad = 1; exit 1 } next } \
-		{ if ($$NF != "measured") { print "smoke: unmeasured row: " $$0; bad = 1; exit 1 } \
+	awk -F, 'NR == 1 { if ($$21 != "source" || $$NF != "ci") { print "smoke: want source col 21 and trailing reps/cov/ci, got " $$21 "/" $$NF; bad = 1; exit 1 } next } \
+		{ if ($$21 != "measured") { print "smoke: unmeasured row: " $$0; bad = 1; exit 1 } \
+		  if ($$(NF-2) + 0 != 2) { print "smoke: reps column " $$(NF-2) ", want 2: " $$0; bad = 1; exit 1 } \
 		  for (i = 14; i <= 17; i++) if ($$i + 0 <= 0) { print "smoke: non-positive runtime: " $$0; bad = 1; exit 1 } } \
 		END { if (bad) exit 1; if (NR < 2) { print "smoke: empty campaign"; exit 1 } print "smoke: " NR - 1 " measured samples OK" }' \
 		$(SMOKE_DIR)/smoke.csv
@@ -258,7 +262,67 @@ sobol-smoke: build
 		$(SOBOL_DIR)/report.txt
 	rm -rf $(SOBOL_DIR)
 
+# variability-smoke proves the variability observatory end to end on a real
+# adaptive measured micro-campaign: EP on a64fx with an 8% CoV target and two
+# workers (more would time series against each other's load and inflate
+# every CoV past the target), served live. The rep ceiling is pinned to the
+# 4-rep fixed baseline so the savings assertion is structural — quiet series
+# stop at 2, noisy ones cost no more than fixed — and the gate is not
+# hostage to the host's noise level (sub-millisecond kernels on a loaded
+# machine can exceed any CoV target). The gates assert the stopping rule
+# genuinely adapted (the CSV reps column takes at least two distinct values
+# in [2, 4]), the adaptive policy spent fewer total repetitions than the
+# fixed baseline (the acceptance criterion of the observatory), `ompanalyze
+# -variability` renders a well-formed table over the provenance, and the
+# live monitor served the noise cells at /api/variability while the campaign
+# ran.
+VARIABILITY_DIR := $(or $(TMPDIR),/tmp)/omptune-variability-smoke
+variability-smoke: build
+	rm -rf $(VARIABILITY_DIR) && mkdir -p $(VARIABILITY_DIR)
+	$(GO) build -o $(VARIABILITY_DIR)/ompsweep ./cmd/ompsweep
+	set -e; \
+	$(VARIABILITY_DIR)/ompsweep -backend measured -arch a64fx -apps EP \
+		-frac 0.02 -measure-warmup 1 -adaptive-cov 0.08 -adaptive-max 4 -workers 2 \
+		-serve 127.0.0.1:0 -serve-linger 60s \
+		-o $(VARIABILITY_DIR)/adaptive.csv 2> $(VARIABILITY_DIR)/stderr.txt & \
+	pid=$$!; \
+	addr=; for i in $$(seq 1 300); do \
+		addr=$$(sed -n 's#^ompsweep: monitor: serving on http://##p' $(VARIABILITY_DIR)/stderr.txt); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "variability-smoke: no serving line"; cat $(VARIABILITY_DIR)/stderr.txt; kill $$pid 2>/dev/null; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -sf "http://$$addr/api/status" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p'); \
+		[ "$$state" = done ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = done ] || { echo "variability-smoke: state=$$state, want done"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/api/variability" > $(VARIABILITY_DIR)/variability.json; \
+	kill $$pid; wait $$pid
+	grep -q '"arch":"a64fx"' $(VARIABILITY_DIR)/variability.json
+	grep -q '"reps_run":' $(VARIABILITY_DIR)/variability.json
+	grep -q '"cov_p50":' $(VARIABILITY_DIR)/variability.json
+	awk -F, 'NR == 1 { if ($$NF != "ci") { print "variability-smoke: no trailing ci column"; exit 1 } next } \
+		{ r = $$(NF-2) + 0; reps[r] = 1; run += r; fixed += 4; \
+		  if (r < 2 || r > 4) { print "variability-smoke: reps " r " outside [2, 4]: " $$0; exit 1 } \
+		  if ($$(NF-1) + 0 < 0 || $$NF + 0 < 0) { print "variability-smoke: negative noise estimate: " $$0; exit 1 } } \
+		END { n = 0; for (r in reps) n++; \
+		if (NR < 2) { print "variability-smoke: empty campaign"; exit 1 } \
+		if (n < 2) { print "variability-smoke: stopping rule never adapted (all series ran " run / (NR - 1) " reps)"; exit 1 } \
+		if (run >= fixed) { print "variability-smoke: adaptive spent " run " reps vs " fixed " fixed — no savings"; exit 1 } \
+		print "variability-smoke: " NR - 1 " series, " n " distinct rep counts, " run " reps vs " fixed " fixed OK" }' \
+		$(VARIABILITY_DIR)/adaptive.csv
+	$(GO) run ./cmd/ompanalyze -data $(VARIABILITY_DIR)/adaptive.csv -variability \
+		| tee $(VARIABILITY_DIR)/report.txt
+	awk '/^arch / { header = 1 } \
+		/^adaptive measurement: / { summary = 1; \
+			if ($$3 + 0 <= 0 || $$7 + 0 <= 0) { print "variability-smoke: degenerate summary: " $$0; exit 1 } } \
+		END { if (!header) { print "variability-smoke: report table header missing"; exit 1 } \
+		if (!summary) { print "variability-smoke: report summary line missing"; exit 1 } \
+		print "variability-smoke: observatory report OK" }' \
+		$(VARIABILITY_DIR)/report.txt
+	rm -rf $(VARIABILITY_DIR)
+
 # verify is the pre-merge gate. bench-gate is deliberately not in it (timing
 # noise would make the gate flaky on shared machines) — run `make bench-gate`
 # by hand when a change touches the runtime hot paths.
-verify: race test smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke
+verify: race test smoke trace-smoke nested-smoke monitor-smoke search-smoke profile-smoke sobol-smoke variability-smoke

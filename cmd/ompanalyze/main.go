@@ -9,6 +9,7 @@
 //	           [-recommend APP] [-tune APP@ARCH] [-backend model|measured]
 //	           [-calibrate ARCH] [-searchreport search.jsonl]
 //	           [-sobol [-sobol-samples N] [-sobol-json]]
+//	           [-variability [-variability-json]]
 //	ompanalyze -compare old.csv new.csv
 //
 // -sobol runs a variance-based (global) sensitivity analysis over the sweep
@@ -25,13 +26,22 @@
 // found, the full sweep's best speedup, and their ratio — the
 // fraction-of-sweep-best metric the budgeted strategies are judged by.
 //
+// -variability is the noise observatory: it aggregates the dataset's
+// per-series measurement provenance (the reps/cov/ci columns written by
+// adaptive campaigns) into per-arch/app/setting noise distributions — CoV
+// and CI quantiles, real-repetition histograms, and the measurement time the
+// adaptive policy saved against the fixed-rep baseline. -variability-json
+// emits the same report as one JSON object.
+//
 // -compare is the variability-aware regression gate: it pairs the two
 // datasets per configuration, drops pairs whose repetition CoV exceeds
 // -compare-cov (too noisy to compare), and tests each arch/app group with
 // the Wilcoxon signed-rank test on the paired mean runtimes. Groups that are
 // both statistically significant and slower by more than the practical
 // floor are flagged, and the command exits nonzero — suitable as a CI gate
-// between a stored baseline sweep and a fresh one.
+// between a stored baseline sweep and a fresh one. When both datasets carry
+// series provenance, pairs are gated by their own recorded CI (-compare-ci)
+// and weighted by their measured noise instead of the -compare-cov fallback.
 //
 // When the -compare baseline ends in .json, both arguments are instead
 // cmd/benchjson microbenchmark documents and the command runs the bench
@@ -93,7 +103,10 @@ func main() {
 		compareTo = flag.String("compare", "", "OLD.csv: regression-gate against NEW.csv given as the positional argument; exits 1 on significant slowdowns")
 		cmpAlpha  = flag.Float64("compare-alpha", 0, "-compare significance level (0 = 0.05)")
 		cmpCoV    = flag.Float64("compare-cov", 0, "-compare noise gate: exclude pairs whose repetition CoV exceeds this (0 = 0.10)")
+		cmpCI     = flag.Float64("compare-ci", 0, "-compare noise-aware gate: exclude provenance-carrying pairs whose recorded relative CI exceeds this (0 = 0.05)")
 		cmpShift  = flag.Float64("compare-shift", 0, "-compare practical floor: flag only shifts beyond this fraction (0 = 0.02)")
+		varTable  = flag.Bool("variability", false, "print the noise observatory of the -data dataset (per-group CoV/CI quantiles, reps saved)")
+		varJSON   = flag.Bool("variability-json", false, "emit the -variability report as JSON")
 	)
 	flag.Parse()
 
@@ -317,7 +330,7 @@ func main() {
 			return
 		}
 		rep, err := omptune.CompareSweeps(readCSV(*compareTo), readCSV(flag.Arg(0)), omptune.CompareOptions{
-			Alpha: *cmpAlpha, CoVThreshold: *cmpCoV, MinShift: *cmpShift,
+			Alpha: *cmpAlpha, CoVThreshold: *cmpCoV, CIRelThreshold: *cmpCI, MinShift: *cmpShift,
 		})
 		if err != nil {
 			fatal(err)
@@ -349,6 +362,20 @@ func main() {
 			fmt.Printf("%-8s %-10s %-8s %-10s %6d %6d %9.4f %8.3f %8.3f %9.4f\n",
 				r.Arch, r.App, r.Setting, r.Strategy, r.Evaluations, r.CacheHits,
 				r.EvalFraction, r.BestSpeedup, r.SweepBestSpeedup, r.Fraction)
+		}
+	}
+	if *varTable || *varJSON {
+		ran = true
+		rep := omptune.DatasetVariability(load())
+		if *varJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println("== variability observatory: series noise and adaptive-measurement savings ==")
+			fmt.Print(rep.String())
 		}
 	}
 	if *sobol {

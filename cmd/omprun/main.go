@@ -9,6 +9,8 @@
 //
 //	omprun -app Nqueens [-scale 1.0] [-set "OMP_NUM_THREADS=4,KMP_LIBRARY=turnaround"]
 //	       [-warmup 1] [-reps 4] [-json]
+//	       [-adaptive] [-target-cov 0.02] [-target-ci 0] [-min-reps 2] [-max-reps 16]
+//	       [-rep-budget 0s]
 //	       [-trace out.json] [-trace-summary] [-trace-summary-json] [-trace-buf N]
 //	       [-profile] [-profile-json out.json] [-profile-folded out.folded]
 //	omprun -list
@@ -21,6 +23,14 @@
 // like a §IV-C campaign measurement. -json emits the series as one JSON
 // object for scripting, including p50/p90/p99 per-rep duration percentiles
 // from the monitor's log-linear latency histogram.
+//
+// -adaptive replaces the fixed -reps count with the variability-targeted
+// stopping rule of the measured sweep backend: repetitions continue until
+// the running CoV drops under -target-cov and the relative 95% CI half-width
+// under -target-ci (whichever targets are set; -adaptive alone defaults to
+// -target-cov 0.02), bounded by -min-reps/-max-reps and the optional
+// -rep-budget wall-clock budget. The report then carries the stop reason and
+// the final noise estimates alongside the timings.
 //
 // -trace enables the runtime's OMPT-style event tracing for the timed
 // repetitions and writes a Chrome trace-event JSON file loadable at
@@ -77,6 +87,12 @@ type runReport struct {
 	Checksum float64        `json:"checksum"`
 	Stats    openmp.Stats   `json:"stats"`
 	RepStats []openmp.Stats `json:"rep_stats,omitempty"`
+	// Series noise provenance: why the series stopped ("fixed" for a plain
+	// -reps run), the final coefficient of variation, and the relative 95%
+	// CI half-width of the mean.
+	StopReason string  `json:"stop_reason,omitempty"`
+	CoV        float64 `json:"cov"`
+	CIRel      float64 `json:"ci_rel"`
 }
 
 func main() {
@@ -95,6 +111,12 @@ func main() {
 		profSum   = flag.Bool("profile", false, "print the per-region efficiency profile to stderr (implies profiling)")
 		profJSON  = flag.String("profile-json", "", "write the per-region efficiency profile as JSON to this file")
 		profFold  = flag.String("profile-folded", "", "write the profile as folded stacks (flamegraph.pl input) to this file")
+		adaptive  = flag.Bool("adaptive", false, "repeat until the noise targets are met instead of a fixed -reps count")
+		targetCoV = flag.Float64("target-cov", 0, "adaptive: stop when the running CoV drops under this (0.02 when -adaptive is set with no target)")
+		targetCI  = flag.Float64("target-ci", 0, "adaptive: stop when the relative 95% CI half-width drops under this")
+		minReps   = flag.Int("min-reps", 0, "adaptive: repetitions before the stopping rule may fire (default 2)")
+		maxReps   = flag.Int("max-reps", 0, "adaptive: repetition ceiling (default 16)")
+		repBudget = flag.Duration("rep-budget", 0, "adaptive: wall-clock budget for the timed series (0 = none)")
 	)
 	flag.Parse()
 
@@ -121,6 +143,17 @@ func main() {
 	}
 	if *warmup < 0 {
 		fatal(fmt.Errorf("-warmup %d: want >= 0", *warmup))
+	}
+	var pol measure.Adaptive
+	if *adaptive || *targetCoV > 0 || *targetCI > 0 {
+		pol = measure.Adaptive{
+			TargetCoV: *targetCoV, TargetCIRel: *targetCI,
+			MinReps: *minReps, MaxReps: *maxReps, MaxTime: *repBudget,
+		}
+		if !pol.Enabled() {
+			// Bare -adaptive: a sensible default noise target.
+			pol.TargetCoV = 0.02
+		}
 	}
 
 	environ := append(os.Environ(), splitSetFlag(*setFlag)...)
@@ -158,7 +191,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		series = measure.Run(rt, app.Kernel, *scale, 0, *reps)
+		if pol.Enabled() {
+			series = measure.RunAdaptive(rt, app.Kernel, *scale, 0, pol)
+		} else {
+			series = measure.Run(rt, app.Kernel, *scale, 0, *reps)
+		}
 		series.Warmup = *warmup
 		if tracing {
 			data := rt.StopTrace()
@@ -172,6 +209,8 @@ func main() {
 				fatal(err)
 			}
 		}
+	} else if pol.Enabled() {
+		series = measure.RunAdaptive(rt, app.Kernel, *scale, *warmup, pol)
 	} else {
 		series = measure.Run(rt, app.Kernel, *scale, *warmup, *reps)
 	}
@@ -197,7 +236,8 @@ func main() {
 			P90Sec:   snap.Quantile(0.90).Seconds(),
 			P99Sec:   snap.Quantile(0.99).Seconds(),
 			Checksum: series.Checksum, Stats: series.Stats,
-			RepStats: series.RepStats,
+			RepStats:   series.RepStats,
+			StopReason: series.StopReason, CoV: series.CoV, CIRel: series.CIRel,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -221,6 +261,8 @@ func main() {
 			snap.Quantile(0.50).Round(time.Microsecond),
 			snap.Quantile(0.90).Round(time.Microsecond),
 			snap.Quantile(0.99).Round(time.Microsecond))
+		fmt.Printf("noise      cov %.2f%%, 95%% ci ±%.2f%% (stop: %s)\n",
+			series.CoV*100, series.CIRel*100, series.StopReason)
 	}
 	fmt.Printf("regions    %d\n", st.Regions)
 	fmt.Printf("chunks     %d\n", st.Chunks)

@@ -6,6 +6,8 @@
 //
 //	ompsweep [-arch a64fx,skylake,milan] [-apps CG,Nqueens] [-frac 0.26]
 //	         [-backend model|measured] [-measure-reps n] [-measure-warmup n]
+//	         [-adaptive-cov 0.02] [-adaptive-ci 0] [-adaptive-min 2]
+//	         [-adaptive-max 16] [-adaptive-budget 0s]
 //	         [-workers 8] [-checkpoint dir] [-o dataset.csv] [-progress]
 //	         [-telemetry run.jsonl] [-heartbeat 30s]
 //	         [-serve :8080] [-serve-linger 30s]
@@ -24,6 +26,15 @@
 // carry "measured" in the CSV source column, and a checkpoint written under
 // one backend refuses to resume under the other. Keep -frac tiny for
 // measured campaigns — every sample is a real run.
+//
+// -adaptive-cov / -adaptive-ci enable adaptive measurement on the measured
+// backend: instead of a fixed repetition count, each series repeats until
+// its running CoV (and/or relative 95% CI half-width) drops under the
+// target, within [-adaptive-min, -adaptive-max] repetitions and the optional
+// -adaptive-budget per-series wall-clock budget. Quiet configurations stop
+// early, noisy ones earn more repetitions, and every sample records its real
+// repetition count, final CoV and CI in the CSV's reps/cov/ci provenance
+// columns (ompanalyze -variability aggregates them).
 //
 // -telemetry appends a JSONL event log of the campaign (plan, per-setting
 // completion, heartbeats with workers-busy and per-arch completion gauges,
@@ -72,6 +83,11 @@ func main() {
 		backend    = flag.String("backend", "model", "measurement backend: model (analytic, deterministic) or measured (real kernel execution)")
 		mreps      = flag.Int("measure-reps", 0, "measured backend: timed repetitions per configuration (0 = one per sample slot)")
 		mwarmup    = flag.Int("measure-warmup", 1, "measured backend: untimed warmup runs per configuration")
+		adCoV      = flag.Float64("adaptive-cov", 0, "measured backend: adaptive repetition CoV target (0 = fixed reps)")
+		adCI       = flag.Float64("adaptive-ci", 0, "measured backend: adaptive relative 95% CI half-width target (0 = off)")
+		adMin      = flag.Int("adaptive-min", 0, "adaptive: repetitions before the stopping rule may fire (default 2)")
+		adMax      = flag.Int("adaptive-max", 0, "adaptive: repetition ceiling (default 16)")
+		adBudget   = flag.Duration("adaptive-budget", 0, "adaptive: wall-clock budget per series (0 = none)")
 		telemetry  = flag.String("telemetry", "", "append a JSONL telemetry stream (plan/setting_done/heartbeat/done) to this file")
 		heartbeat  = flag.Duration("heartbeat", 0, "telemetry heartbeat period (0 = 30s)")
 		serve      = flag.String("serve", "", "serve the live monitor (/, /metrics, /api/status, /healthz) on this address, e.g. :8080 or 127.0.0.1:0")
@@ -101,7 +117,13 @@ func main() {
 	case "model":
 		// nil Backend: the deterministic default.
 	case "measured":
-		mo := omptune.MeasureOptions{Warmup: *mwarmup, TimedReps: *mreps}
+		mo := omptune.MeasureOptions{
+			Warmup: *mwarmup, TimedReps: *mreps,
+			Adaptive: omptune.AdaptivePolicy{
+				TargetCoV: *adCoV, TargetCIRel: *adCI,
+				MinReps: *adMin, MaxReps: *adMax, MaxTime: *adBudget,
+			},
+		}
 		if mon != nil {
 			mo.Metrics = mon.RuntimeMetrics()
 			mo.Profile = mon.RuntimeProfile()
@@ -109,6 +131,9 @@ func main() {
 		opt.Backend = omptune.NewMeasuredEvaluator(mo)
 	default:
 		fatal(fmt.Errorf("-backend %q: want model or measured", *backend))
+	}
+	if (*adCoV > 0 || *adCI > 0) && *backend != "measured" {
+		fatal(fmt.Errorf("-adaptive-cov/-adaptive-ci need -backend measured (the model is deterministic)"))
 	}
 	if *archList != "" {
 		for _, a := range strings.Split(*archList, ",") {

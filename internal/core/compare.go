@@ -28,8 +28,18 @@ type CompareOptions struct {
 	// CoVThreshold excludes a pair when either side's repetition
 	// coefficient of variation (stddev over mean of R0..R3) exceeds it
 	// (default 0.10): such configurations are too noisy for a runtime
-	// difference to mean anything.
+	// difference to mean anything. It is the fallback gate for legacy data;
+	// pairs whose samples both carry measured series provenance are gated
+	// by their own recorded CI instead (CIRelThreshold).
 	CoVThreshold float64
+	// CIRelThreshold is the noise-aware gate (default 0.05): when both
+	// samples of a pair carry series provenance (the dataset's reps/cov/ci
+	// columns), the pair is excluded if either side's recorded relative 95%
+	// CI half-width exceeds this — its *own* measured noise, not a CoV
+	// recomputed from possibly cycled repetition slots. Surviving
+	// provenance-carrying pairs are also downweighted smoothly by their
+	// noise relative to this threshold in the mean-ratio aggregation.
+	CIRelThreshold float64
 	// MinShift is the practical-significance floor (default 0.02): a group
 	// only counts as regressed (or improved) when its geometric-mean
 	// runtime ratio moves more than this fraction, however small the
@@ -45,6 +55,9 @@ func (o CompareOptions) withDefaults() CompareOptions {
 	if o.CoVThreshold <= 0 {
 		o.CoVThreshold = 0.10
 	}
+	if o.CIRelThreshold <= 0 {
+		o.CIRelThreshold = 0.05
+	}
 	if o.MinShift <= 0 {
 		o.MinShift = 0.02
 	}
@@ -55,8 +68,11 @@ func (o CompareOptions) withDefaults() CompareOptions {
 type CompareGroup struct {
 	Arch, App string
 	// Pairs is the number of configurations present in both datasets;
-	// Noisy of those were excluded for exceeding the CoV threshold.
+	// Noisy of those were excluded for exceeding their noise gate.
 	Pairs, Noisy int
+	// NoiseAware counts pairs whose gate used their own measured CI (both
+	// samples carry series provenance) instead of the fallback CoV cutoff.
+	NoiseAware int
 	// MeanRatio is the geometric mean of new/old mean-runtime ratios over
 	// the stable pairs: above 1 the new dataset is slower.
 	MeanRatio float64
@@ -136,9 +152,26 @@ func CompareDatasets(oldDS, newDS *dataset.Dataset, opt CompareOptions) (*Compar
 		arch, app, _ := strings.Cut(gk, "\x00")
 		g := CompareGroup{Arch: arch, App: app, Pairs: len(ps), MeanRatio: 1}
 		var oldMeans, newMeans []float64
-		logSum, logN := 0.0, 0
+		logSum, wSum := 0.0, 0.0
 		for _, p := range ps {
-			if repCoV(p.oldS) > opt.CoVThreshold || repCoV(p.newS) > opt.CoVThreshold {
+			// Noise gate: pairs whose samples both recorded their own series
+			// noise are judged by it; legacy pairs fall back to the CoV
+			// recomputed from the repetition slots. Surviving noise-aware
+			// pairs get a weight in (0, 1] that decays smoothly with their
+			// measured noise relative to the gate — a pair measured at the
+			// threshold counts about a third as much as a quiet one — while
+			// legacy pairs keep weight 1, so legacy-only comparisons
+			// reproduce the unweighted geometric mean exactly.
+			w := 1.0
+			if p.oldS.HasSeriesMeta() && p.newS.HasSeriesMeta() {
+				g.NoiseAware++
+				if p.oldS.CIRel > opt.CIRelThreshold || p.newS.CIRel > opt.CIRelThreshold {
+					g.Noisy++
+					continue
+				}
+				tau2 := opt.CIRelThreshold * opt.CIRelThreshold
+				w = 1 / (1 + (p.oldS.CIRel*p.oldS.CIRel+p.newS.CIRel*p.newS.CIRel)/tau2)
+			} else if repCoV(p.oldS) > opt.CoVThreshold || repCoV(p.newS) > opt.CoVThreshold {
 				g.Noisy++
 				continue
 			}
@@ -146,12 +179,12 @@ func CompareDatasets(oldDS, newDS *dataset.Dataset, opt CompareOptions) (*Compar
 			oldMeans = append(oldMeans, om)
 			newMeans = append(newMeans, nm)
 			if om > 0 && nm > 0 {
-				logSum += math.Log(nm / om)
-				logN++
+				logSum += w * math.Log(nm/om)
+				wSum += w
 			}
 		}
-		if logN > 0 {
-			g.MeanRatio = math.Exp(logSum / float64(logN))
+		if wSum > 0 {
+			g.MeanRatio = math.Exp(logSum / wSum)
 		}
 		res, err := stats.Wilcoxon(newMeans, oldMeans)
 		g.PValue, g.N = res.PValue, res.N
@@ -210,12 +243,25 @@ func (r *CompareReport) String() string {
 	if r.UnpairedOld+r.UnpairedNew > 0 {
 		fmt.Fprintf(&sb, "unpaired rows: %d old-only, %d new-only\n", r.UnpairedOld, r.UnpairedNew)
 	}
+	// The gate description names the rule that actually judged the pairs:
+	// datasets with series provenance are gated by their own measured CI,
+	// legacy data by the fixed CoV cutoff. Legacy-only reports render
+	// byte-identically to pre-observatory output.
+	noiseAware := 0
+	for _, g := range r.Groups {
+		noiseAware += g.NoiseAware
+	}
+	gate := fmt.Sprintf("CoV gate %.0f%%", r.Opt.CoVThreshold*100)
+	if noiseAware > 0 {
+		gate = fmt.Sprintf("CI gate %.0f%%", r.Opt.CIRelThreshold*100)
+		fmt.Fprintf(&sb, "noise-aware: %d pair(s) gated and weighted by their own measured CI\n", noiseAware)
+	}
 	if n := r.Regressions(); n > 0 {
-		fmt.Fprintf(&sb, "FAIL: %d group(s) significantly slower (alpha %.2g, min shift %.0f%%, CoV gate %.0f%%)\n",
-			n, r.Opt.Alpha, r.Opt.MinShift*100, r.Opt.CoVThreshold*100)
+		fmt.Fprintf(&sb, "FAIL: %d group(s) significantly slower (alpha %.2g, min shift %.0f%%, %s)\n",
+			n, r.Opt.Alpha, r.Opt.MinShift*100, gate)
 	} else {
-		fmt.Fprintf(&sb, "PASS: no significant slowdown (alpha %.2g, min shift %.0f%%, CoV gate %.0f%%)\n",
-			r.Opt.Alpha, r.Opt.MinShift*100, r.Opt.CoVThreshold*100)
+		fmt.Fprintf(&sb, "PASS: no significant slowdown (alpha %.2g, min shift %.0f%%, %s)\n",
+			r.Opt.Alpha, r.Opt.MinShift*100, gate)
 	}
 	return sb.String()
 }

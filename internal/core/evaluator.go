@@ -32,6 +32,18 @@ type Evaluator interface {
 	Evaluate(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting, rep int) float64
 }
 
+// SeriesMetaProvider is the optional evaluator extension behind the
+// variability observatory: a backend that measures real series can report
+// each series' noise provenance — the real repetition count behind the
+// sample's (possibly cycled) runtime slots, the final CoV, the relative 95%
+// CI half-width, and the stop reason. The sweep type-asserts this interface
+// and stamps the provenance onto every sample it emits (the dataset's
+// reps/cov/ci columns); backends without it (the model) produce samples
+// without provenance, exactly as before.
+type SeriesMetaProvider interface {
+	SeriesMeta(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) (dataset.SeriesMeta, bool)
+}
+
 // ModelEvaluator is the analytic-model backend — the deterministic
 // performance model that substitutes for the paper's physical testbed. It is
 // the default backend of every campaign and analysis.

@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"omptune/internal/dataset"
 	"omptune/internal/obs"
+	"omptune/internal/sim"
 	"omptune/openmp"
 	"omptune/openmp/profile"
 )
@@ -46,6 +48,9 @@ type Monitor struct {
 	errMsg        string
 	cells         map[string]*obs.Cell
 	cellOrder     []string
+	// varCells aggregates per-(arch, app) series-noise provenance for the
+	// /api/variability payload, keyed like cells.
+	varCells map[string]*varCell
 
 	// Registered instruments.
 	gSettingsPlanned *obs.Gauge
@@ -61,6 +66,22 @@ type Monitor struct {
 	// Campaign-wide per-region efficiency aggregate, fed through the openmp
 	// profiler seam (measure.Options.Profile) and served at /api/regions.
 	prof *profile.Aggregator
+
+	// hCoV is the campaign-wide per-series CoV distribution. The CoV is
+	// unitless; it is recorded scaled as seconds (CoV 0.05 observes as 50ms)
+	// so the log-bucketed duration histogram doubles as a quantile sketch.
+	hCoV *obs.Histogram
+}
+
+// varCell is the mutable per-(arch, app) noise aggregate behind one
+// obs.VariabilityCell. Per-series CoVs go into a log-bucketed histogram
+// (scaled as durations) so cell quantiles stay O(1) in memory over
+// campaigns with hundreds of thousands of series.
+type varCell struct {
+	samples   int
+	repsRun   int
+	repsFixed int
+	cov       *obs.Histogram
 }
 
 // NewMonitor builds a monitor with its registry and runtime histograms
@@ -68,10 +89,11 @@ type Monitor struct {
 // campaign starts.
 func NewMonitor() *Monitor {
 	m := &Monitor{
-		reg:   obs.NewRegistry(),
-		state: "waiting",
-		cells: make(map[string]*obs.Cell),
-		prof:  profile.NewAggregator(),
+		reg:      obs.NewRegistry(),
+		state:    "waiting",
+		cells:    make(map[string]*obs.Cell),
+		varCells: make(map[string]*varCell),
+		prof:     profile.NewAggregator(),
 	}
 	m.gSettingsPlanned = m.reg.Gauge("omptune_sweep_settings_planned",
 		"setting batches in the campaign plan")
@@ -97,6 +119,8 @@ func NewMonitor() *Monitor {
 		"per-thread barrier wait latency (openmp runtime)")
 	m.hTask = m.reg.Histogram("omptune_runtime_task_run_seconds",
 		"explicit-task body execution latency (openmp runtime)")
+	m.hCoV = m.reg.Histogram("omptune_sweep_series_cov",
+		"per-series runtime coefficient of variation (unitless, scaled as seconds)")
 	m.rtm = openmp.Metrics{Region: m.hRegion, BarrierWait: m.hBarrier, TaskRun: m.hTask}
 	return m
 }
@@ -163,6 +187,10 @@ func (m *Monitor) plan(units []*sweepUnit, backend string, workers int) {
 			"completed setting batches", "arch", a)
 		m.reg.Counter("omptune_sweep_samples_done_total",
 			"dataset rows produced", "arch", a)
+		m.reg.Counter("omptune_sweep_reps_run_total",
+			"timed repetitions actually run for provenance-carrying samples", "arch", a)
+		m.reg.Counter("omptune_sweep_reps_fixed_total",
+			"timed repetitions a fixed-rep campaign would have run for the same samples", "arch", a)
 		m.reg.Histogram("omptune_sweep_setting_eval_seconds",
 			"wall-clock latency of one setting-batch evaluation", "arch", a)
 	}
@@ -180,13 +208,23 @@ func (m *Monitor) unitEnd(arch string, d time.Duration) {
 }
 
 // unitDone folds one completed batch (evaluated or resumed) into the
-// campaign gauges.
-func (m *Monitor) unitDone(u *sweepUnit, ev ProgressEvent) {
+// campaign gauges, including each sample's series-noise provenance into the
+// variability observatory (resumed batches carry provenance too — the
+// reps/cov/ci columns round-trip through the checkpoint journal).
+func (m *Monitor) unitDone(u *sweepUnit, ev ProgressEvent, samples []*dataset.Sample) {
 	arch := string(u.arch)
 	m.reg.Counter("omptune_sweep_settings_done_total",
 		"completed setting batches", "arch", arch).Inc()
 	m.reg.Counter("omptune_sweep_samples_done_total",
 		"dataset rows produced", "arch", arch).Add(uint64(ev.SettingSamples))
+	if ev.SettingRepsFixed > 0 {
+		m.reg.Counter("omptune_sweep_reps_run_total",
+			"timed repetitions actually run for provenance-carrying samples", "arch", arch).
+			Add(uint64(ev.SettingRepsRun))
+		m.reg.Counter("omptune_sweep_reps_fixed_total",
+			"timed repetitions a fixed-rep campaign would have run for the same samples", "arch", arch).
+			Add(uint64(ev.SettingRepsFixed))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.settingsDone++
@@ -202,6 +240,50 @@ func (m *Monitor) unitDone(u *sweepUnit, ev ProgressEvent) {
 		c.SettingsDone++
 		c.SamplesDone += ev.SettingSamples
 	}
+	for _, s := range samples {
+		if !s.HasSeriesMeta() {
+			continue
+		}
+		key := arch + "\x00" + u.app.Name
+		vc := m.varCells[key]
+		if vc == nil {
+			vc = &varCell{cov: obs.NewHistogram()}
+			m.varCells[key] = vc
+		}
+		vc.samples++
+		vc.repsRun += s.RepsRun
+		vc.repsFixed += sim.Reps
+		covDur := time.Duration(s.CoV * float64(time.Second))
+		vc.cov.Observe(covDur)
+		m.hCoV.Observe(covDur)
+	}
+}
+
+// Variability snapshots the noise observatory as the /api/variability
+// payload: one cell per (arch, app) with provenance-carrying samples, in
+// the campaign's cell order.
+func (m *Monitor) Variability() []obs.VariabilityCell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []obs.VariabilityCell
+	for _, key := range m.cellOrder {
+		vc := m.varCells[key]
+		if vc == nil || vc.samples == 0 {
+			continue
+		}
+		c := m.cells[key]
+		snap := vc.cov.Snapshot()
+		out = append(out, obs.VariabilityCell{
+			Arch:      c.Arch,
+			App:       c.App,
+			Samples:   vc.samples,
+			RepsRun:   vc.repsRun,
+			RepsFixed: vc.repsFixed,
+			CoVP50:    snap.Quantile(0.50).Seconds(),
+			CoVP90:    snap.Quantile(0.90).Seconds(),
+		})
+	}
+	return out
 }
 
 // finish marks the campaign's terminal state.

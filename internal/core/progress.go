@@ -5,6 +5,9 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"omptune/internal/dataset"
+	"omptune/internal/sim"
 )
 
 // ProgressEvent is one structured progress update, emitted after every
@@ -29,6 +32,12 @@ type ProgressEvent struct {
 	// Resumed marks batches loaded from the checkpoint journal instead of
 	// being re-evaluated.
 	Resumed bool
+	// SettingRepsRun / SettingRepsFixed summarize adaptive measurement for
+	// the batch: total real timed repetitions behind the batch's
+	// provenance-carrying samples versus the sim.Reps-per-sample count a
+	// fixed campaign would have run for them. Both zero when no sample
+	// carries series provenance (model backend, fixed sim.Reps series).
+	SettingRepsRun, SettingRepsFixed int
 	// Elapsed is the wall-clock time since the sweep started.
 	Elapsed time.Duration
 	// SamplesPerSec is the evaluation throughput (checkpointed batches are
@@ -62,23 +71,33 @@ func newReporter(sc SweepConfig, totalUnits, totalSamples int) *reporter {
 	}
 }
 
-// unitDone records one finished batch and emits the progress event.
-func (r *reporter) unitDone(u *sweepUnit, samples, skipped int, resumed bool) {
+// unitDone records one finished batch and emits the progress event. samples
+// is the batch's sample slice (not just a count) so per-sample series
+// provenance reaches the monitor's variability aggregates.
+func (r *reporter) unitDone(u *sweepUnit, samples []*dataset.Sample, skipped int, resumed bool) {
 	if r.w == nil && r.fn == nil && r.tel == nil && r.mon == nil {
 		return
+	}
+	repsRun, repsFixed := 0, 0
+	for _, s := range samples {
+		if s.HasSeriesMeta() {
+			repsRun += s.RepsRun
+			repsFixed += sim.Reps
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.done++
-	r.samplesDone += samples
+	r.samplesDone += len(samples)
 	if !resumed {
-		r.evaluated += samples
+		r.evaluated += len(samples)
 	}
 	ev := ProgressEvent{
 		SettingsDone: r.done, SettingsTotal: r.total,
 		SamplesDone: r.samplesDone, SamplesTotal: r.samplesTotal,
 		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
-		SettingSamples: samples, SettingSkipped: skipped, Resumed: resumed,
+		SettingSamples: len(samples), SettingSkipped: skipped, Resumed: resumed,
+		SettingRepsRun: repsRun, SettingRepsFixed: repsFixed,
 		Elapsed: time.Since(r.start),
 	}
 	if secs := ev.Elapsed.Seconds(); secs > 0 && r.evaluated > 0 {
@@ -92,7 +111,7 @@ func (r *reporter) unitDone(u *sweepUnit, samples, skipped int, resumed bool) {
 		r.tel.settingDone(u, ev)
 	}
 	if r.mon != nil {
-		r.mon.unitDone(u, ev)
+		r.mon.unitDone(u, ev, samples)
 	}
 	if r.fn != nil {
 		r.fn(ev)
@@ -113,6 +132,9 @@ func (ev ProgressEvent) String() string {
 		ev.SettingSamples, tag)
 	if ev.SettingSkipped > 0 {
 		line += fmt.Sprintf(" (%d skipped: measurement failed)", ev.SettingSkipped)
+	}
+	if ev.SettingRepsRun > 0 && ev.SettingRepsRun != ev.SettingRepsFixed {
+		line += fmt.Sprintf(" | reps %d/%d", ev.SettingRepsRun, ev.SettingRepsFixed)
 	}
 	if ev.SamplesPerSec > 0 {
 		line += fmt.Sprintf(" | %.0f samples/s", ev.SamplesPerSec)

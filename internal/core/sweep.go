@@ -230,6 +230,7 @@ func sampleOK(s *dataset.Sample) bool {
 // default configuration skips the entire batch — without the default there
 // is nothing to enrich against — but the campaign continues.
 func evalUnit(u *sweepUnit, ev Evaluator) (out []*dataset.Sample, skipped int, err error) {
+	mp, _ := ev.(SeriesMetaProvider)
 	newSample := func(cfg env.Config) *dataset.Sample {
 		s := &dataset.Sample{
 			Arch: u.arch, App: u.app.Name, Suite: string(u.app.Suite),
@@ -239,6 +240,11 @@ func evalUnit(u *sweepUnit, ev Evaluator) (out []*dataset.Sample, skipped int, e
 		}
 		for rep := 0; rep < sim.Reps; rep++ {
 			s.Runtimes[rep] = ev.Evaluate(u.m, u.app, cfg, u.set, rep)
+		}
+		if mp != nil {
+			if meta, ok := mp.SeriesMeta(u.m, u.app, cfg, u.set); ok {
+				s.RepsRun, s.CoV, s.CIRel = meta.Reps, meta.CoV, meta.CIRel
+			}
 		}
 		return s
 	}
@@ -350,7 +356,7 @@ func RunSweep(sc SweepConfig) (ds *dataset.Dataset, err error) {
 			}
 			if ok {
 				results[u.index] = samples
-				rep.unitDone(u, len(samples), 0, true)
+				rep.unitDone(u, samples, 0, true)
 				continue
 			}
 		}
@@ -434,7 +440,7 @@ func runUnits(ctx context.Context, sc SweepConfig, ev Evaluator, pending []*swee
 				mu.Lock()
 				results[u.index] = samples
 				mu.Unlock()
-				rep.unitDone(u, len(samples), skipped, false)
+				rep.unitDone(u, samples, skipped, false)
 			}
 		}()
 	}

@@ -43,6 +43,11 @@ type telemetryRecord struct {
 	// measurement failed (also announced by a paired eval_error record).
 	SamplesSkipped int  `json:"samples_skipped,omitempty"`
 	Resumed        bool `json:"resumed,omitempty"`
+	// RepsRun / RepsFixed carry the batch's adaptive-measurement summary:
+	// real timed repetitions vs the fixed sim.Reps baseline for the batch's
+	// provenance-carrying samples. Omitted for model batches.
+	RepsRun   int `json:"reps_run,omitempty"`
+	RepsFixed int `json:"reps_fixed,omitempty"`
 
 	// heartbeat / setting_done / done
 	ElapsedSec    float64                 `json:"elapsed_sec"`
@@ -181,6 +186,7 @@ func (t *telemetry) settingDone(u *sweepUnit, ev ProgressEvent) {
 		Type: "setting_done",
 		Arch: string(u.arch), App: u.app.Name, Setting: u.set.Label,
 		Samples: ev.SettingSamples, SamplesSkipped: ev.SettingSkipped, Resumed: ev.Resumed,
+		RepsRun: ev.SettingRepsRun, RepsFixed: ev.SettingRepsFixed,
 		ElapsedSec:   time.Since(t.start).Seconds(),
 		SettingsDone: t.settingsDone, SamplesDone: t.samplesDone,
 		SamplesPerSec: ev.SamplesPerSec, ETASec: ev.ETA.Seconds(),

@@ -34,10 +34,29 @@ var headerV2 = append(append([]string{}, headerV1...), "source")
 var headerV3 = append(append([]string{}, headerV2...),
 	"omp_num_threads", "omp_max_active_levels", "omp_thread_limit")
 
+// headerV4 appends the variability-observatory provenance columns: the real
+// repetition count behind the (possibly cycled) runtime slots, the series'
+// final coefficient of variation, and the relative 95% confidence-interval
+// half-width. They are emitted only when a sample carries series provenance
+// (RepsRun > 0), keeping the single linear version order — a V4 file always
+// has the source and nesting columns too, blank where unset.
+var headerV4 = append(append([]string{}, headerV3...), "reps", "cov", "ci")
+
 // hasNonModelSource reports whether any sample needs the provenance column.
 func (d *Dataset) hasNonModelSource() bool {
 	for _, s := range d.Samples {
 		if s.SourceName() != SourceModel {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSeriesMeta reports whether any sample needs the reps/cov/ci provenance
+// columns.
+func (d *Dataset) hasSeriesMeta() bool {
+	for _, s := range d.Samples {
+		if s.HasSeriesMeta() {
 			return true
 		}
 	}
@@ -60,19 +79,26 @@ func (d *Dataset) hasNestedConfig() bool {
 // WriteCSV streams the dataset in the study's tabular format. Datasets whose
 // samples all come from the model backend use the legacy V1 header
 // (byte-identical with pre-provenance files); any measured sample switches
-// the file to the V2 header with the trailing "source" column, and any
-// nested configuration to the V3 header with the nesting columns (which
-// include source — a single linear version order keeps reading simple).
+// the file to the V2 header with the trailing "source" column, any nested
+// configuration to the V3 header with the nesting columns, and any sample
+// with series provenance to the V4 header with the reps/cov/ci columns
+// (each version includes every earlier column — a single linear version
+// order keeps reading simple).
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	header := headerV1
 	withSource := d.hasNonModelSource()
 	withNested := d.hasNestedConfig()
+	withMeta := d.hasSeriesMeta()
 	if withSource {
 		header = headerV2
 	}
 	if withNested {
 		header = headerV3
 		withSource = true
+	}
+	if withMeta {
+		header = headerV4
+		withSource, withNested = true, true
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
@@ -107,6 +133,17 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 			row[22] = itoaOrEmpty(s.Config.MaxActiveLevels)
 			row[23] = itoaOrEmpty(s.Config.ThreadLimit)
 		}
+		if withMeta {
+			// Samples without provenance (e.g. model rows merged into a
+			// measured campaign) leave all three columns blank.
+			if s.HasSeriesMeta() {
+				row[24] = strconv.Itoa(s.RepsRun)
+				row[25] = fmt1(s.CoV)
+				row[26] = fmt1(s.CIRel)
+			} else {
+				row[24], row[25], row[26] = "", "", ""
+			}
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -128,13 +165,15 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("dataset: empty file")
 	}
-	withSource, withNested := false, false
+	withSource, withNested, withMeta := false, false, false
 	switch {
 	case len(rows[0]) == len(headerV1) && rows[0][0] == "arch":
 	case len(rows[0]) == len(headerV2) && rows[0][0] == "arch" && rows[0][len(headerV2)-1] == "source":
 		withSource = true
 	case len(rows[0]) == len(headerV3) && rows[0][0] == "arch" && rows[0][len(headerV3)-1] == "omp_thread_limit":
 		withSource, withNested = true, true
+	case len(rows[0]) == len(headerV4) && rows[0][0] == "arch" && rows[0][len(headerV4)-1] == "ci":
+		withSource, withNested, withMeta = true, true, true
 	default:
 		return nil, fmt.Errorf("dataset: unrecognized header %v", rows[0])
 	}
@@ -198,6 +237,17 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 				return nil, fmt.Errorf("dataset: row %d has an empty source column", ln+2)
 			}
 			s.Source = row[20]
+		}
+		if withMeta && row[24] != "" {
+			if s.RepsRun, err = strconv.Atoi(row[24]); err != nil {
+				return nil, fmt.Errorf("dataset: row %d reps: %w", ln+2, err)
+			}
+			if s.CoV, err = strconv.ParseFloat(row[25], 64); err != nil {
+				return nil, fmt.Errorf("dataset: row %d cov: %w", ln+2, err)
+			}
+			if s.CIRel, err = strconv.ParseFloat(row[26], 64); err != nil {
+				return nil, fmt.Errorf("dataset: row %d ci: %w", ln+2, err)
+			}
 		}
 		d.Samples = append(d.Samples, s)
 	}

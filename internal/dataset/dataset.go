@@ -35,6 +35,39 @@ type Sample struct {
 	// on the openmp runtime). Empty means "model" — the provenance of every
 	// dataset written before the Source column existed.
 	Source string
+
+	// RepsRun, CoV and CIRel are the measurement-provenance columns of the
+	// variability observatory: how many real repetitions the series ran
+	// (the Runtimes slots cycle over them when RepsRun < sim.Reps, and hold
+	// only the first sim.Reps when an adaptive series ran more), the final
+	// coefficient of variation over those real reps, and the relative 95%
+	// Student-t confidence-interval half-width of the mean. RepsRun == 0
+	// means "no provenance recorded" — every model sample and every dataset
+	// written before these columns existed.
+	RepsRun int
+	CoV     float64
+	CIRel   float64
+}
+
+// HasSeriesMeta reports whether the sample carries per-series measurement
+// provenance (reps/cov/ci columns).
+func (s *Sample) HasSeriesMeta() bool { return s.RepsRun > 0 }
+
+// SeriesMeta is the per-series noise provenance a measurement backend can
+// hand to the sweep: the real repetition count behind a sample's cycled
+// runtime slots, the series' final noise estimates, and why measurement
+// stopped. It lives here (not in the measure package) so the core sweep can
+// consume it through an optional interface without importing the backend.
+type SeriesMeta struct {
+	// Reps is the number of real timed repetitions the series ran.
+	Reps int
+	// CoV is the final coefficient of variation over the real reps.
+	CoV float64
+	// CIRel is the relative 95% confidence-interval half-width of the mean.
+	CIRel float64
+	// StopReason records why the series stopped: "fixed" (fixed rep count),
+	// "target" (noise targets met), "max-reps", or "budget".
+	StopReason string
 }
 
 // SourceModel and SourceMeasured are the provenance values of the built-in

@@ -429,3 +429,91 @@ func TestCSVSourceColumnErrors(t *testing.T) {
 		t.Error("empty source cell accepted")
 	}
 }
+
+func TestCSVSeriesMetaRoundTrip(t *testing.T) {
+	// A dataset carrying series provenance writes the V4 header and
+	// round-trips the reps/cov/ci columns; samples without provenance keep
+	// blank cells and read back with RepsRun == 0.
+	adaptive := mkSample(topology.A64FX, "CG", "small", 1.2)
+	adaptive.Source = SourceMeasured
+	adaptive.RepsRun = 7
+	adaptive.CoV = 0.0123
+	adaptive.CIRel = 0.0345
+	plain := mkSample(topology.A64FX, "CG", "large", 1.1)
+	ds := &Dataset{Samples: []*Sample{adaptive, plain}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(head, ",omp_thread_limit,reps,cov,ci") {
+		t.Fatalf("V4 header missing provenance columns: %q", head)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	a := back.Samples[0]
+	if a.RepsRun != 7 || a.CoV != 0.0123 || a.CIRel != 0.0345 {
+		t.Errorf("meta round-trip = reps %d cov %v ci %v", a.RepsRun, a.CoV, a.CIRel)
+	}
+	if !a.HasSeriesMeta() {
+		t.Error("adaptive sample lost its provenance")
+	}
+	p := back.Samples[1]
+	if p.HasSeriesMeta() || p.RepsRun != 0 || p.CoV != 0 || p.CIRel != 0 {
+		t.Errorf("plain sample gained provenance: %+v", p)
+	}
+	// Byte-stable across write-read-write, as checkpoint resume requires.
+	var buf2 bytes.Buffer
+	if err := back.WriteCSV(&buf2); err != nil {
+		t.Fatalf("WriteCSV(back): %v", err)
+	}
+	if !bytes.Equal(buf2.Bytes(), regenerate(t, ds)) {
+		t.Error("V4 CSV not byte-stable across write-read-write")
+	}
+}
+
+func TestCSVMetaFreeDatasetOmitsMetaColumns(t *testing.T) {
+	// Fixed-rep campaigns (no provenance) must keep their pre-V4 headers:
+	// measured stays V2, nested stays V3.
+	measured := mkSample(topology.A64FX, "CG", "small", 1.2)
+	measured.Source = SourceMeasured
+	ds := &Dataset{Samples: []*Sample{measured}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if strings.Contains(head, ",reps,") || strings.HasSuffix(head, ",ci") {
+		t.Fatalf("meta-free dataset wrote provenance columns: %q", head)
+	}
+	if !strings.HasSuffix(head, ",source") {
+		t.Fatalf("measured meta-free dataset lost its V2 header: %q", head)
+	}
+}
+
+func TestCSVSeriesMetaLegacyFilesUnchanged(t *testing.T) {
+	// Legacy V1 (20-col) and V2 ("source") files read back unchanged — no
+	// provenance invented — and re-serialize byte-identically.
+	legacyV1 := "arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal\n" +
+		"a64fx,CG,NPB,small,48,1,unset,unset,static,throughput,200,unset,256,1,1,1,1,1,1,false\n"
+	legacyV2 := "arch,app,suite,setting,threads,scale,omp_places,omp_proc_bind,omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,runtime_0,runtime_1,runtime_2,runtime_3,default_runtime,speedup,optimal,source\n" +
+		"a64fx,CG,NPB,small,48,1,unset,unset,static,throughput,200,unset,256,1,1,1,1,1,1,false,measured\n"
+	for name, legacy := range map[string]string{"v1": legacyV1, "v2": legacyV2} {
+		ds, err := ReadCSV(strings.NewReader(legacy))
+		if err != nil {
+			t.Fatalf("%s: ReadCSV: %v", name, err)
+		}
+		if ds.Samples[0].HasSeriesMeta() {
+			t.Fatalf("%s: legacy sample invented series provenance", name)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", name, err)
+		}
+		if buf.String() != legacy {
+			t.Fatalf("%s: legacy file not byte-identical after round-trip:\n got %q\nwant %q", name, buf.String(), legacy)
+		}
+	}
+}

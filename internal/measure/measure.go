@@ -17,9 +17,9 @@ import (
 	"math"
 	"os"
 	"sync"
-	"time"
 
 	"omptune/internal/apps"
+	"omptune/internal/dataset"
 	"omptune/internal/env"
 	"omptune/internal/sim"
 	"omptune/internal/topology"
@@ -46,6 +46,23 @@ type Series struct {
 	RepStats []openmp.Stats
 	// Warmup is how many untimed runs preceded the timed repetitions.
 	Warmup int
+	// RepsRun is the number of timed repetitions actually run
+	// (== len(Runtimes); recorded explicitly for provenance symmetry with
+	// the dataset's reps column).
+	RepsRun int
+	// CoV is the final coefficient of variation of the timed reps (sample
+	// standard deviation over mean; 0 for a single rep).
+	CoV float64
+	// CIHalfWidth is the half-width, in seconds, of the 95% Student-t
+	// confidence interval for the mean runtime.
+	CIHalfWidth float64
+	// CIRel is CIHalfWidth relative to the mean — the dimensionless
+	// precision figure the adaptive stopping rule targets.
+	CIRel float64
+	// StopReason records why the series stopped: StopFixed for a fixed
+	// repetition count, or StopTarget / StopMaxReps / StopBudget for an
+	// adaptive series.
+	StopReason string
 }
 
 // Run executes kernel on rt at the given scale: warmup untimed runs, then
@@ -53,37 +70,7 @@ type Series struct {
 // (warmup) run pays team spin-up and allocator warm-up so the timed reps
 // measure steady state, mirroring the repeated-run methodology of §IV-C.
 func Run(rt *openmp.Runtime, kernel func(*openmp.Runtime, float64) float64, scale float64, warmup, reps int) Series {
-	if warmup < 0 {
-		warmup = 0
-	}
-	if reps < 1 {
-		reps = 1
-	}
-	s := Series{
-		Runtimes: make([]float64, reps),
-		RepStats: make([]openmp.Stats, reps),
-		Warmup:   warmup,
-	}
-	for i := 0; i < warmup; i++ {
-		s.Checksum = kernel(rt, scale)
-	}
-	prev := rt.Stats()
-	for i := 0; i < reps; i++ {
-		start := time.Now()
-		s.Checksum = kernel(rt, scale)
-		elapsed := time.Since(start).Seconds()
-		if elapsed <= 0 {
-			// Sub-resolution kernels still need a positive, honest runtime;
-			// one nanosecond is below every real kernel here.
-			elapsed = 1e-9
-		}
-		s.Runtimes[i] = elapsed
-		cur := rt.Stats()
-		s.RepStats[i] = cur.Sub(prev)
-		prev = cur
-	}
-	s.Stats = rt.Stats()
-	return s
+	return runSeries(rt, kernel, scale, warmup, reps, Adaptive{})
 }
 
 // Options configures the measured evaluator.
@@ -94,8 +81,17 @@ type Options struct {
 	// TimedReps is how many timed repetitions one configuration gets
 	// (default sim.Reps, matching the study's R0..R3). When fewer than
 	// sim.Reps, the sweep's repetition slots cycle over the timed runs —
-	// useful for smoke campaigns where two reps suffice.
+	// useful for smoke campaigns where two reps suffice. Ignored when
+	// Adaptive is enabled.
 	TimedReps int
+	// Adaptive, when enabled (a noise target set), replaces the fixed
+	// TimedReps count with the adaptive stopping rule: each series repeats
+	// until its CoV / relative-CI targets are met, its rep ceiling is hit,
+	// or its time budget expires. The sweep's fixed sample shape is
+	// preserved by cycling the repetition slots over however many reps the
+	// series ran; the series' real rep count and noise estimates surface
+	// through SeriesMeta and the dataset's reps/cov/ci columns.
+	Adaptive Adaptive
 	// Metrics, when non-nil, is attached (Runtime.SetMetrics) to every
 	// runtime the evaluator builds, feeding region / barrier-wait / task-run
 	// latency histograms to a live monitor. The sinks must be safe for
@@ -116,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TimedReps <= 0 {
 		o.TimedReps = sim.Reps
+	}
+	if o.Adaptive.Enabled() {
+		o.Adaptive = o.Adaptive.withDefaults()
 	}
 	return o
 }
@@ -143,6 +142,9 @@ type seriesEntry struct {
 	once     sync.Once
 	runtimes []float64
 	repStats []openmp.Stats
+	// meta is the series' noise provenance (real rep count, final CoV,
+	// relative CI, stop reason), surfaced to the sweep via SeriesMeta.
+	meta dataset.SeriesMeta
 	// err records a failed measurement: the series is poisoned and every
 	// Evaluate call for it returns NaN instead of a sample.
 	err error
@@ -186,6 +188,12 @@ func (e *Evaluator) Evaluate(m *topology.Machine, app *apps.App, cfg env.Config,
 		}
 		ent.runtimes = s.Runtimes
 		ent.repStats = s.RepStats
+		ent.meta = dataset.SeriesMeta{
+			Reps:       s.RepsRun,
+			CoV:        s.CoV,
+			CIRel:      s.CIRel,
+			StopReason: s.StopReason,
+		}
 	})
 	if ent.err != nil {
 		return math.NaN()
@@ -235,6 +243,25 @@ func (e *Evaluator) RepStats(m *topology.Machine, app *apps.App, cfg env.Config,
 	return ent.repStats[rep%len(ent.repStats)], true
 }
 
+// SeriesMeta returns the noise provenance of the measured series for the
+// given arguments: the real repetition count behind the cycled sample slots
+// (Evaluate aliases rep indices via rep % reps-run, so without this record a
+// short or adaptive series is indistinguishable from sim.Reps independent
+// measurements), the final CoV / relative CI, and the stop reason. ok is
+// false when the series has not been measured or failed. The core sweep
+// consumes this through an optional interface to stamp the dataset's
+// reps/cov/ci columns.
+func (e *Evaluator) SeriesMeta(m *topology.Machine, app *apps.App, cfg env.Config, set sim.Setting) (dataset.SeriesMeta, bool) {
+	key := string(m.Arch) + "|" + app.Name + "|" + set.Label + "|" + cfg.Key()
+	e.mu.Lock()
+	ent := e.series[key]
+	e.mu.Unlock()
+	if ent == nil || ent.err != nil || len(ent.runtimes) == 0 {
+		return dataset.SeriesMeta{}, false
+	}
+	return ent.meta, true
+}
+
 // newRuntime builds the runtime a series measures on; a test seam for
 // forcing measurement failures without inventing an invalid configuration.
 var newRuntime = openmp.New
@@ -254,7 +281,7 @@ func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, 
 		rt.SetMetrics(e.opt.Metrics)
 	}
 	if e.opt.Profile == nil {
-		return Run(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps), nil
+		return runSeries(rt, app.Kernel, set.Scale, e.opt.Warmup, e.opt.TimedReps, e.opt.Adaptive), nil
 	}
 	// Profiled series: warmup runs unprofiled, then the profiler watches the
 	// timed repetitions and its report joins the campaign-wide aggregate.
@@ -264,7 +291,7 @@ func (e *Evaluator) measure(m *topology.Machine, app *apps.App, cfg env.Config, 
 	if err := rt.StartProfile(); err != nil {
 		return Series{}, err
 	}
-	s := Run(rt, app.Kernel, set.Scale, 0, e.opt.TimedReps)
+	s := runSeries(rt, app.Kernel, set.Scale, 0, e.opt.TimedReps, e.opt.Adaptive)
 	s.Warmup = e.opt.Warmup
 	e.opt.Profile.Fold(rt.StopProfile())
 	return s, nil

@@ -5,7 +5,10 @@ package obs
 // /api/status and renders a per-arch×app completion heatmap, a samples/sec
 // sparkline and latency-percentile tiles, plus a per-region efficiency
 // table (polled from /api/regions, hidden until the first profile fold
-// arrives) whose efficiency columns are heatmap-shaded. Colors follow the repository's
+// arrives) whose efficiency columns are heatmap-shaded, and a measurement
+// noise heatmap (polled from /api/variability, hidden until the first
+// provenance-carrying sample arrives) showing per-arch×app CoV beside the
+// completion grid. Colors follow the repository's
 // chart conventions: sequential magnitude is one blue ramp light→dark,
 // state is icon+label (never color alone), text wears ink tokens, and the
 // lone sparkline series needs no legend. Light and dark are both selected
@@ -127,6 +130,12 @@ const dashboardHTML = `<!DOCTYPE html>
 <div class="section">
   <h2>Latency percentiles</h2>
   <div class="lat" id="lat"></div>
+</div>
+
+<div class="section" id="variabilitySection" style="display:none">
+  <h2>Measurement noise by architecture × application (p50 CoV, %)</h2>
+  <div id="varheat"></div>
+  <div class="sub" id="varsum" style="margin-top:8px"></div>
 </div>
 
 <div class="section" id="regionsSection" style="display:none">
@@ -327,6 +336,64 @@ const dashboardHTML = `<!DOCTYPE html>
       .then(renderRegions).catch(function () {});
   }
 
+  function renderVariability(cells) {
+    var section = $("variabilitySection");
+    if (!cells || cells.length === 0) { section.style.display = "none"; return; }
+    section.style.display = "";
+    var arches = [], apps = [], byKey = {};
+    var repsRun = 0, repsFixed = 0;
+    cells.forEach(function (c) {
+      if (arches.indexOf(c.arch) < 0) arches.push(c.arch);
+      if (apps.indexOf(c.app) < 0) apps.push(c.app);
+      byKey[c.arch + "|" + c.app] = c;
+      repsRun += c.reps_run;
+      repsFixed += c.reps_fixed;
+    });
+    var tbl = document.createElement("table");
+    tbl.className = "heat";
+    var hr = tbl.insertRow();
+    hr.appendChild(document.createElement("th"));
+    apps.forEach(function (a) {
+      var th = document.createElement("th");
+      th.className = "col"; th.textContent = a; th.title = a;
+      hr.appendChild(th);
+    });
+    arches.forEach(function (arch) {
+      var row = tbl.insertRow();
+      var th = document.createElement("th");
+      th.textContent = arch;
+      row.appendChild(th);
+      apps.forEach(function (app) {
+        var td = row.insertCell();
+        var c = byKey[arch + "|" + app];
+        if (!c || !c.samples) { td.className = "empty"; return; }
+        // Scale: 10% CoV saturates the ramp — anything darker is loud.
+        var step = Math.min(12, Math.floor((c.cov_p50 / 0.10) * 12.999));
+        td.style.background = ramp[step];
+        td.style.color = step >= 7 ? "#ffffff" : "#0b0b0b";
+        td.textContent = (100 * c.cov_p50).toFixed(1);
+        td.addEventListener("mousemove", function (e) {
+          showTip(e, "<b>" + arch + " · " + app + "</b><br>" +
+            '<span class="k">series</span> ' + c.samples +
+            '<br><span class="k">cov p50 / p90</span> ' +
+            (100 * c.cov_p50).toFixed(2) + "% / " + (100 * c.cov_p90).toFixed(2) + "%" +
+            '<br><span class="k">reps run / fixed</span> ' + c.reps_run + " / " + c.reps_fixed);
+        });
+        td.addEventListener("mouseleave", hideTip);
+      });
+    });
+    var host = $("varheat");
+    host.textContent = "";
+    host.appendChild(tbl);
+    var saved = repsFixed > 0 ? (100 * (1 - repsRun / repsFixed)) : 0;
+    $("varsum").textContent = "adaptive measurement: " + repsRun + " reps run vs " +
+      repsFixed + " fixed baseline (" + saved.toFixed(1) + "% saved)";
+  }
+  function pollVariability() {
+    fetch("/api/variability").then(function (r) { return r.json(); })
+      .then(renderVariability).catch(function () {});
+  }
+
   function poll() {
     fetch("/api/status").then(function (r) { return r.json(); }).then(function (s) {
       if (!s) return;
@@ -343,8 +410,10 @@ const dashboardHTML = `<!DOCTYPE html>
   }
   poll();
   pollRegions();
+  pollVariability();
   setInterval(poll, 2000);
   setInterval(pollRegions, 2000);
+  setInterval(pollVariability, 2000);
 })();
 </script>
 </body>

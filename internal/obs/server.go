@@ -18,9 +18,10 @@ import (
 // external assets — because it runs inside long campaign processes where a
 // dependency or a blocking handler would be a liability.
 type Server struct {
-	reg     *Registry
-	status  func() any
-	regions func() any
+	reg         *Registry
+	status      func() any
+	regions     func() any
+	variability func() any
 
 	mu   sync.Mutex
 	ln   net.Listener
@@ -38,6 +39,7 @@ func NewServer(reg *Registry, status func() any) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/api/status", s.handleStatus)
 	mux.HandleFunc("/api/regions", s.handleRegions)
+	mux.HandleFunc("/api/variability", s.handleVariability)
 	mux.HandleFunc("/", s.handleDashboard)
 	s.http = &http.Server{
 		Handler:           mux,
@@ -123,6 +125,24 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	var payload any
 	if s.regions != nil {
 		payload = s.regions()
+	}
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SetVariability installs the /api/variability payload producer — typically
+// a closure returning []VariabilityCell from the sweep monitor's live noise
+// observatory. Like the status producer it must be concurrency-safe and
+// cheap; call before Start. When unset the endpoint serves null and the
+// dashboard hides its variability section.
+func (s *Server) SetVariability(fn func() any) { s.variability = fn }
+
+func (s *Server) handleVariability(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var payload any
+	if s.variability != nil {
+		payload = s.variability()
 	}
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

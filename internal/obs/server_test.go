@@ -154,3 +154,44 @@ func TestServerRegionsPayload(t *testing.T) {
 		t.Errorf("round-tripped regions = %+v, want %+v", back, rows)
 	}
 }
+
+func TestServerVariabilityEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	base := startTestServer(t, reg, nil)
+
+	// Without a producer the endpoint serves JSON null, not an error.
+	code, body, hdr := get(t, base+"/api/variability")
+	if code != http.StatusOK || strings.TrimSpace(body) != "null" {
+		t.Errorf("/api/variability without producer = %d %q, want 200 null", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/api/variability content type = %q", ct)
+	}
+}
+
+func TestServerVariabilityPayload(t *testing.T) {
+	reg := NewRegistry()
+	cells := []VariabilityCell{{
+		Arch: "a64fx", App: "CG", Samples: 24,
+		RepsRun: 61, RepsFixed: 96, CoVP50: 0.004, CoVP90: 0.02,
+	}}
+	srv := NewServer(reg, nil)
+	srv.SetVariability(func() any { return cells })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Shutdown(nil) })
+
+	code, body, _ := get(t, "http://"+addr.String()+"/api/variability")
+	if code != http.StatusOK {
+		t.Fatalf("/api/variability status = %d", code)
+	}
+	var back []VariabilityCell
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatalf("decode /api/variability: %v", err)
+	}
+	if len(back) != 1 || back[0] != cells[0] {
+		t.Errorf("round-tripped cells = %+v, want %+v", back, cells)
+	}
+}

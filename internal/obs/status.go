@@ -70,6 +70,27 @@ type Region struct {
 	TasksRun           int64   `json:"tasks_run"`
 }
 
+// VariabilityCell is one (architecture, application) cell of the
+// /api/variability payload: the live noise observatory aggregated from the
+// series provenance of every measured sample the campaign has produced so
+// far. The sweep monitor in internal/core fills it; it lives here so the
+// dashboard's JavaScript and the producer agree on one schema.
+type VariabilityCell struct {
+	Arch string `json:"arch"`
+	App  string `json:"app"`
+	// Samples counts provenance-carrying samples folded into the cell.
+	Samples int `json:"samples"`
+	// RepsRun / RepsFixed: real timed repetitions vs the fixed-rep baseline
+	// for those samples; their ratio is the measurement time the adaptive
+	// policy saved (or spent, on noisy cells).
+	RepsRun   int `json:"reps_run"`
+	RepsFixed int `json:"reps_fixed"`
+	// CoVP50 / CoVP90 are quantiles of the per-series coefficient of
+	// variation observed in this cell.
+	CoVP50 float64 `json:"cov_p50"`
+	CoVP90 float64 `json:"cov_p90"`
+}
+
 // Latency is the percentile summary of one histogram.
 type Latency struct {
 	Name    string  `json:"name"`

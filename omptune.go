@@ -153,8 +153,16 @@ type Evaluator = core.Evaluator
 func ModelBackend() Evaluator { return core.ModelEvaluator{} }
 
 // MeasureOptions configures the measured backend (warmup runs and timed
-// repetitions per configuration).
+// repetitions per configuration, plus the optional adaptive-repetition
+// policy).
 type MeasureOptions = measure.Options
+
+// AdaptivePolicy is the variability-targeted stopping rule of the measured
+// backend: repetitions continue until the running CoV and/or relative 95% CI
+// half-width drop under their targets, bounded by MinReps/MaxReps and an
+// optional per-series time budget. Set it in MeasureOptions.Adaptive; the
+// zero value disables adaptation and keeps the fixed repetition count.
+type AdaptivePolicy = measure.Adaptive
 
 // NewMeasuredEvaluator returns the measured backend: each evaluation builds
 // a real openmp.Runtime from the swept configuration (via
@@ -291,6 +299,7 @@ type MonitorServer = obs.Server
 func NewMonitorServer(mon *SweepMonitor) *MonitorServer {
 	srv := obs.NewServer(mon.Registry(), func() any { return mon.Status() })
 	srv.SetRegions(func() any { return mon.Regions() })
+	srv.SetVariability(func() any { return mon.Variability() })
 	return srv
 }
 
@@ -306,13 +315,31 @@ type CompareReport = core.CompareReport
 
 // CompareSweeps runs the variability-aware regression gate between two
 // datasets of the same campaign: samples are paired per configuration,
-// pairs whose repetition CoV exceeds the noise gate are excluded, and each
-// arch/app group gets a Wilcoxon signed-rank verdict on the paired mean
-// runtimes, flagged as regressed only when the shift also clears the
-// practical-significance floor.
+// pairs whose noise exceeds the gate are excluded, and each arch/app group
+// gets a Wilcoxon signed-rank verdict on the paired mean runtimes, flagged
+// as regressed only when the shift also clears the practical-significance
+// floor. Pairs whose samples carry series provenance (the reps/cov/ci
+// columns written by adaptive campaigns) are gated and weighted by their own
+// measured CI; legacy pairs fall back to the repetition-CoV cutoff, with
+// byte-identical output on provenance-free datasets.
 func CompareSweeps(oldDS, newDS *Dataset, opt CompareOptions) (*CompareReport, error) {
 	return core.CompareDatasets(oldDS, newDS, opt)
 }
+
+// VariabilityReport is the noise observatory of a collected dataset: per
+// (arch, app, setting) CoV and CI quantiles, real-repetition histograms, and
+// the measurement time the adaptive policy saved against the fixed-rep
+// baseline. Its String method renders the table.
+type VariabilityReport = core.VariabilityReport
+
+// VariabilityGroup is one (arch, app, setting) row of a VariabilityReport.
+type VariabilityGroup = core.VariabilityGroup
+
+// DatasetVariability aggregates a dataset's per-series noise provenance into
+// the observatory report. Samples without provenance (model rows, files
+// predating the reps/cov/ci columns) are counted but contribute no noise
+// statistics.
+func DatasetVariability(ds *Dataset) *VariabilityReport { return core.Variability(ds) }
 
 // Upshot summarizes the per-architecture tuning potential (§V-Q1).
 func Upshot(ds *Dataset) []UpshotSummary { return core.Upshot(ds) }
